@@ -1,0 +1,123 @@
+// Command appbench regenerates the paper's PARSEC and SPEC2000 figure
+// (Figure 7a–d): execution time of blackscholes, swaptions,
+// fluidanimate and equake across algorithms and thread counts, with
+// post-run verification.
+//
+// Example:
+//
+//	appbench -app swaptions -threads 1,2,4,8,16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/orderedstm/ostm/internal/apps"
+	"github.com/orderedstm/ostm/internal/harness"
+	"github.com/orderedstm/ostm/internal/parsec/blackscholes"
+	"github.com/orderedstm/ostm/internal/parsec/fluidanimate"
+	"github.com/orderedstm/ostm/internal/parsec/swaptions"
+	"github.com/orderedstm/ostm/internal/spec/equake"
+	"github.com/orderedstm/ostm/stm"
+)
+
+type app interface {
+	Run(r apps.Runner) (stm.Result, error)
+	Verify() error
+}
+
+var builders = map[string]func(yield bool) app{
+	"blackscholes": func(y bool) app { return blackscholes.New(blackscholes.Config{Yield: y}) },
+	"swaptions":    func(y bool) app { return swaptions.New(swaptions.Config{Yield: y}) },
+	"fluidanimate": func(y bool) app { return fluidanimate.New(fluidanimate.Config{Yield: y}) },
+	"equake":       func(y bool) app { return equake.New(equake.Config{Yield: y}) },
+}
+
+var figure7Order = []string{"blackscholes", "swaptions", "fluidanimate", "equake"}
+
+func main() {
+	var (
+		appF    = flag.String("app", "all", "application ("+strings.Join(figure7Order, ", ")+" or all)")
+		threads = flag.String("threads", "1,2,4,8", "comma-separated worker counts")
+		algosF  = flag.String("algos", "", "comma-separated algorithms (default: ordered set + Sequential)")
+		yield   = flag.Bool("yield", false, "insert scheduler yields (single-core hosts)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	names := figure7Order
+	if *appF != "all" {
+		if _, ok := builders[*appF]; !ok {
+			fatal(fmt.Errorf("unknown app %q", *appF))
+		}
+		names = []string{*appF}
+	}
+	workerList, err := parseInts(*threads)
+	if err != nil {
+		fatal(err)
+	}
+	algos := append(stm.OrderedAlgorithms(), stm.Sequential)
+	if *algosF != "" {
+		algos = nil
+		for _, part := range strings.Split(*algosF, ",") {
+			a, err := stm.ParseAlgorithm(strings.TrimSpace(part))
+			if err != nil {
+				fatal(err)
+			}
+			algos = append(algos, a)
+		}
+	}
+	for _, name := range names {
+		tab := harness.NewTable(
+			fmt.Sprintf("Figure 7 — %s execution time (seconds) vs threads", name),
+			append([]string{"threads"}, algoNames(algos)...)...)
+		for _, wk := range workerList {
+			row := []string{harness.I(wk)}
+			for _, alg := range algos {
+				a := builders[name](*yield)
+				res, err := a.Run(apps.Runner{Alg: alg, Workers: wk})
+				if err != nil {
+					fatal(fmt.Errorf("%s under %v: %w", name, alg, err))
+				}
+				if err := a.Verify(); err != nil {
+					fatal(fmt.Errorf("%s under %v failed verification: %w", name, alg, err))
+				}
+				row = append(row, harness.Seconds(res))
+			}
+			tab.Add(row...)
+		}
+		if *csv {
+			tab.WriteCSV(os.Stdout)
+		} else {
+			tab.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "appbench:", err)
+	os.Exit(1)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func algoNames(as []stm.Algorithm) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.String()
+	}
+	return out
+}

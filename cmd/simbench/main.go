@@ -1,0 +1,118 @@
+// Command simbench regenerates the thread-scaling *shape* of the
+// paper's micro-benchmark figures in virtual time on the simulated
+// P-core machine (internal/simcpu). On multi-core hosts microbench
+// measures the same series in wall-clock time; on the single-core
+// evaluation host of this reproduction, simbench is the substitute
+// for the scaling dimension (DESIGN.md §1).
+//
+// Examples:
+//
+//	simbench -bench RWN -length Short -cores 1,2,4,6,8,12,16,20
+//	simbench -bench Disjoint -length Long
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/orderedstm/ostm/internal/harness"
+	"github.com/orderedstm/ostm/internal/micro"
+	"github.com/orderedstm/ostm/internal/simcpu"
+)
+
+func main() {
+	var (
+		benchF  = flag.String("bench", "", "bench (Disjoint, RNW1, RWN, MCAS; default all)")
+		lengthF = flag.String("length", "", "length class (Short, Long, Heavy; default all)")
+		coresF  = flag.String("cores", "1,2,4,6,8,12,16,20", "comma-separated simulated core counts")
+		txns    = flag.Int("txns", 20000, "transactions per simulation")
+		pool    = flag.Int("pool", 1<<16, "address-pool size")
+		seed    = flag.Uint64("seed", 7, "trace seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	benches := micro.Benches()
+	if *benchF != "" {
+		b, err := micro.ParseBench(*benchF)
+		if err != nil {
+			fatal(err)
+		}
+		benches = []micro.Bench{b}
+	}
+	lengths := micro.Lengths()
+	if *lengthF != "" {
+		l, err := micro.ParseLength(*lengthF)
+		if err != nil {
+			fatal(err)
+		}
+		lengths = []micro.Length{l}
+	}
+	cores, err := parseInts(*coresF)
+	if err != nil {
+		fatal(err)
+	}
+	algos := simcpu.Algos()
+	for _, b := range benches {
+		for _, l := range lengths {
+			traces := simcpu.GenTraces(b, l, *txns, *pool, *seed)
+			seq := simcpu.Simulate(simcpu.Sequential, traces, 1, simcpu.DefaultParams())
+			thr := harness.NewTable(
+				fmt.Sprintf("%v-%v — simulated throughput (commits / k cycles) vs cores [sequential: %.2f]",
+					b, l, seq.ThroughputPerKCycle()),
+				append([]string{"cores"}, names(algos)...)...)
+			ab := harness.NewTable(
+				fmt.Sprintf("%v-%v — simulated aborts %% vs cores", b, l),
+				append([]string{"cores"}, names(algos)...)...)
+			for _, c := range cores {
+				trow := []string{harness.I(c)}
+				arow := []string{harness.I(c)}
+				for _, a := range algos {
+					res := simcpu.Simulate(a, traces, c, simcpu.DefaultParams())
+					trow = append(trow, fmt.Sprintf("%.2f", res.ThroughputPerKCycle()))
+					arow = append(arow, fmt.Sprintf("%.1f", 100*res.AbortRatio()))
+				}
+				thr.Add(trow...)
+				ab.Add(arow...)
+			}
+			if *csv {
+				thr.WriteCSV(os.Stdout)
+				ab.WriteCSV(os.Stdout)
+			} else {
+				thr.Render(os.Stdout)
+				fmt.Println()
+				if b != micro.Disjoint {
+					ab.Render(os.Stdout)
+					fmt.Println()
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simbench:", err)
+	os.Exit(1)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad core count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func names(as []simcpu.Algo) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.String()
+	}
+	return out
+}

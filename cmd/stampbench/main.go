@@ -1,0 +1,154 @@
+// Command stampbench regenerates the paper's STAMP figure (Figure
+// 6a–h): execution time of kmeans (low/high contention), genome,
+// ssca2, vacation (low/high), labyrinth and intruder across
+// algorithms and thread counts, with post-run verification of each
+// application's invariants.
+//
+// Examples:
+//
+//	stampbench -app kmeans-high -threads 1,2,4,8
+//	stampbench -app all -algos OUL,OWB,Sequential
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/orderedstm/ostm/internal/apps"
+	"github.com/orderedstm/ostm/internal/harness"
+	"github.com/orderedstm/ostm/internal/stamp/genome"
+	"github.com/orderedstm/ostm/internal/stamp/intruder"
+	"github.com/orderedstm/ostm/internal/stamp/kmeans"
+	"github.com/orderedstm/ostm/internal/stamp/labyrinth"
+	"github.com/orderedstm/ostm/internal/stamp/ssca2"
+	"github.com/orderedstm/ostm/internal/stamp/vacation"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// app is the uniform application driver: construct fresh state, run,
+// verify.
+type app interface {
+	Run(r apps.Runner) (stm.Result, error)
+	Verify() error
+}
+
+// builders construct a fresh instance per run (fresh shared state).
+var builders = map[string]func(yield bool) app{
+	"kmeans-low": func(y bool) app {
+		cfg := kmeans.LowContention()
+		cfg.Yield = y
+		return kmeans.New(cfg)
+	},
+	"kmeans-high": func(y bool) app {
+		cfg := kmeans.HighContention()
+		cfg.Yield = y
+		return kmeans.New(cfg)
+	},
+	"genome": func(y bool) app { return genome.New(genome.Config{Yield: y}) },
+	"ssca2":  func(y bool) app { return ssca2.New(ssca2.Config{Yield: y}) },
+	"vacation-low": func(y bool) app {
+		cfg := vacation.LowContention()
+		cfg.Yield = y
+		return vacation.New(cfg)
+	},
+	"vacation-high": func(y bool) app {
+		cfg := vacation.HighContention()
+		cfg.Yield = y
+		return vacation.New(cfg)
+	},
+	"labyrinth": func(y bool) app { return labyrinth.New(labyrinth.Config{Yield: y}) },
+	"intruder":  func(y bool) app { return intruder.New(intruder.Config{Yield: y}) },
+}
+
+// figure6Order is the presentation order of Figure 6.
+var figure6Order = []string{
+	"kmeans-low", "kmeans-high", "genome", "ssca2",
+	"vacation-low", "vacation-high", "labyrinth", "intruder",
+}
+
+func main() {
+	var (
+		appF    = flag.String("app", "all", "application ("+strings.Join(figure6Order, ", ")+" or all)")
+		threads = flag.String("threads", "1,2,4,8", "comma-separated worker counts")
+		algosF  = flag.String("algos", "", "comma-separated algorithms (default: ordered set + Sequential)")
+		yield   = flag.Bool("yield", false, "insert scheduler yields (single-core hosts)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	names := figure6Order
+	if *appF != "all" {
+		if _, ok := builders[*appF]; !ok {
+			fatal(fmt.Errorf("unknown app %q", *appF))
+		}
+		names = []string{*appF}
+	}
+	workerList, err := parseInts(*threads)
+	if err != nil {
+		fatal(err)
+	}
+	algos := append(stm.OrderedAlgorithms(), stm.Sequential)
+	if *algosF != "" {
+		algos = nil
+		for _, part := range strings.Split(*algosF, ",") {
+			a, err := stm.ParseAlgorithm(strings.TrimSpace(part))
+			if err != nil {
+				fatal(err)
+			}
+			algos = append(algos, a)
+		}
+	}
+	for _, name := range names {
+		tab := harness.NewTable(
+			fmt.Sprintf("Figure 6 — %s execution time (seconds) vs threads", name),
+			append([]string{"threads"}, algoNames(algos)...)...)
+		for _, wk := range workerList {
+			row := []string{harness.I(wk)}
+			for _, alg := range algos {
+				a := builders[name](*yield)
+				res, err := a.Run(apps.Runner{Alg: alg, Workers: wk})
+				if err != nil {
+					fatal(fmt.Errorf("%s under %v: %w", name, alg, err))
+				}
+				if err := a.Verify(); err != nil {
+					fatal(fmt.Errorf("%s under %v failed verification: %w", name, alg, err))
+				}
+				row = append(row, harness.Seconds(res))
+			}
+			tab.Add(row...)
+		}
+		if *csv {
+			tab.WriteCSV(os.Stdout)
+		} else {
+			tab.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stampbench:", err)
+	os.Exit(1)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func algoNames(as []stm.Algorithm) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.String()
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+// Package ostm is the root of the OSTM repository: a Go reproduction
+// of "Processing Transactions in a Predefined Order" (Saad, Javidi
+// Kishi, Jing, Hans, Palmieri — PPoPP 2019).
+//
+// The public API lives in package stm (ordered software transactional
+// memory: OWB, OUL, OUL-Steal and the paper's baselines). The
+// benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package ostm

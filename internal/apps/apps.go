@@ -1,0 +1,66 @@
+// Package apps holds the shared plumbing for the STAMP, PARSEC and
+// SPEC2000 application reproductions: a Runner that executes the
+// phases of an application under one (algorithm, workers)
+// configuration and result merging across phases.
+//
+// Every application package exposes the same shape: New(Config) →
+// app with Run(Runner), Verify() error and Fingerprint() uint64; the
+// fingerprint of an order-enforcing run must equal the sequential
+// one whenever the application is deterministic (all except
+// labyrinth, whose path planning is snapshot-dependent by design,
+// as in the original STAMP code).
+package apps
+
+import (
+	"github.com/orderedstm/ostm/internal/meta"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Runner executes transaction batches for an application's phases.
+type Runner struct {
+	// Alg is the concurrency-control algorithm.
+	Alg stm.Algorithm
+	// Workers is the worker count.
+	Workers int
+	// Mutate optionally adjusts the executor config (lock table size,
+	// spin budget, ...).
+	Mutate func(*stm.Config)
+}
+
+// Exec runs one phase of n transactions.
+func (r Runner) Exec(n int, body stm.Body) (stm.Result, error) {
+	cfg := stm.Config{Algorithm: r.Alg, Workers: r.Workers}
+	if r.Mutate != nil {
+		r.Mutate(&cfg)
+	}
+	ex, err := stm.NewExecutor(cfg)
+	if err != nil {
+		return stm.Result{}, err
+	}
+	return ex.Run(n, body)
+}
+
+// Merge combines phase results: durations and counters add up.
+func Merge(rs ...stm.Result) stm.Result {
+	if len(rs) == 0 {
+		return stm.Result{}
+	}
+	out := rs[0]
+	for _, r := range rs[1:] {
+		out.N += r.N
+		out.Elapsed += r.Elapsed
+		out.Stats = addViews(out.Stats, r.Stats)
+	}
+	return out
+}
+
+func addViews(a, b meta.StatsView) meta.StatsView {
+	a.Starts += b.Starts
+	a.Commits += b.Commits
+	a.Retries += b.Retries
+	a.Quiesces += b.Quiesces
+	for i := range a.Aborts {
+		a.Aborts[i] += b.Aborts[i]
+	}
+	return a
+}

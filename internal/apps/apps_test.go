@@ -1,0 +1,59 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"github.com/orderedstm/ostm/internal/meta"
+	"github.com/orderedstm/ostm/stm"
+)
+
+func TestRunnerExec(t *testing.T) {
+	v := stm.NewVar(0)
+	r := Runner{Alg: stm.OWB, Workers: 2}
+	res, err := r.Exec(40, func(tx stm.Tx, age int) {
+		tx.Write(v, tx.Read(v)+2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 40 || v.Load() != 80 {
+		t.Fatalf("res=%+v v=%d", res, v.Load())
+	}
+}
+
+func TestRunnerMutate(t *testing.T) {
+	called := false
+	r := Runner{Alg: stm.Sequential, Workers: 1, Mutate: func(c *stm.Config) {
+		called = true
+		c.SpinBudget = 5
+	}}
+	if _, err := r.Exec(1, func(tx stm.Tx, age int) {}); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("mutate not invoked")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	if got := Merge(); got.N != 0 {
+		t.Fatalf("empty merge = %+v", got)
+	}
+	a := stm.Result{N: 10, Elapsed: time.Second}
+	a.Stats.Commits = 10
+	a.Stats.Aborts[meta.CauseRAW] = 3
+	b := stm.Result{N: 5, Elapsed: 2 * time.Second}
+	b.Stats.Commits = 5
+	b.Stats.Aborts[meta.CauseWAW] = 2
+	m := Merge(a, b)
+	if m.N != 15 || m.Elapsed != 3*time.Second {
+		t.Fatalf("merge = %+v", m)
+	}
+	if m.Stats.Commits != 15 || m.Stats.Aborts[meta.CauseRAW] != 3 || m.Stats.Aborts[meta.CauseWAW] != 2 {
+		t.Fatalf("stats merge = %+v", m.Stats)
+	}
+	if m.Stats.TotalAborts() != 5 {
+		t.Fatalf("total aborts = %d", m.Stats.TotalAborts())
+	}
+}

@@ -1,0 +1,34 @@
+// Package core implements the paper's three contributions: the Ordered
+// Write Back algorithm (OWB, §5), the Ordered Undo Log algorithm
+// (OUL, §6) and its lock-stealing variant (OUL-Steal, §6.1).
+//
+// All three deploy the cooperative ordered execution model of §4:
+// transactions may expose uncommitted state to higher-age transactions
+// (data forwarding), conflicts are resolved by age (the predefined
+// commit order, ACO), and aborts cascade along the chain of consumers
+// of exposed data. The executor (package stm) drives them in
+// ModeCooperative: workers expose transactions out of order and a
+// flat-combining validator role commits them strictly in age order
+// (Algorithm 5 of the paper).
+//
+// # Doom flags instead of blocking aborts
+//
+// The paper's pseudocode lets an aborter spin while its victim is in a
+// TRANSIENT critical section. A direct transcription can deadlock
+// (cycles of aborters waiting on each other's critical sections), so
+// this implementation uses a sticky per-attempt doom flag: Abort sets
+// the flag (counting the abort cause exactly once), then tries to
+// claim the descriptor and perform the rollback itself; if the victim
+// is inside its own critical section the claim fails and the victim is
+// responsible for finalizing its own abort on exit. No abort operation
+// ever blocks, which makes the wait-for graph acyclic.
+//
+// # Descriptor lifetime
+//
+// One descriptor is allocated per attempt and never reused. Stale
+// descriptor pointers left in lock words, reader slots or dependency
+// lists therefore always refer to finalized attempts; Go's garbage
+// collector plays the role of the epoch-based reclamation scheme a
+// C/C++ implementation would need, and ABA on descriptor pointers is
+// structurally impossible.
+package core

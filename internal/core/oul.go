@@ -1,0 +1,506 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/orderedstm/ostm/internal/meta"
+)
+
+// oulBusy is the BUSY sentinel of Algorithms 2–4: it parks a lock's
+// writer word during a short update so concurrent operations retry.
+// It is compared by pointer identity and never dereferenced.
+var oulBusy = &OULTxn{}
+
+// oulLock is one lock-table record for OUL/OUL-Steal: the single writer
+// reference (which doubles as "the transaction that committed this
+// version" after the writer commits) plus the bounded visible-reader
+// slot array, allocated lazily on first transactional read.
+type oulLock struct {
+	writer  atomic.Pointer[OULTxn]
+	readers meta.LazySlots[OULTxn]
+}
+
+// OULEngine implements the Ordered Undo Log algorithm (§6) and, with
+// steal enabled, the OUL-Steal variant (§6.1).
+type OULEngine struct {
+	cfg   meta.EngineConfig
+	locks *meta.Table[oulLock]
+	steal bool
+}
+
+// NewOUL returns a fresh OUL engine for one run.
+func NewOUL(cfg meta.EngineConfig) *OULEngine {
+	return &OULEngine{cfg: cfg.Normalize(), locks: meta.NewTable[oulLock](cfg.Normalize().TableBits)}
+}
+
+// NewOULSteal returns a fresh OUL-Steal engine for one run.
+func NewOULSteal(cfg meta.EngineConfig) *OULEngine {
+	e := NewOUL(cfg)
+	e.steal = true
+	return e
+}
+
+// Name implements meta.Engine.
+func (e *OULEngine) Name() string {
+	if e.steal {
+		return "OUL-Steal"
+	}
+	return "OUL"
+}
+
+// Mode implements meta.Engine.
+func (e *OULEngine) Mode() meta.Mode { return meta.ModeCooperative }
+
+// Stats implements meta.Engine.
+func (e *OULEngine) Stats() *meta.Stats { return e.cfg.Stats }
+
+// NewTxn implements meta.Engine.
+func (e *OULEngine) NewTxn(age uint64) meta.Txn {
+	t := &OULTxn{eng: e, age: age}
+	t.status.Store(meta.StatusActive)
+	return t
+}
+
+// oulWriteEntry is one undo-log record: the variable, its lock record,
+// the value it held just before this transaction's first write to it,
+// and (OUL-Steal) the writer the lock was stolen from, so the lock can
+// be handed back on abort.
+type oulWriteEntry struct {
+	v         *meta.Var
+	lock      *oulLock
+	old       uint64
+	prevOwner *OULTxn
+}
+
+type oulReadRef struct {
+	arr *meta.SlotArray[OULTxn]
+	idx int
+}
+
+// OULTxn is one OUL/OUL-Steal transaction attempt.
+//
+// Lifecycle: Active (live, write-through with encounter-time locks) →
+// Pending (commit-pending after TryCommit) → Committed, with
+// Transient marking an in-progress rollback and Aborted final.
+// Commit is O(1): a status flip releases every lock, because locks
+// point back at the transaction (§6: "setting the transaction status
+// is sufficient to release all the locks ... with a single step").
+type OULTxn struct {
+	eng     *OULEngine
+	age     uint64
+	status  meta.StatusWord
+	doomed  atomic.Bool
+	aborted atomic.Bool // pseudocode tx.aborted: set first thing in rollback
+
+	mu       sync.Mutex // guards writes against aborter-performed rollback
+	writes   []oulWriteEntry
+	readRefs []oulReadRef
+}
+
+// Age implements meta.Txn.
+func (t *OULTxn) Age() uint64 { return t.age }
+
+// Doomed implements meta.Txn.
+func (t *OULTxn) Doomed() bool { return t.doomed.Load() }
+
+func (t *OULTxn) checkDoom() {
+	if t.doomed.Load() {
+		meta.PanicAbort(meta.CauseNone)
+	}
+}
+
+// live reports whether a writer still speculatively owns its locks
+// (Active or Pending; a Transient writer is mid-rollback).
+func oulLive(s meta.Status) bool {
+	return s == meta.StatusActive || s == meta.StatusPending
+}
+
+// abort dooms a transaction and, if it can claim the descriptor,
+// performs the rollback on the caller's thread (the paper's aborter-
+// performed rollback). Never blocks.
+func (t *OULTxn) abort(c meta.Cause) bool {
+	if t.status.Load().Final() {
+		return false // already committed or aborted (Algorithm 3 line 58)
+	}
+	first := t.doomed.CompareAndSwap(false, true)
+	if first {
+		t.eng.cfg.Stats.Abort(c)
+	}
+	for {
+		s := t.status.Load()
+		if s == meta.StatusCommitted || s == meta.StatusAborted || s == meta.StatusTransient {
+			return first
+		}
+		if t.status.CAS(s, meta.StatusTransient) { // s ∈ {Active, Pending}
+			t.rollback()
+			t.status.Store(meta.StatusAborted)
+			t.eng.cfg.Order.Kick()
+			return first
+		}
+	}
+}
+
+func (t *OULTxn) selfAbort(c meta.Cause) {
+	t.abort(c)
+	meta.PanicAbort(c)
+}
+
+// rollback restores this transaction's undo log (Algorithm 3 lines
+// 57–75 / Algorithm 4 Rollback). For OUL-Steal, a lock stolen from an
+// aborted lower-age writer triggers an iterative walk down the
+// previous-owner chain, applying each aborted owner's undo image in
+// turn (this replaces the paper's recursive ROLLBACK call; see
+// package comment on deadlock avoidance).
+func (t *OULTxn) rollback() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Setting the aborted flag (pseudocode line 59) after acquiring mu
+	// guarantees that any owner-chain walker observing aborted==true
+	// sees a structurally frozen undo log: appends happen under mu and
+	// are rejected once the transaction is doomed.
+	t.aborted.Store(true)
+	for i := len(t.writes) - 1; i >= 0; i-- {
+		e := &t.writes[i]
+		if t.lockEntryAfter(i) {
+			continue // this lock is handled at its last entry (aliasing)
+		}
+		if !e.lock.writer.CompareAndSwap(t, oulBusy) {
+			// Lock was stolen from us (OUL-Steal) or already handed
+			// over: keep the undo entry; whoever holds it will walk the
+			// owner chain back through us.
+			continue
+		}
+		// Restore every variable this transaction wrote under the lock
+		// record (several may alias to it).
+		for j := len(t.writes) - 1; j >= 0; j-- {
+			if t.writes[j].lock == e.lock {
+				t.writes[j].v.Store(t.writes[j].old)
+			}
+		}
+		// Hand the lock back along the previous-owner chain, applying
+		// each *aborted* owner's undo images for this record — those
+		// owners skipped it during their own rollback because the lock
+		// was stolen from them (Algorithm 4's recursive ROLLBACK,
+		// iteratively: ages strictly decrease, so the walk terminates).
+		owner := applyAbortedOwners(e.lock, e.prevOwner)
+		// Abort speculative readers that may have consumed the
+		// rolled-back values (higher age than us).
+		t.killReaders(e.lock, meta.CauseCascade)
+		for {
+			e.lock.writer.Store(owner)
+			// Double check: the owner may have aborted between our walk
+			// and the publish, with its own rollback finding the lock
+			// still busy; re-claim and keep unwinding.
+			if owner == nil || !owner.aborted.Load() {
+				break
+			}
+			if !e.lock.writer.CompareAndSwap(owner, oulBusy) {
+				break // someone else already took the record over
+			}
+			owner = applyAbortedOwners(e.lock, owner)
+		}
+	}
+}
+
+// applyAbortedOwners applies the undo images recorded for lk by start
+// and every aborted owner below it, returning the first live/committed
+// owner (or nil). Aborted owners' undo logs are frozen (the aborted
+// flag is set under their descriptor lock), so reading them races with
+// nothing.
+func applyAbortedOwners(lk *oulLock, start *OULTxn) *OULTxn {
+	owner := start
+	for owner != nil && owner.aborted.Load() {
+		var next *OULTxn
+		for k := len(owner.writes) - 1; k >= 0; k-- {
+			oe := &owner.writes[k]
+			if oe.lock == lk {
+				oe.v.Store(oe.old)
+				next = oe.prevOwner
+			}
+		}
+		owner = next
+	}
+	return owner
+}
+
+// lockEntryAfter reports whether writes[i].lock appears again at a
+// higher index (rollback handles each lock record once, at its last
+// entry).
+func (t *OULTxn) lockEntryAfter(i int) bool {
+	for j := i + 1; j < len(t.writes); j++ {
+		if t.writes[j].lock == t.writes[i].lock {
+			return true
+		}
+	}
+	return false
+}
+
+// findUndo returns this transaction's undo entry for v, if any. Called
+// on finalized (aborted) transactions during owner-chain walks; the
+// writes slice is immutable by then.
+func (t *OULTxn) findUndo(v *meta.Var) *oulWriteEntry {
+	for i := range t.writes {
+		if t.writes[i].v == v {
+			return &t.writes[i]
+		}
+	}
+	return nil
+}
+
+// killReaders aborts every visible reader of lk with a higher age
+// (R2→W1 during writes, cascade during rollback).
+func (t *OULTxn) killReaders(lk *oulLock, c meta.Cause) {
+	arr := lk.readers.Peek()
+	if arr == nil {
+		return
+	}
+	for i := range arr.Slots {
+		r := arr.Slots[i].Load()
+		if r != nil && r != t && r.age > t.age && oulLive(r.status.Load()) {
+			r.abort(c)
+		}
+	}
+}
+
+// Read implements Algorithm 2 lines 1–22: abort a higher-age
+// speculative writer (W2→R1), otherwise register as a visible reader
+// (claiming a bounded slot), re-check the writer, and read in place —
+// which naturally forwards values written by live lower-age writers.
+func (t *OULTxn) Read(v *meta.Var) uint64 {
+	lk := t.eng.locks.Of(v)
+	for spin := 0; ; spin++ {
+		t.checkDoom()
+		w := lk.writer.Load()
+		if w == oulBusy {
+			meta.Pause(spin)
+			continue
+		}
+		if w != nil && w != t {
+			s := w.status.Load()
+			if s == meta.StatusTransient {
+				meta.Pause(spin) // rollback in flight: value unstable
+				continue
+			}
+			if oulLive(s) && w.age > t.age {
+				w.abort(meta.CauseRAW) // W2→R1
+				meta.Pause(spin)
+				continue
+			}
+		}
+		if !t.register(lk) {
+			meta.PanicAbort(meta.CauseNone) // doomed while spinning for a slot
+		}
+		if lk.writer.Load() != w { // writer changed while registering
+			meta.Pause(spin)
+			continue
+		}
+		return v.Load()
+	}
+}
+
+// register claims a visible-reader slot on lk (Algorithm 2 lines 9–17).
+// A slot is free when empty or when its occupant is final. If every
+// slot stays occupied past the spin budget, the reader dooms the
+// highest-age occupant above its own age — the bounded reader array
+// must never deadlock the commit frontier (a lower-age reader blocked
+// by higher-age occupants that cannot commit before it). Returns
+// false only if this transaction is doomed while waiting for a slot.
+func (t *OULTxn) register(lk *oulLock) bool {
+	arr := lk.readers.Get(t.eng.cfg.MaxReaders)
+	for spin := 0; ; spin++ {
+		for i := range arr.Slots {
+			cur := arr.Slots[i].Load()
+			if cur == t {
+				return true // already visible on this lock
+			}
+			if cur == nil || cur.status.Load().Final() {
+				if arr.Slots[i].CompareAndSwap(cur, t) {
+					t.readRefs = append(t.readRefs, oulReadRef{arr: arr, idx: i})
+					return true
+				}
+			}
+		}
+		if t.doomed.Load() {
+			return false
+		}
+		if spin > 0 && spin%t.eng.cfg.SpinBudget == 0 {
+			t.evictSlot(arr)
+		}
+		meta.Pause(spin)
+	}
+}
+
+// evictSlot dooms the highest-age live occupant older than t so a
+// lower-age reader can always register (age-based slot priority).
+func (t *OULTxn) evictSlot(arr *meta.SlotArray[OULTxn]) {
+	var victim *OULTxn
+	for i := range arr.Slots {
+		cur := arr.Slots[i].Load()
+		if cur != nil && cur != t && cur.age > t.age && oulLive(cur.status.Load()) {
+			if victim == nil || cur.age > victim.age {
+				victim = cur
+			}
+		}
+	}
+	if victim != nil {
+		victim.abort(meta.CauseBusy)
+	}
+}
+
+// Write implements Algorithm 2 lines 23–49 (OUL) and Algorithm 4 lines
+// 23–50 (OUL-Steal): acquire the write lock resolving conflicts by
+// age — aborting a higher-age holder (W2→W1), aborting ourselves on a
+// lower-age holder (W1→W2, plain OUL) or stealing the lock from it
+// (OUL-Steal) — then abort higher-age visible readers (R2→W1) and
+// write through.
+func (t *OULTxn) Write(v *meta.Var, x uint64) {
+	lk := t.eng.locks.Of(v)
+	for spin := 0; ; spin++ {
+		t.checkDoom()
+		w := lk.writer.Load()
+		if w == oulBusy {
+			meta.Pause(spin)
+			continue
+		}
+		if w == t {
+			// Already own the lock (possibly writing a second variable
+			// aliased to it).
+			t.mu.Lock()
+			if t.doomed.Load() {
+				t.mu.Unlock()
+				meta.PanicAbort(meta.CauseNone)
+			}
+			t.appendUndo(v, lk, t.inheritPrevOwner(lk))
+			t.killReaders(lk, meta.CauseKilledReader)
+			v.Store(x)
+			t.mu.Unlock()
+			return
+		}
+		var stolenFrom *OULTxn
+		if w != nil {
+			s := w.status.Load()
+			if s == meta.StatusTransient {
+				meta.Pause(spin)
+				continue
+			}
+			if oulLive(s) {
+				if w.age > t.age {
+					w.abort(meta.CauseWAW) // W2→W1
+					meta.Pause(spin)
+					continue
+				}
+				if !t.eng.steal {
+					t.selfAbort(meta.CauseWAW) // W1→W2: plain OUL aborts self
+				}
+				stolenFrom = w // W1→W2: OUL-Steal takes the lock over
+			}
+		}
+		if !lk.writer.CompareAndSwap(w, oulBusy) {
+			meta.Pause(spin)
+			continue
+		}
+		t.mu.Lock()
+		if t.doomed.Load() {
+			t.mu.Unlock()
+			lk.writer.Store(w) // undo the BUSY parking
+			meta.PanicAbort(meta.CauseNone)
+		}
+		t.appendUndo(v, lk, stolenFrom)
+		t.killReaders(lk, meta.CauseKilledReader)
+		v.Store(x)
+		lk.writer.Store(t)
+		t.mu.Unlock()
+		return
+	}
+}
+
+// appendUndo records the pre-image of v (once per variable) with the
+// lock's previous owner, if this acquisition stole it.
+func (t *OULTxn) appendUndo(v *meta.Var, lk *oulLock, prev *OULTxn) {
+	for i := range t.writes {
+		if t.writes[i].v == v {
+			return
+		}
+	}
+	t.writes = append(t.writes, oulWriteEntry{v: v, lock: lk, old: v.Load(), prevOwner: prev})
+}
+
+// inheritPrevOwner finds the previous owner recorded when this
+// transaction first acquired lk (a later write to a second variable
+// aliased to lk shares the same hand-back target).
+func (t *OULTxn) inheritPrevOwner(lk *oulLock) *OULTxn {
+	for i := range t.writes {
+		if t.writes[i].lock == lk {
+			return t.writes[i].prevOwner
+		}
+	}
+	return nil
+}
+
+// TryCommit implements Algorithm 3 lines 50–52: values are already in
+// shared memory, so commit-pending is a single status transition.
+func (t *OULTxn) TryCommit() bool {
+	if t.status.CAS(meta.StatusActive, meta.StatusPending) {
+		if t.doomed.Load() {
+			// An aborter doomed us as we went pending; make sure the
+			// abort is finalized (it may have lost the status race).
+			t.abort(meta.CauseNone)
+			t.awaitFinal()
+			return false
+		}
+		return true
+	}
+	t.awaitFinal()
+	return false
+}
+
+// Commit implements Algorithm 3 lines 53–56: flip Pending→Committed,
+// releasing every lock in one step. Called by the validator once the
+// transaction is reachable.
+func (t *OULTxn) Commit() bool {
+	for spin := 0; ; spin++ {
+		if t.status.CAS(meta.StatusPending, meta.StatusCommitted) {
+			return true
+		}
+		s := t.status.Load()
+		switch s {
+		case meta.StatusCommitted:
+			return true
+		case meta.StatusAborted:
+			return false
+		case meta.StatusTransient:
+			meta.Pause(spin) // rollback in flight
+		default:
+			return false // Active: attempt never went pending
+		}
+	}
+}
+
+func (t *OULTxn) awaitFinal() {
+	for spin := 0; !t.status.Load().Final(); spin++ {
+		meta.Pause(spin)
+	}
+}
+
+// AbandonAttempt implements meta.Txn.
+func (t *OULTxn) AbandonAttempt() {
+	if !t.status.Load().Final() {
+		t.abort(meta.CauseNone)
+	}
+	t.awaitFinal()
+}
+
+// Cleanup implements meta.Txn: clear reader slots and writer back-
+// references so committed descriptors can be collected (the cleaner
+// role; §6 keeps metadata until the transaction is reachable).
+func (t *OULTxn) Cleanup() {
+	for _, r := range t.readRefs {
+		r.arr.Slots[r.idx].CompareAndSwap(t, nil)
+	}
+	for i := range t.writes {
+		t.writes[i].lock.writer.CompareAndSwap(t, nil)
+	}
+	t.readRefs = nil
+	t.writes = nil
+}

@@ -1,0 +1,123 @@
+// Package harness runs experiments and renders the paper-style tables
+// the cmd tools and benchmarks print: throughput/time series across
+// thread counts and algorithms, abort percentages, and abort-cause
+// breakdowns.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Exec runs n transactions of body under the given algorithm and
+// worker count, with optional config tweaks applied through mutate.
+func Exec(alg stm.Algorithm, workers, n int, body stm.Body, mutate func(*stm.Config)) (stm.Result, error) {
+	cfg := stm.Config{Algorithm: alg, Workers: workers}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ex, err := stm.NewExecutor(cfg)
+	if err != nil {
+		return stm.Result{}, err
+	}
+	return ex.Run(n, body)
+}
+
+// Table is a simple aligned-text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a table with the given title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// WriteCSV renders the table as CSV (no quoting needed for our cells).
+func (t *Table) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Header, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// KTxPerSec formats a result's throughput in the paper's "k Tx/Sec"
+// unit.
+func KTxPerSec(r stm.Result) string {
+	return fmt.Sprintf("%.1f", r.Throughput()/1000)
+}
+
+// TxPerMSec formats throughput in the paper's Figure 2 "Tx/mSec" unit.
+func TxPerMSec(r stm.Result) string {
+	return fmt.Sprintf("%.1f", r.Throughput()/1000)
+}
+
+// AbortPct formats the abort percentage (aborts per commit × 100; can
+// exceed 100 as in the paper's log-scale abort plots).
+func AbortPct(r stm.Result) string {
+	return fmt.Sprintf("%.2f", 100*r.Stats.AbortRatio())
+}
+
+// Seconds formats elapsed time in seconds.
+func Seconds(r stm.Result) string {
+	return fmt.Sprintf("%.3f", r.Elapsed.Seconds())
+}
+
+// F formats a float compactly.
+func F(x float64) string { return fmt.Sprintf("%.3g", x) }
+
+// I formats an int.
+func I(x int) string { return fmt.Sprintf("%d", x) }

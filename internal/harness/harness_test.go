@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/orderedstm/ostm/stm"
+)
+
+func TestExecRunsWorkload(t *testing.T) {
+	v := stm.NewVar(0)
+	res, err := Exec(stm.OUL, 2, 100, func(tx stm.Tx, age int) {
+		tx.Write(v, tx.Read(v)+1)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 100 || v.Load() != 100 {
+		t.Fatalf("res=%+v v=%d", res, v.Load())
+	}
+}
+
+func TestExecMutateApplies(t *testing.T) {
+	var seen stm.Config
+	_, err := Exec(stm.OWB, 3, 1, func(tx stm.Tx, age int) {}, func(c *stm.Config) {
+		c.TableBits = 7
+		seen = *c
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen.TableBits != 7 || seen.Algorithm != stm.OWB || seen.Workers != 3 {
+		t.Fatalf("mutate saw %+v", seen)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.Add("alpha", "1")
+	tab.Add("beta-long-name", "22")
+	out := tab.String()
+	if !strings.Contains(out, "## Demo") || !strings.Contains(out, "beta-long-name") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	var csv strings.Builder
+	tab.WriteCSV(&csv)
+	if !strings.HasPrefix(csv.String(), "name,value\n") {
+		t.Fatalf("csv header wrong: %q", csv.String())
+	}
+	if !strings.Contains(csv.String(), "alpha,1") {
+		t.Fatalf("csv rows wrong: %q", csv.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	res := stm.Result{N: 5000, Elapsed: time.Second}
+	if KTxPerSec(res) != "5.0" {
+		t.Fatalf("KTxPerSec = %q", KTxPerSec(res))
+	}
+	if TxPerMSec(res) != "5.0" {
+		t.Fatalf("TxPerMSec = %q", TxPerMSec(res))
+	}
+	if Seconds(res) != "1.000" {
+		t.Fatalf("Seconds = %q", Seconds(res))
+	}
+	if AbortPct(res) != "0.00" {
+		t.Fatalf("AbortPct = %q", AbortPct(res))
+	}
+	if I(42) != "42" || F(3.14159) != "3.14" {
+		t.Fatalf("I/F formatting: %q %q", I(42), F(3.14159))
+	}
+}

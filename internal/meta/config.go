@@ -1,0 +1,53 @@
+package meta
+
+// EngineConfig carries the per-run parameters every engine needs. The
+// stm package fills in defaults and constructs one fresh instance per
+// Executor.Run (engines and their lock tables are never reused across
+// runs, so stale lock words from a previous run cannot leak).
+type EngineConfig struct {
+	// TableBits sizes the striped lock table at 1<<TableBits records.
+	TableBits uint
+	// MaxReaders bounds the visible-reader slot array per lock record
+	// (the paper uses 40).
+	MaxReaders int
+	// SpinBudget bounds optimistic spinning before a transaction gives
+	// up on a busy resource and self-aborts (CauseBusy).
+	SpinBudget int
+	// Order is the run's commit-order state.
+	Order *Order
+	// Stats receives the run's counters.
+	Stats *Stats
+	// SigBits sizes Bloom-filter signatures (STMLite), in bits.
+	SigBits uint
+}
+
+// Defaults used when the caller leaves fields zero.
+const (
+	DefaultTableBits  = 16
+	DefaultMaxReaders = 40
+	DefaultSpinBudget = 64
+	DefaultSigBits    = 64
+)
+
+// Normalize fills unset fields with defaults.
+func (c EngineConfig) Normalize() EngineConfig {
+	if c.TableBits == 0 {
+		c.TableBits = DefaultTableBits
+	}
+	if c.MaxReaders <= 0 {
+		c.MaxReaders = DefaultMaxReaders
+	}
+	if c.SpinBudget <= 0 {
+		c.SpinBudget = DefaultSpinBudget
+	}
+	if c.SigBits == 0 {
+		c.SigBits = DefaultSigBits
+	}
+	if c.Order == nil {
+		c.Order = NewOrder()
+	}
+	if c.Stats == nil {
+		c.Stats = &Stats{}
+	}
+	return c
+}

@@ -1,0 +1,53 @@
+package meta
+
+import "sync/atomic"
+
+// DepList is the thread-safe dependency list kept by an exposed OWB
+// transaction: the set of transactions that read its exposed (not yet
+// committed) values and therefore must be cascade-aborted if the writer
+// aborts. Insertion is a lock-free push; iteration is wait-free over
+// the snapshot reachable from head.
+//
+// The element type is generic so each engine can link its own attempt
+// descriptors without interface indirection on the abort path.
+type DepList[T any] struct {
+	head atomic.Pointer[depNode[T]]
+}
+
+type depNode[T any] struct {
+	item T
+	next *depNode[T]
+}
+
+// Push prepends item. Safe for concurrent use.
+func (l *DepList[T]) Push(item T) {
+	n := &depNode[T]{item: item}
+	for {
+		h := l.head.Load()
+		n.next = h
+		if l.head.CompareAndSwap(h, n) {
+			return
+		}
+	}
+}
+
+// ForEach visits every item currently in the list (items pushed
+// concurrently with the iteration may or may not be visited; OWB's
+// double-check-after-register protocol covers that race).
+func (l *DepList[T]) ForEach(f func(T)) {
+	for n := l.head.Load(); n != nil; n = n.next {
+		f(n.item)
+	}
+}
+
+// Len counts the current items (tests and stats).
+func (l *DepList[T]) Len() int {
+	c := 0
+	for n := l.head.Load(); n != nil; n = n.next {
+		c++
+	}
+	return c
+}
+
+// Reset empties the list (cleanup after the attempt is finalized).
+func (l *DepList[T]) Reset() { l.head.Store(nil) }

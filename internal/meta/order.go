@@ -1,0 +1,94 @@
+package meta
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Order tracks the Age-based Commit Order (ACO) progress of one run:
+// how many transactions have committed so far, which equals the age of
+// the next transaction allowed to commit. Blocked engines wait on it
+// for their turn; cooperative engines use it to decide reachability;
+// the executor uses it to throttle run-ahead (Algorithm 5's
+// MAX/MIN window).
+//
+// The committed count is an atomic for cheap reads on hot paths; a
+// condition variable provides sleeping waits so that turn-waiting does
+// not burn the (single) CPU.
+type Order struct {
+	committed atomic.Uint64 // == next age to commit
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+// NewOrder returns order state starting at age 0.
+func NewOrder() *Order {
+	o := &Order{}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+// Committed returns the number of committed transactions (== the next
+// age that may commit).
+func (o *Order) Committed() uint64 { return o.committed.Load() }
+
+// Reachable reports whether every transaction with age lower than age
+// has committed.
+func (o *Order) Reachable(age uint64) bool { return o.committed.Load() >= age }
+
+// WaitTurn blocks until it is age's turn to commit or doomed() becomes
+// true, whichever is first; it returns true iff the turn arrived.
+// Aborters that doom a waiting transaction must call Kick to wake it.
+func (o *Order) WaitTurn(age uint64, doomed func() bool) bool {
+	if o.committed.Load() == age {
+		return true
+	}
+	o.mu.Lock()
+	for o.committed.Load() != age {
+		if doomed != nil && doomed() {
+			o.mu.Unlock()
+			return false
+		}
+		o.cond.Wait()
+	}
+	o.mu.Unlock()
+	return true
+}
+
+// WaitReachable blocks until committed >= age or cancel() reports
+// true (used by the executor's run-ahead throttle). Cancellers must
+// call Kick to wake waiters.
+func (o *Order) WaitReachable(age uint64, cancel func() bool) {
+	if o.committed.Load() >= age {
+		return
+	}
+	o.mu.Lock()
+	for o.committed.Load() < age {
+		if cancel != nil && cancel() {
+			break
+		}
+		o.cond.Wait()
+	}
+	o.mu.Unlock()
+}
+
+// Complete marks age as committed (it must be the current turn) and
+// wakes every waiter.
+func (o *Order) Complete(age uint64) {
+	o.mu.Lock()
+	if o.committed.Load() != age {
+		o.mu.Unlock()
+		panic("meta: Order.Complete out of order")
+	}
+	o.committed.Store(age + 1)
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}
+
+// Kick wakes all waiters so they can re-check their doom flags.
+func (o *Order) Kick() {
+	o.mu.Lock()
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}

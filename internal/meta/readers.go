@@ -1,0 +1,36 @@
+package meta
+
+import "sync/atomic"
+
+// SlotArray is a bounded visible-readers array: one slot per concurrent
+// reader of a lock record (the paper bounds it at 40). A slot holds a
+// pointer to the reader's attempt descriptor; slot reuse is governed by
+// the descriptor's status (a slot whose occupant is no longer
+// active/pending is considered free), exactly as in Algorithm 2.
+type SlotArray[T any] struct {
+	Slots []atomic.Pointer[T]
+}
+
+// LazySlots defers allocating the reader array until a lock record is
+// first read transactionally, keeping the lock table compact (a record
+// with an inline 40-slot array would be ~50x larger).
+type LazySlots[T any] struct {
+	p atomic.Pointer[SlotArray[T]]
+}
+
+// Get returns the slot array, allocating it with n slots on first use.
+func (l *LazySlots[T]) Get(n int) *SlotArray[T] {
+	if a := l.p.Load(); a != nil {
+		return a
+	}
+	a := &SlotArray[T]{Slots: make([]atomic.Pointer[T], n)}
+	if l.p.CompareAndSwap(nil, a) {
+		return a
+	}
+	return l.p.Load()
+}
+
+// Peek returns the slot array if it has been allocated, else nil.
+// Writers use it: if no reader array exists, there are no readers to
+// abort.
+func (l *LazySlots[T]) Peek() *SlotArray[T] { return l.p.Load() }

@@ -1,0 +1,115 @@
+package meta
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Stats aggregates counters for one engine run. All fields are updated
+// with atomics from every worker; View produces a plain-value snapshot.
+type Stats struct {
+	starts   atomic.Uint64
+	commits  atomic.Uint64
+	retries  atomic.Uint64
+	quiesces atomic.Uint64
+	aborts   [NumCauses]atomic.Uint64
+}
+
+// Start counts a fresh attempt beginning execution.
+func (s *Stats) Start() { s.starts.Add(1) }
+
+// Commit counts a transaction reaching its final commit.
+func (s *Stats) Commit() { s.commits.Add(1) }
+
+// Retry counts an attempt being re-executed after an abort.
+func (s *Stats) Retry() { s.retries.Add(1) }
+
+// Quiesce counts liveness-guard activations (executor gating exposes so
+// the reachable transaction can win).
+func (s *Stats) Quiesce() { s.quiesces.Add(1) }
+
+// Abort counts an abort with the given cause.
+func (s *Stats) Abort(c Cause) {
+	if c >= NumCauses {
+		c = CauseNone
+	}
+	s.aborts[c].Add(1)
+}
+
+// View returns a consistent-enough snapshot for reporting (individual
+// counters are read atomically; cross-counter skew is harmless because
+// snapshots are taken after the run drains).
+func (s *Stats) View() StatsView {
+	v := StatsView{
+		Starts:   s.starts.Load(),
+		Commits:  s.commits.Load(),
+		Retries:  s.retries.Load(),
+		Quiesces: s.quiesces.Load(),
+	}
+	for i := range s.aborts {
+		v.Aborts[i] = s.aborts[i].Load()
+	}
+	return v
+}
+
+// StatsView is a plain-value snapshot of Stats.
+type StatsView struct {
+	Starts   uint64
+	Commits  uint64
+	Retries  uint64
+	Quiesces uint64
+	Aborts   [NumCauses]uint64
+}
+
+// TotalAborts sums aborts across causes.
+func (v StatsView) TotalAborts() uint64 {
+	var t uint64
+	for _, a := range v.Aborts {
+		t += a
+	}
+	return t
+}
+
+// AbortRatio returns aborts per commit (the paper's "Aborts %" axis is
+// this ratio expressed in percent and can exceed 100%).
+func (v StatsView) AbortRatio() float64 {
+	if v.Commits == 0 {
+		return 0
+	}
+	return float64(v.TotalAborts()) / float64(v.Commits)
+}
+
+// Breakdown returns the fraction of total aborts per Figure 5 category:
+// read-after-write (RAW + killed-reader), write-after-write, cascade,
+// locked-write, validation. Causes outside the five paper categories
+// (order kills, busy fallbacks) are reported under "other".
+func (v StatsView) Breakdown() map[string]float64 {
+	tot := float64(v.TotalAborts())
+	m := map[string]float64{
+		"read-after-write": 0, "write-after-write": 0, "cascade": 0,
+		"locked-write": 0, "validation": 0, "other": 0,
+	}
+	if tot == 0 {
+		return m
+	}
+	m["read-after-write"] = float64(v.Aborts[CauseRAW]+v.Aborts[CauseKilledReader]) / tot
+	m["write-after-write"] = float64(v.Aborts[CauseWAW]) / tot
+	m["cascade"] = float64(v.Aborts[CauseCascade]) / tot
+	m["locked-write"] = float64(v.Aborts[CauseLockedWrite]) / tot
+	m["validation"] = float64(v.Aborts[CauseValidation]) / tot
+	m["other"] = float64(v.Aborts[CauseOrder]+v.Aborts[CauseBusy]+v.Aborts[CauseNone]) / tot
+	return m
+}
+
+// String renders a compact one-line summary.
+func (v StatsView) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "commits=%d aborts=%d (%.1f%%)", v.Commits, v.TotalAborts(), 100*v.AbortRatio())
+	for c := Cause(1); c < NumCauses; c++ {
+		if v.Aborts[c] > 0 {
+			fmt.Fprintf(&b, " %s=%d", c, v.Aborts[c])
+		}
+	}
+	return b.String()
+}

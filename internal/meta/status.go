@@ -1,0 +1,129 @@
+package meta
+
+import "sync/atomic"
+
+// Status is the lifecycle state of a transaction attempt. The values
+// mirror the paper's pseudocode (Algorithms 1–4):
+//
+//	Active    — live, or (OWB) exposed: executing / published but abortable
+//	Pending   — commit-pending (OUL: passed TryCommit, awaiting its turn)
+//	Transient — descriptor locked: a short critical section during which
+//	            the attempt is being exposed, committed or aborted;
+//	            other threads spin-wait on Transient
+//	Committed — final: effects are permanent (pseudocode INACTIVE)
+//	Aborted   — final: effects rolled back; the transaction will be
+//	            re-executed with the same age using a fresh descriptor
+type Status uint32
+
+const (
+	StatusActive Status = iota
+	StatusPending
+	StatusTransient
+	StatusCommitted
+	StatusAborted
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusPending:
+		return "pending"
+	case StatusTransient:
+		return "transient"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return "invalid"
+	}
+}
+
+// Final reports whether the status is terminal for the attempt.
+func (s Status) Final() bool { return s == StatusCommitted || s == StatusAborted }
+
+// StatusWord is an atomically updated Status.
+type StatusWord struct{ w atomic.Uint32 }
+
+// Load returns the current status.
+func (s *StatusWord) Load() Status { return Status(s.w.Load()) }
+
+// Store unconditionally sets the status.
+func (s *StatusWord) Store(v Status) { s.w.Store(uint32(v)) }
+
+// CAS atomically replaces old with new and reports success.
+func (s *StatusWord) CAS(old, new Status) bool {
+	return s.w.CompareAndSwap(uint32(old), uint32(new))
+}
+
+// Cause identifies why a transaction attempt aborted. The Figure 5
+// categories of the paper map onto these as follows:
+//
+//	"Read After Write"  = CauseRAW + CauseKilledReader
+//	"Write After Write" = CauseWAW
+//	"Cascade"           = CauseCascade
+//	"Locked Write"      = CauseLockedWrite
+//	"Validation Fails"  = CauseValidation
+//
+// CauseOrder (kills needed to let the reachable transaction win) and
+// CauseBusy (bounded-spin fallbacks) are implementation details counted
+// separately so the five paper categories stay faithful.
+type Cause uint32
+
+const (
+	CauseNone Cause = iota
+	// CauseRAW: a speculative writer was aborted by a lower-age reader,
+	// or a reader had to abort because its writer was no longer active
+	// (the W2→R1 / read-after-speculative-write conflicts).
+	CauseRAW
+	// CauseWAW: write-after-write; a higher-age writer aborted because a
+	// lower-age transaction holds the write lock (W1→W2).
+	CauseWAW
+	// CauseLockedWrite: a commit-time lock acquisition found the object
+	// locked by a concurrent committer (OWB expose, TL2 commit).
+	CauseLockedWrite
+	// CauseCascade: aborted because a transaction whose exposed or
+	// forwarded data this transaction consumed was itself aborted.
+	CauseCascade
+	// CauseValidation: read-set (version or value) validation failed.
+	CauseValidation
+	// CauseKilledReader: a speculative reader was aborted by a lower-age
+	// writer (R2→W1).
+	CauseKilledReader
+	// CauseOrder: killed so that the reachable (lowest uncommitted age)
+	// transaction can make progress, or an ACO-ordering kill.
+	CauseOrder
+	// CauseBusy: self-abort after exhausting a bounded spin (lock or
+	// reader-slot acquisition, invisible-reader backoff).
+	CauseBusy
+	// NumCauses is the number of abort causes (array sizing).
+	NumCauses
+)
+
+// String returns the cause name.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseRAW:
+		return "read-after-write"
+	case CauseWAW:
+		return "write-after-write"
+	case CauseLockedWrite:
+		return "locked-write"
+	case CauseCascade:
+		return "cascade"
+	case CauseValidation:
+		return "validation"
+	case CauseKilledReader:
+		return "killed-reader"
+	case CauseOrder:
+		return "order"
+	case CauseBusy:
+		return "busy"
+	default:
+		return "invalid"
+	}
+}

@@ -1,0 +1,57 @@
+package meta
+
+import "sync/atomic"
+
+// Var is a transactional variable holding one 64-bit word. It is the
+// unit of concurrency control: every engine maps a Var to a lock-table
+// entry through its id (see Table), mirroring the paper's scheme of
+// deriving lock addresses from the least-significant bits of the data
+// address — including the possibility that several variables alias to
+// the same lock.
+//
+// The value itself always lives in the Var (write-through engines
+// update it in place; write-back engines publish it at expose/commit
+// time), so non-transactional observers can inspect quiescent state
+// with Load.
+//
+// A Var must not be copied after first use.
+type Var struct {
+	val atomic.Uint64
+	id  uint64
+}
+
+// varIDs allocates globally unique Var identities.
+var varIDs atomic.Uint64
+
+// NewVar returns a fresh transactional variable initialized to x.
+func NewVar(x uint64) *Var {
+	v := &Var{id: varIDs.Add(1)}
+	v.val.Store(x)
+	return v
+}
+
+// NewVars returns n fresh transactional variables, all zero, allocated
+// contiguously for cache locality. Use &vs[i] as the *Var handle.
+func NewVars(n int) []Var {
+	vs := make([]Var, n)
+	for i := range vs {
+		vs[i].id = varIDs.Add(1)
+	}
+	return vs
+}
+
+// ID returns the variable's unique identity (used for lock striping and
+// signature hashing).
+func (v *Var) ID() uint64 { return v.id }
+
+// Load atomically reads the in-memory value. Outside a transaction it
+// is only meaningful on quiescent state (before a run, or after the
+// executor has drained); engines use it internally.
+func (v *Var) Load() uint64 { return v.val.Load() }
+
+// Store atomically writes the in-memory value. The same quiescence
+// caveat as Load applies for non-engine callers.
+func (v *Var) Store(x uint64) { v.val.Store(x) }
+
+// CAS atomically compares-and-swaps the in-memory value (engine use).
+func (v *Var) CAS(old, new uint64) bool { return v.val.CompareAndSwap(old, new) }

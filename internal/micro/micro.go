@@ -1,0 +1,308 @@
+// Package micro implements the RSTM-style micro-benchmarks of the
+// paper's evaluation (§8, Figures 2–5): DisjointBench, ReadNWrite1,
+// ReadWriteN and MCASBench, each in three transaction lengths —
+// short (10–20 accesses), long (30–60 accesses) and heavy (short's
+// access count with 100 ALU operations of local computation between
+// accesses).
+//
+// Transaction programs are deterministic functions of (seed, age), so
+// re-executed attempts replay identically and ordered runs are
+// byte-comparable with the sequential execution.
+package micro
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Bench selects the access pattern.
+type Bench int
+
+const (
+	// Disjoint gives every transaction a private address range: zero
+	// true conflicts, isolating instrumentation overhead.
+	Disjoint Bench = iota
+	// RNW1 reads N random locations and writes one (tiny write-set,
+	// few aborts).
+	RNW1
+	// RWN reads N random locations, then writes N other locations
+	// (large write-set: stresses undo logs and commit-time locking).
+	RWN
+	// MCAS reads and writes N consecutive locations (multi-word
+	// compare-and-swap shape: large write-set, lower abort probability
+	// because each read/write pair touches one location).
+	MCAS
+	numBenches
+)
+
+// Benches lists all access patterns.
+func Benches() []Bench { return []Bench{Disjoint, RNW1, RWN, MCAS} }
+
+// String names the pattern as in the paper.
+func (b Bench) String() string {
+	switch b {
+	case Disjoint:
+		return "Disjoint"
+	case RNW1:
+		return "RNW1"
+	case RWN:
+		return "RWN"
+	case MCAS:
+		return "MCAS"
+	default:
+		return fmt.Sprintf("Bench(%d)", int(b))
+	}
+}
+
+// ParseBench resolves a pattern name (as produced by String).
+func ParseBench(s string) (Bench, error) {
+	for b := Disjoint; b < numBenches; b++ {
+		if b.String() == s {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("micro: unknown bench %q", s)
+}
+
+// Length selects the transaction length class.
+type Length int
+
+const (
+	// Short transactions perform 10–20 accesses.
+	Short Length = iota
+	// Long transactions perform 30–60 accesses.
+	Long
+	// Heavy transactions perform 10–20 accesses with 100 ALU ops of
+	// local computation between them.
+	Heavy
+	numLengths
+)
+
+// Lengths lists all length classes.
+func Lengths() []Length { return []Length{Short, Long, Heavy} }
+
+// String names the class as in the paper.
+func (l Length) String() string {
+	switch l {
+	case Short:
+		return "Short"
+	case Long:
+		return "Long"
+	case Heavy:
+		return "Heavy"
+	default:
+		return fmt.Sprintf("Length(%d)", int(l))
+	}
+}
+
+// ParseLength resolves a length-class name.
+func ParseLength(s string) (Length, error) {
+	for l := Short; l < numLengths; l++ {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("micro: unknown length %q", s)
+}
+
+// Config parameterizes one workload instance.
+type Config struct {
+	// Bench is the access pattern.
+	Bench Bench
+	// Length is the transaction length class.
+	Length Length
+	// Txns is the number of transactions (the paper runs 500k;
+	// defaults to 500000).
+	Txns int
+	// PoolSize is the shared-word pool size (default 1<<20).
+	PoolSize int
+	// Seed makes the workload deterministic (default 1).
+	Seed uint64
+	// HeavyOps is the local ALU work per access for Heavy (default
+	// 100, the paper's setting).
+	HeavyOps int
+	// YieldEvery inserts a scheduler yield every YieldEvery accesses
+	// (0 = never). On multi-core hosts transactions interleave
+	// naturally; on a single-hardware-thread host explicit yield
+	// points are the only way speculative executions overlap, so tests
+	// and single-core benchmarks set this to surface real conflicts.
+	YieldEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Txns == 0 {
+		c.Txns = 500000
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 1 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HeavyOps == 0 {
+		c.HeavyOps = 100
+	}
+	return c
+}
+
+// Workload is an instantiated micro-benchmark over a shared word pool.
+type Workload struct {
+	cfg  Config
+	pool []stm.Var
+}
+
+// New allocates the pool and returns the workload.
+func New(cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	return &Workload{cfg: cfg, pool: stm.NewVars(cfg.PoolSize)}
+}
+
+// Config returns the effective configuration.
+func (w *Workload) Config() Config { return w.cfg }
+
+// Txns returns the number of transactions to run.
+func (w *Workload) Txns() int { return w.cfg.Txns }
+
+// Reset zeroes the pool (between runs of the same workload).
+func (w *Workload) Reset() {
+	for i := range w.pool {
+		w.pool[i].Store(0)
+	}
+}
+
+// Checksum folds the quiescent pool into one value (determinism
+// oracle: ordered runs must produce identical checksums).
+func (w *Workload) Checksum() uint64 {
+	var h uint64
+	for i := range w.pool {
+		h = rng.Mix64(h ^ w.pool[i].Load())
+	}
+	return h
+}
+
+// accesses returns the number of accesses for the configured length
+// class, using the paper's ranges.
+func (w *Workload) accesses(r *rng.Rand) int {
+	switch w.cfg.Length {
+	case Long:
+		return r.Range(30, 61)
+	default: // Short and Heavy share the 10–20 range
+		return r.Range(10, 21)
+	}
+}
+
+// localWork burns the heavy class's per-access ALU budget; the result
+// feeds back into written values so it cannot be optimized away.
+func localWork(acc uint64, ops int) uint64 {
+	for i := 0; i < ops; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	return acc
+}
+
+// Body returns the transaction body implementing the configured
+// pattern.
+func (w *Workload) Body() stm.Body {
+	cfg := w.cfg
+	pool := w.pool
+	mask := uint64(len(pool) - 1) // PoolSize is a power of two after defaults? enforce below
+	if len(pool)&(len(pool)-1) != 0 {
+		mask = 0
+	}
+	pick := func(r *rng.Rand) *stm.Var {
+		if mask != 0 {
+			return &pool[r.Uint64()&mask]
+		}
+		return &pool[r.Intn(len(pool))]
+	}
+	heavy := func(acc uint64) uint64 {
+		if cfg.Length == Heavy {
+			return localWork(acc, cfg.HeavyOps)
+		}
+		return acc
+	}
+	// maybeYield inserts a preemption point after the k-th access of a
+	// transaction (k is transaction-local: bodies are shared across
+	// workers and must not carry mutable closure state).
+	maybeYield := func(k int) {
+		if cfg.YieldEvery > 0 && (k+1)%cfg.YieldEvery == 0 {
+			runtime.Gosched()
+		}
+	}
+	switch cfg.Bench {
+	case Disjoint:
+		// A private stripe of the pool per transaction: concurrent
+		// transactions (which are within the executor's window of each
+		// other) never overlap.
+		const stripe = 64
+		return func(tx stm.Tx, age int) {
+			r := rng.New(cfg.Seed ^ rng.Mix64(uint64(age)))
+			n := w.accesses(r)
+			base := (uint64(age) * stripe) % uint64(len(pool)-stripe)
+			acc := uint64(age)
+			for k := 0; k < n; k++ {
+				v := &pool[base+uint64(k%stripe)]
+				if k%2 == 0 {
+					acc += tx.Read(v)
+					acc = heavy(acc)
+				} else {
+					tx.Write(v, heavy(acc^uint64(k)))
+				}
+				maybeYield(k)
+			}
+		}
+	case RNW1:
+		return func(tx stm.Tx, age int) {
+			r := rng.New(cfg.Seed ^ rng.Mix64(uint64(age)))
+			n := w.accesses(r)
+			acc := uint64(age)
+			for k := 0; k < n-1; k++ {
+				acc += tx.Read(pick(r))
+				acc = heavy(acc)
+				maybeYield(k)
+			}
+			tx.Write(pick(r), acc)
+		}
+	case RWN:
+		return func(tx stm.Tx, age int) {
+			r := rng.New(cfg.Seed ^ rng.Mix64(uint64(age)))
+			n := w.accesses(r) / 2
+			if n == 0 {
+				n = 1
+			}
+			acc := uint64(age)
+			for k := 0; k < n; k++ {
+				acc += tx.Read(pick(r))
+				acc = heavy(acc)
+				maybeYield(k)
+			}
+			for k := 0; k < n; k++ {
+				tx.Write(pick(r), heavy(acc^uint64(k)))
+				maybeYield(n + k)
+			}
+		}
+	case MCAS:
+		return func(tx stm.Tx, age int) {
+			r := rng.New(cfg.Seed ^ rng.Mix64(uint64(age)))
+			n := w.accesses(r) / 2
+			if n == 0 {
+				n = 1
+			}
+			base := r.Intn(len(pool) - n)
+			acc := uint64(age)
+			for k := 0; k < n; k++ {
+				v := &pool[base+k]
+				x := tx.Read(v)
+				acc = heavy(acc + x)
+				tx.Write(v, x+1) // the multi-word CAS: swap each word
+				maybeYield(k)
+			}
+			_ = acc
+		}
+	default:
+		panic("micro: unknown bench")
+	}
+}

@@ -1,0 +1,182 @@
+// Package blackscholes reproduces PARSEC's blackscholes for Figure
+// 7a: pricing a portfolio of European options with the Black-Scholes
+// closed-form solution. The per-option computation is pure
+// floating-point work; each transaction prices a block of options
+// ("each transaction involves multiple calculations to reduce the
+// overhead of parallelization", §8), writes the per-option results to
+// disjoint shared slots and folds them into one shared portfolio
+// checksum — the single contention point.
+//
+// Everything is deterministic: ordered engines must match the
+// sequential run bit-for-bit, including the float accumulation order
+// into the checksum.
+package blackscholes
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"github.com/orderedstm/ostm/internal/apps"
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Config parameterizes the portfolio.
+type Config struct {
+	// Options is the portfolio size (default 4096).
+	Options int
+	// Block is options priced per transaction (default 16).
+	Block int
+	// Seed drives portfolio generation (default 1).
+	Seed uint64
+	// Yield inserts scheduler yields inside transactions.
+	Yield bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Options == 0 {
+		c.Options = 4096
+	}
+	if c.Block == 0 {
+		c.Block = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+type option struct {
+	spot, strike, rate, vol, time float64
+	call                          bool
+}
+
+// App is one portfolio instance.
+type App struct {
+	cfg     Config
+	options []option
+	prices  []stm.Var // per-option result slots
+	portSum stm.Var   // shared portfolio total (contention point)
+}
+
+// New generates the portfolio.
+func New(cfg Config) *App {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	a := &App{
+		cfg:     cfg,
+		options: make([]option, cfg.Options),
+		prices:  stm.NewVars(cfg.Options),
+	}
+	for i := range a.options {
+		a.options[i] = option{
+			spot:   50 + 100*r.Float64(),
+			strike: 50 + 100*r.Float64(),
+			rate:   0.01 + 0.09*r.Float64(),
+			vol:    0.1 + 0.5*r.Float64(),
+			time:   0.2 + 2*r.Float64(),
+			call:   r.Intn(2) == 0,
+		}
+	}
+	return a
+}
+
+// cndf is the cumulative normal distribution function approximation
+// used by the PARSEC kernel (Abramowitz & Stegun 26.2.17).
+func cndf(x float64) float64 {
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	k := 1 / (1 + 0.2316419*x)
+	poly := k * (0.319381530 + k*(-0.356563782+k*(1.781477937+k*(-1.821255978+k*1.330274429))))
+	val := 1 - math.Exp(-x*x/2)/math.Sqrt(2*math.Pi)*poly
+	if neg {
+		return 1 - val
+	}
+	return val
+}
+
+// price evaluates the Black-Scholes formula for one option.
+func price(o option) float64 {
+	d1 := (math.Log(o.spot/o.strike) + (o.rate+o.vol*o.vol/2)*o.time) / (o.vol * math.Sqrt(o.time))
+	d2 := d1 - o.vol*math.Sqrt(o.time)
+	if o.call {
+		return o.spot*cndf(d1) - o.strike*math.Exp(-o.rate*o.time)*cndf(d2)
+	}
+	return o.strike*math.Exp(-o.rate*o.time)*cndf(-d2) - o.spot*cndf(-d1)
+}
+
+// NumTxns returns the block count.
+func (a *App) NumTxns() int { return (len(a.options) + a.cfg.Block - 1) / a.cfg.Block }
+
+// Run executes the pricing under the runner.
+func (a *App) Run(r apps.Runner) (stm.Result, error) {
+	cfg := a.cfg
+	body := func(tx stm.Tx, age int) {
+		lo := age * cfg.Block
+		hi := lo + cfg.Block
+		if hi > len(a.options) {
+			hi = len(a.options)
+		}
+		var blockSum float64
+		for i := lo; i < hi; i++ {
+			p := price(a.options[i])
+			stm.WriteFloat64(tx, &a.prices[i], p)
+			blockSum += p
+		}
+		if cfg.Yield {
+			runtime.Gosched()
+		}
+		stm.AddFloat64(tx, &a.portSum, blockSum)
+	}
+	return r.Exec(a.NumTxns(), body)
+}
+
+// Verify re-prices sequentially and checks every slot plus the
+// portfolio sum.
+func (a *App) Verify() error {
+	var want float64
+	for i, o := range a.options {
+		p := price(o)
+		if got := stm.LoadFloat64(&a.prices[i]); got != p {
+			return fmt.Errorf("blackscholes: option %d price %v, want %v", i, got, p)
+		}
+		_ = p
+	}
+	// The portfolio sum must equal the block-ordered accumulation.
+	for age := 0; age < a.NumTxns(); age++ {
+		lo := age * a.cfg.Block
+		hi := lo + a.cfg.Block
+		if hi > len(a.options) {
+			hi = len(a.options)
+		}
+		var blockSum float64
+		for i := lo; i < hi; i++ {
+			blockSum += price(a.options[i])
+		}
+		want += blockSum
+	}
+	if got := stm.LoadFloat64(&a.portSum); got != want {
+		return fmt.Errorf("blackscholes: portfolio sum %v, want %v", got, want)
+	}
+	return nil
+}
+
+// Fingerprint folds prices and the portfolio sum.
+func (a *App) Fingerprint() uint64 {
+	var h uint64
+	for i := range a.prices {
+		h = rng.Mix64(h ^ a.prices[i].Load())
+	}
+	return rng.Mix64(h ^ a.portSum.Load())
+}
+
+// Reset clears the results for another run.
+func (a *App) Reset() {
+	for i := range a.prices {
+		a.prices[i].Store(0)
+	}
+	a.portSum.Store(0)
+}

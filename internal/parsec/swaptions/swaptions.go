@@ -1,0 +1,180 @@
+// Package swaptions reproduces PARSEC's swaptions for Figure 7b:
+// pricing a portfolio of swaptions with Monte-Carlo simulation of a
+// Heath-Jarrow-Morton forward-rate term structure. Each transaction
+// prices one swaption: it simulates per-transaction-seeded rate paths
+// (heavy local floating-point work), then writes the price and
+// standard error to the swaption's shared result slots and updates a
+// shared portfolio aggregate.
+//
+// Per-swaption RNG streams are seeded by (seed, age), so re-executed
+// attempts replay identical paths and ordered runs are exactly
+// deterministic.
+package swaptions
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"github.com/orderedstm/ostm/internal/apps"
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Config parameterizes the portfolio.
+type Config struct {
+	// Swaptions is the portfolio size (default 64).
+	Swaptions int
+	// Trials is the Monte-Carlo path count per swaption (default 64).
+	Trials int
+	// Steps is the number of time steps per path (default 16).
+	Steps int
+	// Seed drives generation and simulation (default 1).
+	Seed uint64
+	// Yield inserts scheduler yields inside transactions.
+	Yield bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Swaptions == 0 {
+		c.Swaptions = 64
+	}
+	if c.Trials == 0 {
+		c.Trials = 64
+	}
+	if c.Steps == 0 {
+		c.Steps = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+type swaption struct {
+	strike   float64
+	maturity float64
+	tenor    float64
+	vol      float64
+	rate0    float64
+}
+
+// App is one portfolio instance.
+type App struct {
+	cfg    Config
+	swapts []swaption
+	prices []stm.Var // per-swaption price (float bits)
+	errs   []stm.Var // per-swaption standard error
+	total  stm.Var   // shared portfolio sum (contention point)
+}
+
+// New generates the portfolio.
+func New(cfg Config) *App {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	a := &App{
+		cfg:    cfg,
+		swapts: make([]swaption, cfg.Swaptions),
+		prices: stm.NewVars(cfg.Swaptions),
+		errs:   stm.NewVars(cfg.Swaptions),
+	}
+	for i := range a.swapts {
+		a.swapts[i] = swaption{
+			strike:   0.02 + 0.06*r.Float64(),
+			maturity: 1 + 4*r.Float64(),
+			tenor:    1 + 4*r.Float64(),
+			vol:      0.05 + 0.3*r.Float64(),
+			rate0:    0.01 + 0.05*r.Float64(),
+		}
+	}
+	return a
+}
+
+// simulate prices one swaption by Monte Carlo over a single-factor
+// HJM-style short-rate evolution; returns (price, standard error).
+func (a *App) simulate(idx int) (float64, float64) {
+	s := a.swapts[idx]
+	r := rng.New(a.cfg.Seed ^ rng.Mix64(uint64(idx)+0x5157))
+	dt := s.maturity / float64(a.cfg.Steps)
+	var sum, sumsq float64
+	for trial := 0; trial < a.cfg.Trials; trial++ {
+		rate := s.rate0
+		disc := 1.0
+		for step := 0; step < a.cfg.Steps; step++ {
+			z := r.NormFloat64()
+			rate = rate * math.Exp((s.vol*s.vol/2)*dt*(-1)+s.vol*math.Sqrt(dt)*z) // lognormal drift-adjusted step
+			if rate < 1e-6 {
+				rate = 1e-6
+			}
+			disc *= math.Exp(-rate * dt)
+		}
+		// Payoff: value of receiving (rate - strike) over the tenor,
+		// floored at zero (payer swaption at exercise).
+		payoff := (rate - s.strike) * s.tenor
+		if payoff < 0 {
+			payoff = 0
+		}
+		v := disc * payoff
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(a.cfg.Trials)
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance / n)
+}
+
+// NumTxns returns the swaption count.
+func (a *App) NumTxns() int { return a.cfg.Swaptions }
+
+// Run executes the pricing under the runner.
+func (a *App) Run(r apps.Runner) (stm.Result, error) {
+	body := func(tx stm.Tx, age int) {
+		price, stderr := a.simulate(age) // heavy local computation
+		if a.cfg.Yield {
+			runtime.Gosched()
+		}
+		stm.WriteFloat64(tx, &a.prices[age], price)
+		stm.WriteFloat64(tx, &a.errs[age], stderr)
+		stm.AddFloat64(tx, &a.total, price)
+	}
+	return r.Exec(a.cfg.Swaptions, body)
+}
+
+// Verify recomputes each swaption and the age-ordered portfolio sum.
+func (a *App) Verify() error {
+	var want float64
+	for i := range a.swapts {
+		p, e := a.simulate(i)
+		if stm.LoadFloat64(&a.prices[i]) != p || stm.LoadFloat64(&a.errs[i]) != e {
+			return fmt.Errorf("swaptions: slot %d differs from recomputation", i)
+		}
+		want += p
+	}
+	if got := stm.LoadFloat64(&a.total); got != want {
+		return fmt.Errorf("swaptions: portfolio total %v, want %v", got, want)
+	}
+	return nil
+}
+
+// Fingerprint folds all results.
+func (a *App) Fingerprint() uint64 {
+	var h uint64
+	for i := range a.prices {
+		h = rng.Mix64(h ^ a.prices[i].Load())
+		h = rng.Mix64(h ^ a.errs[i].Load())
+	}
+	return rng.Mix64(h ^ a.total.Load())
+}
+
+// Reset clears the results for another run.
+func (a *App) Reset() {
+	for i := range a.prices {
+		a.prices[i].Store(0)
+		a.errs[i].Store(0)
+	}
+	a.total.Store(0)
+}

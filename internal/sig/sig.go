@@ -1,0 +1,106 @@
+// Package sig provides the Bloom-filter signatures STMLite uses to
+// summarize transaction read- and write-sets (§8: "STMLite ... replaces
+// the need for constructing a read-set by leveraging signatures (Bloom
+// Filters) ... we used a signature of size 64").
+//
+// A signature never yields false negatives: if an element was added,
+// every query and intersection involving it reports it. False
+// positives (and therefore false conflicts) occur with a probability
+// that grows as signatures fill — the source of STMLite's degradation
+// at high thread counts that the paper observes.
+package sig
+
+import "math/bits"
+
+// Filter is a fixed-size Bloom filter over 64-bit identities, using
+// two independent SplitMix64-derived probes.
+type Filter struct {
+	words []uint64
+	mask  uint64 // bit-index mask (size-1)
+	n     int    // elements added
+}
+
+// MinBits is the smallest supported filter size.
+const MinBits = 64
+
+// New returns a filter with the given number of bits (rounded up to a
+// power of two, at least MinBits).
+func New(bitsize uint) *Filter {
+	if bitsize < MinBits {
+		bitsize = MinBits
+	}
+	// round up to a power of two
+	if bitsize&(bitsize-1) != 0 {
+		bitsize = 1 << bits.Len(bitsize)
+	}
+	return &Filter{words: make([]uint64, bitsize/64), mask: uint64(bitsize - 1)}
+}
+
+// splitmix64 is the SplitMix64 finalizer, a strong 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (f *Filter) probes(id uint64) (uint64, uint64) {
+	h := splitmix64(id)
+	return h & f.mask, (h >> 32) & f.mask
+}
+
+// Add inserts id.
+func (f *Filter) Add(id uint64) {
+	b1, b2 := f.probes(id)
+	f.words[b1/64] |= 1 << (b1 % 64)
+	f.words[b2/64] |= 1 << (b2 % 64)
+	f.n++
+}
+
+// Contains reports whether id may have been added (false positives
+// possible, false negatives impossible).
+func (f *Filter) Contains(id uint64) bool {
+	b1, b2 := f.probes(id)
+	return f.words[b1/64]&(1<<(b1%64)) != 0 && f.words[b2/64]&(1<<(b2%64)) != 0
+}
+
+// Intersects reports whether the two filters share any set bit — the
+// conflict test STMLite's commit manager applies between a read
+// signature and a committed write signature.
+func (f *Filter) Intersects(g *Filter) bool {
+	if len(f.words) != len(g.words) {
+		panic("sig: mismatched filter sizes")
+	}
+	for i := range f.words {
+		if f.words[i]&g.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Empty reports whether nothing was added.
+func (f *Filter) Empty() bool { return f.n == 0 }
+
+// Len returns the number of elements added.
+func (f *Filter) Len() int { return f.n }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint { return uint(len(f.words) * 64) }
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
+	f.n = 0
+}
+
+// FillRatio returns the fraction of set bits (diagnostics and tests).
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.words {
+		set += bits.OnesCount64(w)
+	}
+	return float64(set) / float64(len(f.words)*64)
+}

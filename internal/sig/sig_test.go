@@ -1,0 +1,125 @@
+package sig
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/orderedstm/ostm/internal/rng"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(ids []uint64) bool {
+		flt := New(64)
+		for _, id := range ids {
+			flt.Add(id)
+		}
+		for _, id := range ids {
+			if !flt.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectsDetectsSharedElement(t *testing.T) {
+	f := func(a, b []uint64, shared uint64) bool {
+		fa, fb := New(256), New(256)
+		for _, id := range a {
+			fa.Add(id)
+		}
+		for _, id := range b {
+			fb.Add(id)
+		}
+		fa.Add(shared)
+		fb.Add(shared)
+		return fa.Intersects(fb) && fb.Intersects(fa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFiltersNeverIntersect(t *testing.T) {
+	a, b := New(64), New(64)
+	if a.Intersects(b) {
+		t.Fatal("empty filters intersect")
+	}
+	if !a.Empty() || a.Len() != 0 {
+		t.Fatal("fresh filter not empty")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(64)
+	f.Add(1234)
+	if f.Empty() {
+		t.Fatal("filter empty after Add")
+	}
+	f.Reset()
+	if !f.Empty() || f.FillRatio() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestSizing(t *testing.T) {
+	if New(1).Bits() != 64 {
+		t.Fatalf("minimum size not enforced: %d", New(1).Bits())
+	}
+	if New(65).Bits() != 128 {
+		t.Fatalf("rounding up failed: %d", New(65).Bits())
+	}
+	if New(256).Bits() != 256 {
+		t.Fatalf("power of two changed: %d", New(256).Bits())
+	}
+}
+
+func TestMismatchedSizesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(64).Intersects(New(128))
+}
+
+// TestFalsePositiveRateOrderOfMagnitude: with 15 elements in 64 bits
+// (paper-like micro-transaction sizes), false conflicts must occur but
+// not dominate; with 1024 bits they must be rare. This pins the
+// mechanism behind STMLite's high-thread degradation.
+func TestFalsePositiveRateOrderOfMagnitude(t *testing.T) {
+	measure := func(bits uint, inserts int) float64 {
+		r := rng.New(42)
+		trials, fp := 3000, 0
+		for i := 0; i < trials; i++ {
+			f := New(bits)
+			for j := 0; j < inserts; j++ {
+				f.Add(r.Uint64())
+			}
+			if f.Contains(r.Uint64()) {
+				fp++
+			}
+		}
+		return float64(fp) / float64(trials)
+	}
+	small := measure(64, 15)
+	large := measure(1024, 15)
+	if small < 0.02 {
+		t.Fatalf("64-bit filter with 15 elements should show false positives, got %.4f", small)
+	}
+	if large > small/4 {
+		t.Fatalf("1024-bit filter should be far cleaner: small=%.4f large=%.4f", small, large)
+	}
+}
+
+func TestFillRatio(t *testing.T) {
+	f := New(64)
+	f.Add(1)
+	got := f.FillRatio()
+	if got <= 0 || got > 2.0/64+1e-9 {
+		t.Fatalf("fill ratio = %v", got)
+	}
+}

@@ -1,0 +1,69 @@
+package simcpu
+
+import (
+	"github.com/orderedstm/ostm/internal/micro"
+	"github.com/orderedstm/ostm/internal/rng"
+)
+
+// GenTraces builds transaction traces mirroring the micro-benchmark
+// access patterns (internal/micro) for the simulator: same address
+// distributions, access counts and length classes, with the heavy
+// class's ALU budget mapped to local cycles.
+func GenTraces(b micro.Bench, l micro.Length, n, pool int, seed uint64) []Trace {
+	traces := make([]Trace, n)
+	for age := 0; age < n; age++ {
+		r := rng.New(seed ^ rng.Mix64(uint64(age)))
+		var accesses int
+		if l == micro.Long {
+			accesses = r.Range(30, 61)
+		} else {
+			accesses = r.Range(10, 21)
+		}
+		var local int64 = 1
+		if l == micro.Heavy {
+			local = 100
+		}
+		var ops []Op
+		switch b {
+		case micro.Disjoint:
+			const stripe = 64
+			base := uint32((age * stripe) % (pool - stripe))
+			for k := 0; k < accesses; k++ {
+				kind := OpRead
+				if k%2 == 1 {
+					kind = OpWrite
+				}
+				ops = append(ops, Op{Kind: kind, Addr: base + uint32(k%stripe), Local: local})
+			}
+		case micro.RNW1:
+			for k := 0; k < accesses-1; k++ {
+				ops = append(ops, Op{Kind: OpRead, Addr: uint32(r.Intn(pool)), Local: local})
+			}
+			ops = append(ops, Op{Kind: OpWrite, Addr: uint32(r.Intn(pool)), Local: local})
+		case micro.RWN:
+			half := accesses / 2
+			if half == 0 {
+				half = 1
+			}
+			for k := 0; k < half; k++ {
+				ops = append(ops, Op{Kind: OpRead, Addr: uint32(r.Intn(pool)), Local: local})
+			}
+			for k := 0; k < half; k++ {
+				ops = append(ops, Op{Kind: OpWrite, Addr: uint32(r.Intn(pool)), Local: local})
+			}
+		case micro.MCAS:
+			half := accesses / 2
+			if half == 0 {
+				half = 1
+			}
+			base := r.Intn(pool - half)
+			for k := 0; k < half; k++ {
+				addr := uint32(base + k)
+				ops = append(ops, Op{Kind: OpRead, Addr: addr, Local: local})
+				ops = append(ops, Op{Kind: OpWrite, Addr: addr, Local: local})
+			}
+		}
+		traces[age] = Trace{Ops: ops}
+	}
+	return traces
+}

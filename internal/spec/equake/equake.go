@@ -1,0 +1,171 @@
+// Package equake reproduces SPEC2000's equake for Figure 7d:
+// simulation of elastic seismic wave propagation. The computation is
+// a time-stepped stencil over a mesh of nodes; each step's update of
+// a node depends on its neighbors' values from the same sweep, giving
+// loop-carried dependencies that force transactions to commit in
+// order (§8: "the loop-carried dependencies force the transaction to
+// be committed in a specific order"). Nodes are partitioned into
+// consecutive regions, one transaction per region per step, "so only
+// those in joints may abort" — conflicts arise exactly at region
+// boundaries.
+//
+// The kernel is deterministic: ordered engines must match the
+// sequential run bit-for-bit.
+package equake
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"github.com/orderedstm/ostm/internal/apps"
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Config parameterizes the simulation.
+type Config struct {
+	// Nodes is the mesh size (default 500, the paper's input size).
+	Nodes int
+	// Regions is the number of node partitions = transactions per
+	// step (default 25).
+	Regions int
+	// Steps is the time-step count (default 8).
+	Steps int
+	// Seed drives initial displacement (default 1).
+	Seed uint64
+	// Yield inserts scheduler yields inside transactions.
+	Yield bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 500
+	}
+	if c.Regions == 0 {
+		c.Regions = 25
+	}
+	if c.Steps == 0 {
+		c.Steps = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// App is one simulation instance: displacement values in shared
+// transactional words; each step sweeps the mesh in region order,
+// updating nodes in place (the in-place update is what creates the
+// loop-carried dependency between consecutive regions).
+type App struct {
+	cfg  Config
+	disp []stm.Var // displacement (float bits)
+	vel  []stm.Var // velocity
+	// stiffness is the read-only per-node material coefficient.
+	stiffness []float64
+}
+
+// New builds the mesh with a localized initial excitation.
+func New(cfg Config) *App {
+	cfg = cfg.withDefaults()
+	a := &App{
+		cfg:       cfg,
+		disp:      stm.NewVars(cfg.Nodes),
+		vel:       stm.NewVars(cfg.Nodes),
+		stiffness: make([]float64, cfg.Nodes),
+	}
+	r := rng.New(cfg.Seed)
+	for i := range a.stiffness {
+		a.stiffness[i] = 0.5 + r.Float64()
+	}
+	a.excite()
+	return a
+}
+
+// excite sets the initial displacement pulse at the mesh center.
+func (a *App) excite() {
+	center := a.cfg.Nodes / 2
+	for i := 0; i < a.cfg.Nodes; i++ {
+		d := float64(i - center)
+		stm.StoreFloat64(&a.disp[i], math.Exp(-d*d/50))
+		stm.StoreFloat64(&a.vel[i], 0)
+	}
+}
+
+// NumTxns returns the total transactions across steps.
+func (a *App) NumTxns() int { return a.cfg.Steps * a.cfg.Regions }
+
+// Run executes the simulation under the runner. Ages flatten
+// (step, region), preserving the loop-carried order.
+func (a *App) Run(r apps.Runner) (stm.Result, error) {
+	cfg := a.cfg
+	perRegion := (cfg.Nodes + cfg.Regions - 1) / cfg.Regions
+	body := func(tx stm.Tx, age int) {
+		region := age % cfg.Regions
+		lo := region * perRegion
+		hi := lo + perRegion
+		if hi > cfg.Nodes {
+			hi = cfg.Nodes
+		}
+		const dt = 0.05
+		for i := lo; i < hi; i++ {
+			left := stm.ReadFloat64(tx, &a.disp[wrap(i-1, cfg.Nodes)])
+			right := stm.ReadFloat64(tx, &a.disp[wrap(i+1, cfg.Nodes)])
+			u := stm.ReadFloat64(tx, &a.disp[i])
+			v := stm.ReadFloat64(tx, &a.vel[i])
+			// Wave equation stencil with per-node stiffness; the
+			// in-place update makes node i-1's new value feed node i
+			// within the same sweep, as in the original loop.
+			acc := a.stiffness[i] * (left + right - 2*u)
+			v += acc * dt
+			u += v * dt
+			stm.WriteFloat64(tx, &a.vel[i], v)
+			stm.WriteFloat64(tx, &a.disp[i], u)
+			if cfg.Yield {
+				runtime.Gosched()
+			}
+		}
+	}
+	return r.Exec(a.NumTxns(), body)
+}
+
+func wrap(i, n int) int {
+	if i < 0 {
+		return i + n
+	}
+	if i >= n {
+		return i - n
+	}
+	return i
+}
+
+// Verify checks the wave state is finite and energy has not exploded.
+func (a *App) Verify() error {
+	var energy float64
+	for i := 0; i < a.cfg.Nodes; i++ {
+		u := stm.LoadFloat64(&a.disp[i])
+		v := stm.LoadFloat64(&a.vel[i])
+		if math.IsNaN(u) || math.IsInf(u, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("equake: node %d diverged (u=%v v=%v)", i, u, v)
+		}
+		energy += u*u + v*v
+	}
+	if energy > 1e6 {
+		return fmt.Errorf("equake: energy exploded to %v", energy)
+	}
+	return nil
+}
+
+// Fingerprint folds the final wave state.
+func (a *App) Fingerprint() uint64 {
+	var h uint64
+	for i := 0; i < a.cfg.Nodes; i++ {
+		h = rng.Mix64(h ^ a.disp[i].Load())
+		h = rng.Mix64(h ^ a.vel[i].Load())
+	}
+	return h
+}
+
+// Reset restores the initial excitation.
+func (a *App) Reset() { a.excite() }

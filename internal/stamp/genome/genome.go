@@ -1,0 +1,244 @@
+// Package genome reproduces STAMP's genome assembler for Figure 6c:
+// reconstruct a gene from overlapping segments. Phase 1 deduplicates
+// segments into a shared hash set while registering each unique
+// segment's prefix in a shared hash map; phase 2 links each segment to
+// its successor (the unique segment whose prefix equals this segment's
+// suffix) through transactional updates; phase 3 walks the links
+// sequentially and rebuilds the gene.
+//
+// Segments are (2-bit packed) k-mers over {A,C,G,T}. The generator
+// retries seeds until all (k-1)-mers of the gene are unique, which
+// makes the reconstruction exact and the whole computation
+// deterministic — the repository's determinism oracle applies.
+//
+// Contention profile matches the paper ("Genome exhibits a little
+// contention"): the hash tables are large, so conflicts arise mostly
+// from duplicate segments hitting the same slots.
+package genome
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/orderedstm/ostm/internal/apps"
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/internal/txds"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Config parameterizes the assembly.
+type Config struct {
+	// GeneLength is the number of bases (default 2048).
+	GeneLength int
+	// SegmentLength is the k-mer size (default 16; must be ≤ 31).
+	SegmentLength int
+	// Duplicates is how many extra copies of random segments are mixed
+	// in (default GeneLength/4) — they exercise the dedup phase.
+	Duplicates int
+	// Seed drives gene generation (default 1).
+	Seed uint64
+	// Yield inserts scheduler yields inside transactions.
+	Yield bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.GeneLength == 0 {
+		c.GeneLength = 2048
+	}
+	if c.SegmentLength == 0 {
+		c.SegmentLength = 16
+	}
+	if c.Duplicates == 0 {
+		c.Duplicates = c.GeneLength / 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// App is one genome instance.
+type App struct {
+	cfg      Config
+	gene     []byte   // bases 0..3
+	segments []uint64 // shuffled packed segments (with duplicates)
+
+	unique    *txds.Set     // phase 1: deduplicated segments
+	prefixes  *txds.HashMap // prefix key -> packed segment
+	successor *txds.HashMap // packed segment -> packed successor
+
+	rebuilt []byte // phase 3 output
+}
+
+// New builds the gene and the shuffled segment stream.
+func New(cfg Config) *App {
+	cfg = cfg.withDefaults()
+	if cfg.SegmentLength > 31 || cfg.SegmentLength < 4 {
+		panic("genome: segment length must be in [4,31]")
+	}
+	a := &App{cfg: cfg}
+	for attempt := uint64(0); ; attempt++ {
+		a.generate(cfg.Seed + attempt)
+		if a.uniquePrefixes() {
+			break
+		}
+	}
+	nSeg := len(a.segments)
+	a.unique = txds.NewSet(4 * nSeg)
+	a.prefixes = txds.NewHashMap(4 * nSeg)
+	a.successor = txds.NewHashMap(4 * nSeg)
+	return a
+}
+
+func (a *App) generate(seed uint64) {
+	cfg := a.cfg
+	r := rng.New(seed)
+	a.gene = make([]byte, cfg.GeneLength)
+	for i := range a.gene {
+		a.gene[i] = byte(r.Intn(4))
+	}
+	n := cfg.GeneLength - cfg.SegmentLength + 1
+	a.segments = make([]uint64, 0, n+cfg.Duplicates)
+	for i := 0; i < n; i++ {
+		a.segments = append(a.segments, a.pack(a.gene[i:i+cfg.SegmentLength]))
+	}
+	for d := 0; d < cfg.Duplicates; d++ {
+		a.segments = append(a.segments, a.segments[r.Intn(n)])
+	}
+	r.Shuffle(len(a.segments), func(i, j int) {
+		a.segments[i], a.segments[j] = a.segments[j], a.segments[i]
+	})
+}
+
+// pack encodes bases as 2 bits each with a leading guard bit so that
+// distinct lengths cannot collide and the reserved txds keys (0, ^0)
+// are never produced.
+func (a *App) pack(bases []byte) uint64 {
+	v := uint64(1)
+	for _, b := range bases {
+		v = v<<2 | uint64(b)
+	}
+	return v
+}
+
+// prefixKey drops the last base; suffixKey drops the first.
+func (a *App) prefixKey(seg uint64) uint64 { return seg >> 2 }
+
+func (a *App) suffixKey(seg uint64) uint64 {
+	bits := uint(2 * (a.cfg.SegmentLength - 1))
+	mask := (uint64(1) << bits) - 1
+	return (seg & mask) | 1<<bits
+}
+
+// uniquePrefixes reports whether every (k-1)-mer occurs at most once,
+// the condition for exact reconstruction.
+func (a *App) uniquePrefixes() bool {
+	seen := make(map[uint64]bool)
+	n := a.cfg.GeneLength - (a.cfg.SegmentLength - 1) + 1
+	for i := 0; i < n; i++ {
+		k := a.pack(a.gene[i : i+a.cfg.SegmentLength-1])
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}
+
+// NumTxns returns the total transaction count (both phases).
+func (a *App) NumTxns() int { return 2 * len(a.segments) }
+
+// Run executes the assembly under the runner.
+func (a *App) Run(r apps.Runner) (stm.Result, error) {
+	segs := a.segments
+	yield := a.cfg.Yield
+	// Phase 1: deduplicate and register prefixes.
+	phase1 := func(tx stm.Tx, age int) {
+		seg := segs[age]
+		added, ok := a.unique.Add(tx, seg)
+		if !ok {
+			panic("genome: segment set full")
+		}
+		if added {
+			if !a.prefixes.Put(tx, a.prefixKey(seg)|1<<40, seg) {
+				panic("genome: prefix map full")
+			}
+		}
+		if yield {
+			runtime.Gosched()
+		}
+	}
+	res1, err := r.Exec(len(segs), phase1)
+	if err != nil {
+		return res1, err
+	}
+	// Phase 2: link each unique segment to its successor.
+	phase2 := func(tx stm.Tx, age int) {
+		seg := segs[age]
+		if next, ok := a.prefixes.Get(tx, a.suffixKey(seg)|1<<40); ok {
+			a.successor.Put(tx, seg, next)
+		}
+		if yield {
+			runtime.Gosched()
+		}
+	}
+	res2, err := r.Exec(len(segs), phase2)
+	if err != nil {
+		return apps.Merge(res1, res2), err
+	}
+	a.rebuild()
+	return apps.Merge(res1, res2), nil
+}
+
+// rebuild is the sequential phase 3: walk successors from the first
+// segment of the gene.
+func (a *App) rebuild() {
+	succ := a.successor.Snapshot()
+	cur := a.pack(a.gene[:a.cfg.SegmentLength])
+	out := make([]byte, 0, a.cfg.GeneLength)
+	// Unpack the first segment entirely, then one trailing base per
+	// following segment.
+	for i := a.cfg.SegmentLength - 1; i >= 0; i-- {
+		out = append(out, byte(cur>>(2*uint(i)))&3)
+	}
+	for {
+		next, ok := succ[cur]
+		if !ok {
+			break
+		}
+		out = append(out, byte(next&3))
+		cur = next
+	}
+	a.rebuilt = out
+}
+
+// Verify checks the reconstruction equals the original gene.
+func (a *App) Verify() error {
+	if len(a.rebuilt) != len(a.gene) {
+		return fmt.Errorf("genome: rebuilt %d bases, want %d", len(a.rebuilt), len(a.gene))
+	}
+	for i := range a.gene {
+		if a.rebuilt[i] != a.gene[i] {
+			return fmt.Errorf("genome: base %d differs", i)
+		}
+	}
+	return nil
+}
+
+// Fingerprint folds the successor table into one value.
+func (a *App) Fingerprint() uint64 {
+	var h uint64
+	for k, v := range a.successor.Snapshot() {
+		h ^= rng.Mix64(k*31 + v)
+	}
+	return h
+}
+
+// Reset clears the shared tables for another run.
+func (a *App) Reset() {
+	n := len(a.segments)
+	a.unique = txds.NewSet(4 * n)
+	a.prefixes = txds.NewHashMap(4 * n)
+	a.successor = txds.NewHashMap(4 * n)
+	a.rebuilt = nil
+}

@@ -1,0 +1,224 @@
+// Package intruder reproduces STAMP's intruder for Figure 6h: a
+// network intrusion detector. Packets (fragments of flows) arrive in
+// a fixed order; each transaction inserts one fragment into the
+// shared reassembly state, and the transaction that completes a flow
+// decodes it and matches it against an attack-signature dictionary,
+// recording the verdict. The shared flow map is the contention point,
+// as in the original ("the contention is high").
+//
+// The fragment that completes a flow is determined by arrival order,
+// which the predefined commit order fixes; the set of verdicts is
+// therefore deterministic and the determinism oracle applies.
+package intruder
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/orderedstm/ostm/internal/apps"
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/internal/txds"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Config parameterizes the detector.
+type Config struct {
+	// Flows is the number of packet flows (default 256).
+	Flows int
+	// FragmentsPerFlow is the flow length (default 8).
+	FragmentsPerFlow int
+	// FragmentBytes is the payload bytes per fragment (default 16).
+	FragmentBytes int
+	// Signatures is the attack-dictionary size (default 32).
+	Signatures int
+	// AttackPct is the percentage of flows carrying an attack
+	// signature (default 10).
+	AttackPct int
+	// Seed drives traffic generation (default 1).
+	Seed uint64
+	// Yield inserts scheduler yields inside transactions.
+	Yield bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Flows == 0 {
+		c.Flows = 256
+	}
+	if c.FragmentsPerFlow == 0 {
+		c.FragmentsPerFlow = 8
+	}
+	if c.FragmentBytes == 0 {
+		c.FragmentBytes = 16
+	}
+	if c.Signatures == 0 {
+		c.Signatures = 32
+	}
+	if c.AttackPct == 0 {
+		c.AttackPct = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+type packet struct {
+	flow uint32
+	frag uint32
+}
+
+// App is one detector instance.
+type App struct {
+	cfg        Config
+	packets    []packet // shuffled arrival order
+	payloads   [][]byte // flow × fragment payload bytes (read-only)
+	signatures [][]byte
+	attacked   []bool // ground truth per flow
+
+	seen     *txds.HashMap // flow+1 -> fragments seen
+	assembly []stm.Var     // flow × fragment claim markers
+	verdicts []stm.Var     // per flow: 1 = clean, 2 = attack
+}
+
+// New generates flows, payloads and the signature dictionary.
+func New(cfg Config) *App {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	a := &App{
+		cfg:      cfg,
+		payloads: make([][]byte, cfg.Flows),
+		attacked: make([]bool, cfg.Flows),
+		seen:     txds.NewHashMap(4 * cfg.Flows),
+		assembly: stm.NewVars(cfg.Flows * cfg.FragmentsPerFlow),
+		verdicts: stm.NewVars(cfg.Flows),
+	}
+	a.signatures = make([][]byte, cfg.Signatures)
+	for s := range a.signatures {
+		sig := make([]byte, 6)
+		for i := range sig {
+			sig[i] = byte(r.Intn(26)) + 'a'
+		}
+		a.signatures[s] = sig
+	}
+	total := cfg.Flows * cfg.FragmentsPerFlow
+	a.packets = make([]packet, 0, total)
+	for f := 0; f < cfg.Flows; f++ {
+		payload := make([]byte, cfg.FragmentsPerFlow*cfg.FragmentBytes)
+		for i := range payload {
+			payload[i] = byte(r.Intn(26)) + 'a'
+		}
+		if r.Intn(100) < cfg.AttackPct {
+			sig := a.signatures[r.Intn(cfg.Signatures)]
+			pos := r.Intn(len(payload) - len(sig))
+			copy(payload[pos:], sig)
+			a.attacked[f] = true
+		} else {
+			a.attacked[f] = a.scan(payload) // accidental matches count
+		}
+		a.payloads[f] = payload
+		for g := 0; g < cfg.FragmentsPerFlow; g++ {
+			a.packets = append(a.packets, packet{flow: uint32(f), frag: uint32(g)})
+		}
+	}
+	r.Shuffle(len(a.packets), func(i, j int) {
+		a.packets[i], a.packets[j] = a.packets[j], a.packets[i]
+	})
+	return a
+}
+
+// scan matches the payload against the dictionary (naive substring
+// search, the detector's local computation).
+func (a *App) scan(payload []byte) bool {
+	for _, sig := range a.signatures {
+		for i := 0; i+len(sig) <= len(payload); i++ {
+			match := true
+			for j := range sig {
+				if payload[i+j] != sig[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NumTxns returns the packet count.
+func (a *App) NumTxns() int { return len(a.packets) }
+
+// Run executes the detector under the runner.
+func (a *App) Run(r apps.Runner) (stm.Result, error) {
+	cfg := a.cfg
+	body := func(tx stm.Tx, age int) {
+		p := a.packets[age]
+		key := uint64(p.flow) + 1
+		count, _ := a.seen.Get(tx, key)
+		tx.Write(&a.assembly[int(p.flow)*cfg.FragmentsPerFlow+int(p.frag)], uint64(age)+1)
+		count++
+		a.seen.Put(tx, key, count)
+		if cfg.Yield {
+			runtime.Gosched()
+		}
+		if int(count) == cfg.FragmentsPerFlow {
+			// This packet completes the flow: decode and detect.
+			verdict := uint64(1)
+			if a.scan(a.payloads[p.flow]) {
+				verdict = 2
+			}
+			tx.Write(&a.verdicts[p.flow], verdict)
+		}
+	}
+	return r.Exec(len(a.packets), body)
+}
+
+// Verify checks every flow was fully reassembled and its verdict
+// matches the ground truth.
+func (a *App) Verify() error {
+	for f := 0; f < a.cfg.Flows; f++ {
+		for g := 0; g < a.cfg.FragmentsPerFlow; g++ {
+			if a.assembly[f*a.cfg.FragmentsPerFlow+g].Load() == 0 {
+				return fmt.Errorf("intruder: flow %d fragment %d never claimed", f, g)
+			}
+		}
+		v := a.verdicts[f].Load()
+		if v == 0 {
+			return fmt.Errorf("intruder: flow %d never judged", f)
+		}
+		want := uint64(1)
+		if a.attacked[f] {
+			want = 2
+		}
+		if v != want {
+			return fmt.Errorf("intruder: flow %d verdict %d, want %d", f, v, want)
+		}
+	}
+	return nil
+}
+
+// Fingerprint folds verdicts and claim markers (order-sensitive:
+// claim markers record the claiming age, so ordered engines must
+// match the sequential run exactly).
+func (a *App) Fingerprint() uint64 {
+	var h uint64
+	for i := range a.assembly {
+		h = rng.Mix64(h ^ a.assembly[i].Load())
+	}
+	for i := range a.verdicts {
+		h = rng.Mix64(h ^ a.verdicts[i].Load())
+	}
+	return h
+}
+
+// Reset clears the reassembly state for another run.
+func (a *App) Reset() {
+	a.seen = txds.NewHashMap(4 * a.cfg.Flows)
+	for i := range a.assembly {
+		a.assembly[i].Store(0)
+	}
+	for i := range a.verdicts {
+		a.verdicts[i].Store(0)
+	}
+}

@@ -1,0 +1,219 @@
+// Package kmeans reproduces STAMP's kmeans for Figure 6a–b: iterative
+// clustering where the per-point work (finding the nearest center) is
+// local and the shared updates (accumulating the new center sums and
+// counts) are transactional. The paper's low- and high-contention
+// configurations differ in cluster count: fewer clusters mean more
+// transactions collide on the same accumulators.
+//
+// Each iteration snapshots the centers (read-only for the iteration,
+// as in STAMP, which re-reads centers non-transactionally), then runs
+// one ordered transaction per chunk of points that folds the chunk
+// into the shared accumulators. Ages are chunk indexes, so ordered
+// runs accumulate in exactly sequential order and the final centers
+// are bit-identical to the sequential execution.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"github.com/orderedstm/ostm/internal/apps"
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Config parameterizes the clustering.
+type Config struct {
+	// Points is the number of input points (default 2048).
+	Points int
+	// Dims is the point dimensionality (default 8).
+	Dims int
+	// K is the cluster count (default 40; the high-contention
+	// configuration uses a small K such as 8).
+	K int
+	// Iterations is the fixed iteration count (default 4; STAMP
+	// iterates to convergence, fixed count keeps runs comparable).
+	Iterations int
+	// Chunk is the number of points folded per transaction
+	// (default 4).
+	Chunk int
+	// Seed drives input generation (default 1).
+	Seed uint64
+	// Yield inserts scheduler yields inside transactions so runs
+	// interleave on single-core hosts.
+	Yield bool
+}
+
+// LowContention returns the paper's low-contention configuration.
+func LowContention() Config { return Config{K: 40} }
+
+// HighContention returns the paper's high-contention configuration.
+func HighContention() Config { return Config{K: 8} }
+
+func (c Config) withDefaults() Config {
+	if c.Points == 0 {
+		c.Points = 2048
+	}
+	if c.Dims == 0 {
+		c.Dims = 8
+	}
+	if c.K == 0 {
+		c.K = 40
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 4
+	}
+	if c.Chunk == 0 {
+		c.Chunk = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// App is one kmeans instance.
+type App struct {
+	cfg    Config
+	points [][]float64 // read-only input
+	// Shared accumulators, rebuilt every iteration: per-cluster sums
+	// and membership counts.
+	sums   []stm.Var // K*Dims float64 bit patterns
+	counts []stm.Var // K counts
+	// centers is the per-iteration snapshot (plain memory, read-only
+	// during the transactional phase, as in STAMP).
+	centers [][]float64
+}
+
+// New builds the input and shared state.
+func New(cfg Config) *App {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	a := &App{
+		cfg:    cfg,
+		points: make([][]float64, cfg.Points),
+		sums:   stm.NewVars(cfg.K * cfg.Dims),
+		counts: stm.NewVars(cfg.K),
+	}
+	for i := range a.points {
+		p := make([]float64, cfg.Dims)
+		for d := range p {
+			p[d] = r.Float64() * 100
+		}
+		a.points[i] = p
+	}
+	a.centers = make([][]float64, cfg.K)
+	for k := range a.centers {
+		a.centers[k] = append([]float64(nil), a.points[k%cfg.Points]...)
+	}
+	return a
+}
+
+// NumTxns returns the total transaction count across iterations.
+func (a *App) NumTxns() int {
+	chunks := (a.cfg.Points + a.cfg.Chunk - 1) / a.cfg.Chunk
+	return chunks * a.cfg.Iterations
+}
+
+func (a *App) nearest(p []float64) int {
+	best, bestDist := 0, math.MaxFloat64
+	for k := range a.centers {
+		var d2 float64
+		for d := 0; d < a.cfg.Dims; d++ {
+			diff := p[d] - a.centers[k][d]
+			d2 += diff * diff
+		}
+		if d2 < bestDist {
+			best, bestDist = k, d2
+		}
+	}
+	return best
+}
+
+// Run executes the full clustering under the runner.
+func (a *App) Run(r apps.Runner) (stm.Result, error) {
+	cfg := a.cfg
+	chunks := (cfg.Points + cfg.Chunk - 1) / cfg.Chunk
+	var results []stm.Result
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for i := range a.sums {
+			a.sums[i].Store(0)
+		}
+		for i := range a.counts {
+			a.counts[i].Store(0)
+		}
+		body := func(tx stm.Tx, age int) {
+			lo := age * cfg.Chunk
+			hi := lo + cfg.Chunk
+			if hi > cfg.Points {
+				hi = cfg.Points
+			}
+			for i := lo; i < hi; i++ {
+				p := a.points[i]
+				k := a.nearest(p) // local computation on the snapshot
+				for d := 0; d < cfg.Dims; d++ {
+					stm.AddFloat64(tx, &a.sums[k*cfg.Dims+d], p[d])
+				}
+				tx.Write(&a.counts[k], tx.Read(&a.counts[k])+1)
+				if cfg.Yield {
+					runtime.Gosched()
+				}
+			}
+		}
+		res, err := r.Exec(chunks, body)
+		if err != nil {
+			return apps.Merge(results...), err
+		}
+		results = append(results, res)
+		// Sequential reduction: recompute the center snapshot.
+		for k := 0; k < cfg.K; k++ {
+			n := a.counts[k].Load()
+			if n == 0 {
+				continue
+			}
+			for d := 0; d < cfg.Dims; d++ {
+				a.centers[k][d] = stm.LoadFloat64(&a.sums[k*cfg.Dims+d]) / float64(n)
+			}
+		}
+	}
+	return apps.Merge(results...), nil
+}
+
+// Verify checks the accumulator invariants after a run: membership
+// counts sum to the point count.
+func (a *App) Verify() error {
+	var total uint64
+	for k := range a.counts {
+		total += a.counts[k].Load()
+	}
+	if total != uint64(a.cfg.Points) {
+		return fmt.Errorf("kmeans: memberships %d != points %d", total, a.cfg.Points)
+	}
+	return nil
+}
+
+// Fingerprint folds the final centers into one value; ordered engines
+// must match the sequential run exactly.
+func (a *App) Fingerprint() uint64 {
+	var h uint64
+	for k := range a.centers {
+		for _, x := range a.centers[k] {
+			h = rng.Mix64(h ^ math.Float64bits(x))
+		}
+	}
+	return h
+}
+
+// Reset restores the initial centers so the app can run again.
+func (a *App) Reset() {
+	for k := range a.centers {
+		copy(a.centers[k], a.points[k%a.cfg.Points])
+	}
+	for i := range a.sums {
+		a.sums[i].Store(0)
+	}
+	for i := range a.counts {
+		a.counts[i].Store(0)
+	}
+}

@@ -1,0 +1,288 @@
+// Package labyrinth reproduces STAMP's labyrinth for Figure 6g: a
+// multi-path maze router over a three-dimensional uniform grid. Each
+// transaction routes one (source, destination) pair: it plans a
+// shortest path on a privatized snapshot of the grid (plain atomic
+// loads, exactly STAMP's grid-copy optimization) and then claims the
+// path transactionally, re-planning inside the transaction when a
+// claimed cell turns out to be occupied. Transactions conflict when
+// their paths overlap.
+//
+// Path planning depends on the snapshot timing, so — as in the
+// original benchmark — the set of routed paths is not deterministic
+// across engines; Verify checks the structural invariants instead
+// (paths are connected, disjoint, within bounds, and endpoints
+// match).
+package labyrinth
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/orderedstm/ostm/internal/apps"
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Config parameterizes the maze.
+type Config struct {
+	// X, Y, Z are the grid dimensions (default 24×24×3).
+	X, Y, Z int
+	// Pairs is the number of route requests (default 48).
+	Pairs int
+	// Seed drives endpoint placement (default 1).
+	Seed uint64
+	// Yield inserts scheduler yields inside transactions.
+	Yield bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.X == 0 {
+		c.X = 24
+	}
+	if c.Y == 0 {
+		c.Y = 24
+	}
+	if c.Z == 0 {
+		c.Z = 3
+	}
+	if c.Pairs == 0 {
+		c.Pairs = 48
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+type point struct{ x, y, z int }
+
+// App is one maze instance.
+type App struct {
+	cfg   Config
+	grid  []stm.Var // 0 = free, otherwise pathID (= age+1)
+	pairs [][2]point
+	done  []stm.Var // per pair: 1 = routed, 2 = no path found
+}
+
+// New builds the maze and endpoint pairs (endpoints distinct cells).
+func New(cfg Config) *App {
+	cfg = cfg.withDefaults()
+	a := &App{
+		cfg:   cfg,
+		grid:  stm.NewVars(cfg.X * cfg.Y * cfg.Z),
+		pairs: make([][2]point, cfg.Pairs),
+		done:  stm.NewVars(cfg.Pairs),
+	}
+	r := rng.New(cfg.Seed)
+	used := make(map[point]bool)
+	pick := func() point {
+		for {
+			p := point{r.Intn(cfg.X), r.Intn(cfg.Y), r.Intn(cfg.Z)}
+			if !used[p] {
+				used[p] = true
+				return p
+			}
+		}
+	}
+	for i := range a.pairs {
+		a.pairs[i] = [2]point{pick(), pick()}
+	}
+	return a
+}
+
+func (a *App) idx(p point) int {
+	return (p.z*a.cfg.Y+p.y)*a.cfg.X + p.x
+}
+
+func (a *App) neighbors(p point, visit func(point)) {
+	if p.x > 0 {
+		visit(point{p.x - 1, p.y, p.z})
+	}
+	if p.x < a.cfg.X-1 {
+		visit(point{p.x + 1, p.y, p.z})
+	}
+	if p.y > 0 {
+		visit(point{p.x, p.y - 1, p.z})
+	}
+	if p.y < a.cfg.Y-1 {
+		visit(point{p.x, p.y + 1, p.z})
+	}
+	if p.z > 0 {
+		visit(point{p.x, p.y, p.z - 1})
+	}
+	if p.z < a.cfg.Z-1 {
+		visit(point{p.x, p.y, p.z + 1})
+	}
+}
+
+// plan runs BFS over the given occupancy view (free predicate),
+// returning the path src→dst inclusive, or nil.
+func (a *App) plan(src, dst point, free func(point) bool) []point {
+	prev := make(map[point]point)
+	seen := map[point]bool{src: true}
+	queue := []point{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			var path []point
+			for p := dst; ; p = prev[p] {
+				path = append(path, p)
+				if p == src {
+					break
+				}
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+		a.neighbors(cur, func(n point) {
+			if !seen[n] && (n == dst || free(n)) {
+				seen[n] = true
+				prev[n] = cur
+				queue = append(queue, n)
+			}
+		})
+	}
+	return nil
+}
+
+// NumTxns returns the route-request count.
+func (a *App) NumTxns() int { return a.cfg.Pairs }
+
+// Run executes the router under the runner.
+func (a *App) Run(r apps.Runner) (stm.Result, error) {
+	body := func(tx stm.Tx, age int) {
+		src, dst := a.pairs[age][0], a.pairs[age][1]
+		id := uint64(age) + 1
+		// Plan on a privatized snapshot (plain loads, STAMP's grid
+		// copy), then claim transactionally; replan within the
+		// transaction if the claim discovers occupied cells.
+		for attempt := 0; attempt < 8; attempt++ {
+			path := a.plan(src, dst, func(p point) bool {
+				return a.grid[a.idx(p)].Load() == 0
+			})
+			if path == nil {
+				tx.Write(&a.done[age], 2)
+				return
+			}
+			ok := true
+			for _, p := range path {
+				if tx.Read(&a.grid[a.idx(p)]) != 0 {
+					ok = false
+					break
+				}
+				if a.cfg.Yield {
+					runtime.Gosched()
+				}
+			}
+			if !ok {
+				continue // somebody claimed a cell; replan
+			}
+			for _, p := range path {
+				tx.Write(&a.grid[a.idx(p)], id)
+			}
+			tx.Write(&a.done[age], 1)
+			return
+		}
+		tx.Write(&a.done[age], 2)
+	}
+	return r.Exec(a.cfg.Pairs, body)
+}
+
+// Verify checks the routing invariants.
+func (a *App) Verify() error {
+	cells := make(map[uint64][]point)
+	for z := 0; z < a.cfg.Z; z++ {
+		for y := 0; y < a.cfg.Y; y++ {
+			for x := 0; x < a.cfg.X; x++ {
+				p := point{x, y, z}
+				if id := a.grid[a.idx(p)].Load(); id != 0 {
+					cells[id] = append(cells[id], p)
+				}
+			}
+		}
+	}
+	for i := range a.pairs {
+		id := uint64(i) + 1
+		switch a.done[i].Load() {
+		case 1:
+			path := cells[id]
+			if len(path) == 0 {
+				return fmt.Errorf("labyrinth: pair %d marked routed but owns no cells", i)
+			}
+			if err := a.checkConnected(i, path); err != nil {
+				return err
+			}
+		case 2:
+			if len(cells[id]) != 0 {
+				return fmt.Errorf("labyrinth: pair %d marked unrouted but owns %d cells", i, len(cells[id]))
+			}
+		default:
+			return fmt.Errorf("labyrinth: pair %d never resolved", i)
+		}
+	}
+	return nil
+}
+
+// checkConnected verifies the claimed cells form a path covering both
+// endpoints.
+func (a *App) checkConnected(i int, path []point) error {
+	src, dst := a.pairs[i][0], a.pairs[i][1]
+	owned := make(map[point]bool, len(path))
+	for _, p := range path {
+		owned[p] = true
+	}
+	if !owned[src] || !owned[dst] {
+		return fmt.Errorf("labyrinth: pair %d path misses an endpoint", i)
+	}
+	// BFS within owned cells from src must reach dst.
+	seen := map[point]bool{src: true}
+	queue := []point{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			return nil
+		}
+		a.neighbors(cur, func(n point) {
+			if owned[n] && !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		})
+	}
+	return fmt.Errorf("labyrinth: pair %d cells do not connect its endpoints", i)
+}
+
+// Routed returns how many pairs found a path.
+func (a *App) Routed() int {
+	n := 0
+	for i := range a.done {
+		if a.done[i].Load() == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Fingerprint folds the grid (only comparable between runs of the
+// same engine; see the package comment on nondeterminism).
+func (a *App) Fingerprint() uint64 {
+	var h uint64
+	for i := range a.grid {
+		h = rng.Mix64(h ^ a.grid[i].Load())
+	}
+	return h
+}
+
+// Reset clears the maze for another run.
+func (a *App) Reset() {
+	for i := range a.grid {
+		a.grid[i].Store(0)
+	}
+	for i := range a.done {
+		a.done[i].Store(0)
+	}
+}

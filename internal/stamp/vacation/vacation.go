@@ -1,0 +1,249 @@
+// Package vacation reproduces STAMP's vacation for Figure 6e–f: a
+// travel reservation system over an in-memory database. Resources
+// (cars, rooms, flights) live in transactional hash tables mapping
+// resource id → packed (total, used, price) records; each client
+// session is one coarse-grained transaction that queries a span of
+// resources, reserves the cheapest available one for a customer, or
+// cancels the customer's reservation. Coarse transactions make aborts
+// expensive, which is what the paper highlights for this benchmark.
+//
+// The low-contention configuration queries a narrow span over many
+// resources; the high-contention one queries wide spans over few
+// resources, as in STAMP's -n/-q/-r/-u knobs.
+package vacation
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/orderedstm/ostm/internal/apps"
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/internal/txds"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Resource kinds.
+const (
+	kindCar = iota
+	kindRoom
+	kindFlight
+	numKinds
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Resources is the number of resources per kind (default 256).
+	Resources int
+	// Customers is the customer count (default 256).
+	Customers int
+	// Sessions is the number of client sessions = transactions
+	// (default 4096).
+	Sessions int
+	// QuerySpan is how many resources a session inspects (default 4;
+	// the high-contention preset uses larger spans on fewer
+	// resources).
+	QuerySpan int
+	// ReservePct is the percentage of sessions that reserve (the rest
+	// cancel; default 80).
+	ReservePct int
+	// Seed drives the generator (default 1).
+	Seed uint64
+	// Yield inserts scheduler yields inside transactions.
+	Yield bool
+}
+
+// LowContention mirrors STAMP's low-contention parameters.
+func LowContention() Config {
+	return Config{Resources: 256, QuerySpan: 2, ReservePct: 90}
+}
+
+// HighContention mirrors STAMP's high-contention parameters.
+func HighContention() Config {
+	return Config{Resources: 32, QuerySpan: 8, ReservePct: 80}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Resources == 0 {
+		c.Resources = 256
+	}
+	if c.Customers == 0 {
+		c.Customers = 256
+	}
+	if c.Sessions == 0 {
+		c.Sessions = 4096
+	}
+	if c.QuerySpan == 0 {
+		c.QuerySpan = 4
+	}
+	if c.ReservePct == 0 {
+		c.ReservePct = 80
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Packed resource record: total(16) | used(16) | price(32).
+func packRes(total, used, price uint64) uint64 {
+	return total<<48 | used<<32 | price
+}
+
+func unpackRes(v uint64) (total, used, price uint64) {
+	return v >> 48, (v >> 32) & 0xFFFF, v & 0xFFFFFFFF
+}
+
+// Packed customer record: held(16) | kind(8) | resource id(16) |
+// bill(24): one outstanding reservation per customer, as enough for
+// the workload's conflict structure.
+func packCust(held, kind, res, bill uint64) uint64 {
+	return held<<48 | kind<<40 | res<<24 | bill
+}
+
+func unpackCust(v uint64) (held, kind, res, bill uint64) {
+	return v >> 48, (v >> 40) & 0xFF, (v >> 24) & 0xFFFF, v & 0xFFFFFF
+}
+
+// App is one vacation database instance.
+type App struct {
+	cfg       Config
+	tables    [numKinds]*txds.HashMap // resource id+1 -> packed record
+	customers *txds.HashMap           // customer id+1 -> packed record
+}
+
+// New builds and populates the database.
+func New(cfg Config) *App {
+	cfg = cfg.withDefaults()
+	a := &App{cfg: cfg}
+	r := rng.New(cfg.Seed)
+	for k := 0; k < numKinds; k++ {
+		a.tables[k] = txds.NewHashMap(4 * cfg.Resources)
+	}
+	a.customers = txds.NewHashMap(4 * cfg.Customers)
+	a.populate(r)
+	return a
+}
+
+func (a *App) populate(r *rng.Rand) {
+	seq, _ := stm.NewExecutor(stm.Config{Algorithm: stm.Sequential})
+	_, err := seq.Run(1, func(tx stm.Tx, _ int) {
+		for k := 0; k < numKinds; k++ {
+			for i := 0; i < a.cfg.Resources; i++ {
+				total := uint64(r.Range(4, 16))
+				price := uint64(r.Range(50, 500))
+				a.tables[k].Put(tx, uint64(i)+1, packRes(total, 0, price))
+			}
+		}
+		for c := 0; c < a.cfg.Customers; c++ {
+			a.customers.Put(tx, uint64(c)+1, packCust(0, 0, 0, 0))
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+
+// NumTxns returns the session count.
+func (a *App) NumTxns() int { return a.cfg.Sessions }
+
+// Run executes the sessions under the runner.
+func (a *App) Run(r apps.Runner) (stm.Result, error) {
+	cfg := a.cfg
+	body := func(tx stm.Tx, age int) {
+		rr := rng.New(cfg.Seed ^ rng.Mix64(uint64(age)))
+		cust := uint64(rr.Intn(cfg.Customers)) + 1
+		crec, _ := a.customers.Get(tx, cust)
+		held, hkind, hres, bill := unpackCust(crec)
+		if rr.Intn(100) < cfg.ReservePct {
+			if held != 0 {
+				return // customer already holds a reservation
+			}
+			kind := rr.Intn(numKinds)
+			start := rr.Intn(cfg.Resources)
+			bestRes, bestPrice := -1, uint64(1<<62)
+			// Query a span of resources, pick the cheapest available.
+			for q := 0; q < cfg.QuerySpan; q++ {
+				id := uint64((start+q)%cfg.Resources) + 1
+				rec, ok := a.tables[kind].Get(tx, id)
+				if !ok {
+					continue
+				}
+				total, used, price := unpackRes(rec)
+				if used < total && price < bestPrice {
+					bestRes, bestPrice = int(id), price
+				}
+				if cfg.Yield {
+					runtime.Gosched()
+				}
+			}
+			if bestRes < 0 {
+				return
+			}
+			rec, _ := a.tables[kind].Get(tx, uint64(bestRes))
+			total, used, price := unpackRes(rec)
+			a.tables[kind].Put(tx, uint64(bestRes), packRes(total, used+1, price))
+			a.customers.Put(tx, cust, packCust(1, uint64(kind), uint64(bestRes), bill+price))
+		} else {
+			if held == 0 {
+				return
+			}
+			rec, _ := a.tables[hkind].Get(tx, hres)
+			total, used, price := unpackRes(rec)
+			a.tables[hkind].Put(tx, hres, packRes(total, used-1, price))
+			a.customers.Put(tx, cust, packCust(0, 0, 0, bill-price))
+		}
+	}
+	return r.Exec(cfg.Sessions, body)
+}
+
+// Verify checks the database invariants: usage within capacity, and
+// global usage equals outstanding customer holds.
+func (a *App) Verify() error {
+	var used uint64
+	for k := 0; k < numKinds; k++ {
+		for id, rec := range a.tables[k].Snapshot() {
+			total, u, _ := unpackRes(rec)
+			if u > total {
+				return fmt.Errorf("vacation: resource kind=%d id=%d overbooked (%d/%d)", k, id, u, total)
+			}
+			used += u
+		}
+	}
+	var holds, bills uint64
+	for _, rec := range a.customers.Snapshot() {
+		h, _, _, b := unpackCust(rec)
+		holds += h
+		bills += b
+	}
+	if used != holds {
+		return fmt.Errorf("vacation: used %d != customer holds %d", used, holds)
+	}
+	if holds == 0 && bills != 0 {
+		return fmt.Errorf("vacation: bills %d with no holds", bills)
+	}
+	return nil
+}
+
+// Fingerprint folds the full database state (ordered engines must
+// match the sequential run exactly).
+func (a *App) Fingerprint() uint64 {
+	var h uint64
+	for k := 0; k < numKinds; k++ {
+		for id, rec := range a.tables[k].Snapshot() {
+			h ^= rng.Mix64(uint64(k+1)*1315423911 ^ id*31 ^ rec)
+		}
+	}
+	for id, rec := range a.customers.Snapshot() {
+		h ^= rng.Mix64(id*131 ^ rec)
+	}
+	return h
+}
+
+// Reset restores the initial database.
+func (a *App) Reset() {
+	for k := 0; k < numKinds; k++ {
+		a.tables[k] = txds.NewHashMap(4 * a.cfg.Resources)
+	}
+	a.customers = txds.NewHashMap(4 * a.cfg.Customers)
+	a.populate(rng.New(a.cfg.Seed))
+}

@@ -1,0 +1,309 @@
+// Package stmlite re-implements STMLite (Mehrara, Hao, Hsu, Mahlke,
+// PLDI 2009), the specialized ordered-commit STM the paper compares
+// against (§2, §8). STMLite is a write-back design with no per-address
+// locks: workers execute transactions speculatively, summarize their
+// read- and write-sets as Bloom-filter signatures, and submit them to
+// a Transaction Commit Manager (TCM) running on its own thread. The
+// TCM validates a transaction's read signature against the write
+// signatures of transactions that committed during its execution and
+// grants write-back permission in the predefined commit order, letting
+// several transactions with disjoint signatures write back
+// concurrently. Workers poll/stall until the TCM answers.
+//
+// The paper notes the source of STMLite is not public and that the
+// authors re-implemented it on their own framework; this package is
+// the analogous re-implementation on this repository's substrate.
+package stmlite
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/orderedstm/ostm/internal/meta"
+	"github.com/orderedstm/ostm/internal/sig"
+)
+
+// ringCapacity bounds the TCM's memory of committed write signatures.
+// A transaction whose execution outlived the ring is denied
+// conservatively and re-executed with a fresh start stamp.
+const ringCapacity = 4096
+
+// Engine implements meta.Engine for STMLite.
+type Engine struct {
+	cfg    meta.EngineConfig
+	stamp  atomic.Uint64 // commit stamp: number of granted transactions
+	stable atomic.Uint64 // highest stamp whose write-back (and all before it) finished
+	subs   chan *submission
+	stopc  chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New returns a fresh STMLite engine for one run. The executor must
+// Start/Stop it (meta.Service) so the TCM thread runs for the
+// duration.
+func New(cfg meta.EngineConfig) *Engine {
+	return &Engine{
+		cfg:   cfg.Normalize(),
+		subs:  make(chan *submission, 256),
+		stopc: make(chan struct{}),
+	}
+}
+
+// Name implements meta.Engine.
+func (e *Engine) Name() string { return "STMLite" }
+
+// Mode implements meta.Engine.
+func (e *Engine) Mode() meta.Mode { return meta.ModeLite }
+
+// Stats implements meta.Engine.
+func (e *Engine) Stats() *meta.Stats { return e.cfg.Stats }
+
+// Start launches the TCM thread (meta.Service).
+func (e *Engine) Start() {
+	e.wg.Add(1)
+	go e.tcm()
+}
+
+// Stop terminates the TCM thread, denying any parked submissions.
+func (e *Engine) Stop() {
+	close(e.stopc)
+	e.wg.Wait()
+}
+
+// NewTxn implements meta.Engine. The start stamp is the *stable*
+// stamp — the highest commit whose write-back has fully landed in
+// memory — not the grant counter: a transaction that starts between a
+// grant and its write-back could otherwise read pre-write-back state
+// that signature validation would not cover.
+func (e *Engine) NewTxn(age uint64) meta.Txn {
+	return &Txn{
+		eng:      e,
+		age:      age,
+		start:    e.stable.Load(),
+		readSig:  sig.New(e.cfg.SigBits),
+		writeSig: sig.New(e.cfg.SigBits),
+	}
+}
+
+type writeEntry struct {
+	v   *meta.Var
+	val uint64
+}
+
+// submission is what a worker hands to the TCM at try-commit.
+type submission struct {
+	age      uint64
+	start    uint64 // stable commit stamp at transaction start
+	stamp    uint64 // commit stamp assigned at grant
+	readSig  *sig.Filter
+	writeSig *sig.Filter
+	grant    chan bool
+	done     atomic.Bool // write-back finished
+}
+
+// Txn is one STMLite transaction attempt.
+type Txn struct {
+	eng      *Engine
+	age      uint64
+	start    uint64
+	readSig  *sig.Filter
+	writeSig *sig.Filter
+	writes   []writeEntry
+}
+
+// Age implements meta.Txn.
+func (t *Txn) Age() uint64 { return t.age }
+
+// Doomed implements meta.Txn: STMLite never aborts remotely; conflicts
+// surface as TCM denials.
+func (t *Txn) Doomed() bool { return false }
+
+// Read loads the value and folds the location into the read signature.
+func (t *Txn) Read(v *meta.Var) uint64 {
+	for i := len(t.writes) - 1; i >= 0; i-- {
+		if t.writes[i].v == v {
+			return t.writes[i].val
+		}
+	}
+	t.readSig.Add(v.ID())
+	return v.Load()
+}
+
+// Write buffers the value and folds the location into the write
+// signature.
+func (t *Txn) Write(v *meta.Var, x uint64) {
+	for i := len(t.writes) - 1; i >= 0; i-- {
+		if t.writes[i].v == v {
+			t.writes[i].val = x
+			return
+		}
+	}
+	t.writeSig.Add(v.ID())
+	t.writes = append(t.writes, writeEntry{v: v, val: x})
+}
+
+// ReadSetValid implements meta.Revalidator. Signatures cannot be
+// re-validated against values, so a speculative fault is
+// conservatively attributed to staleness whenever any transaction
+// committed since this one started (which is when stale reads are
+// possible).
+func (t *Txn) ReadSetValid() bool { return t.eng.stamp.Load() == t.start }
+
+// TryCommit submits the signatures to the TCM, stalls for its verdict
+// (the paper's "worker threads poll and stall"), and on grant performs
+// the write-back.
+func (t *Txn) TryCommit() bool {
+	s := &submission{
+		age:      t.age,
+		start:    t.start,
+		readSig:  t.readSig,
+		writeSig: t.writeSig,
+		grant:    make(chan bool, 1),
+	}
+	select {
+	case t.eng.subs <- s:
+	case <-t.eng.stopc:
+		return false
+	}
+	if !<-s.grant {
+		t.eng.cfg.Stats.Abort(meta.CauseValidation)
+		return false
+	}
+	for i := range t.writes {
+		t.writes[i].v.Store(t.writes[i].val)
+	}
+	s.done.Store(true)
+	return true
+}
+
+// Commit implements meta.Txn.
+func (t *Txn) Commit() bool { return true }
+
+// Cleanup implements meta.Txn.
+func (t *Txn) Cleanup() { t.writes = nil }
+
+// AbandonAttempt implements meta.Txn: nothing shared before grant.
+func (t *Txn) AbandonAttempt() {}
+
+// ringEntry is one committed write signature with its commit stamp.
+type ringEntry struct {
+	stamp uint64
+	ws    *sig.Filter
+}
+
+// tcm is the Transaction Commit Manager loop.
+func (e *Engine) tcm() {
+	defer e.wg.Done()
+	pending := make(map[uint64]*submission)
+	var ring []ringEntry
+	var inflight []*submission
+	for {
+		var s *submission
+		select {
+		case s = <-e.subs:
+		case <-e.stopc:
+			for _, p := range pending {
+				p.grant <- false
+			}
+			return
+		}
+		pending[s.age] = s
+		// Grant as many consecutive next-to-commit transactions as
+		// possible.
+		for {
+			// Publish write-back progress first: a denied worker's
+			// retry must be able to pick up a start stamp that covers
+			// every landed commit, or it would be denied forever.
+			e.advanceStable(&inflight)
+			next := e.cfg.Order.Committed()
+			cand, ok := pending[next]
+			if !ok {
+				break
+			}
+			// Conflict: read signature vs write signatures committed
+			// after the candidate started. If the candidate's
+			// execution outlived the signature ring, deny
+			// conservatively (a fresh attempt gets a current stamp).
+			conflict := false
+			if len(ring) > 0 && cand.start+1 < ring[0].stamp {
+				conflict = true
+			} else {
+				for i := len(ring) - 1; i >= 0; i-- {
+					if ring[i].stamp <= cand.start {
+						break
+					}
+					if ring[i].ws.Intersects(cand.readSig) {
+						conflict = true
+						break
+					}
+				}
+			}
+			if conflict {
+				delete(pending, next)
+				cand.grant <- false // worker re-executes and resubmits
+				break
+			}
+			// Concurrent write-backs must not overlap each other's
+			// write sets (in-order application of aliased writes):
+			// wait for conflicting in-flight write-backs to finish.
+			inflight = e.waitInflight(inflight, cand)
+			st := e.stamp.Add(1)
+			cand.stamp = st
+			ring = append(ring, ringEntry{stamp: st, ws: cand.writeSig})
+			if len(ring) > ringCapacity {
+				ring = append(ring[:0], ring[len(ring)-ringCapacity/2:]...)
+			}
+			inflight = append(inflight, cand)
+			delete(pending, next)
+			cand.grant <- true
+			e.cfg.Order.Complete(next)
+			e.advanceStable(&inflight)
+		}
+	}
+}
+
+// waitInflight prunes finished write-backs and stalls until none of
+// the remaining ones overlaps the candidate's signatures.
+func (e *Engine) waitInflight(inflight []*submission, cand *submission) []*submission {
+	for spin := 0; ; spin++ {
+		live := inflight[:0]
+		conflict := false
+		for _, f := range inflight {
+			if f.done.Load() {
+				continue
+			}
+			live = append(live, f)
+			if f.writeSig.Intersects(cand.writeSig) || f.writeSig.Intersects(cand.readSig) {
+				conflict = true
+			}
+		}
+		inflight = live
+		e.advanceStable(&inflight)
+		if !conflict {
+			return inflight
+		}
+		meta.Pause(spin)
+	}
+}
+
+// advanceStable publishes the highest stamp below which every granted
+// write-back has completed. Grants are in order, so the stable stamp
+// is the stamp just before the oldest unfinished write-back (or the
+// grant counter when none is in flight).
+func (e *Engine) advanceStable(inflight *[]*submission) {
+	live := (*inflight)[:0]
+	stable := e.stamp.Load()
+	for _, f := range *inflight {
+		if f.done.Load() {
+			continue
+		}
+		live = append(live, f)
+		if f.stamp-1 < stable {
+			stable = f.stamp - 1
+		}
+	}
+	*inflight = live
+	if stable > e.stable.Load() {
+		e.stable.Store(stable)
+	}
+}

@@ -1,0 +1,380 @@
+// Package txds provides transactional data structures built purely on
+// the public STM API (stm.Var words accessed through stm.Tx): an
+// open-addressing hash map, a set, a bounded queue and a sorted linked
+// list over a node pool. They are the substrate for the STAMP-style
+// applications (genome's segment table, vacation's relation tables,
+// intruder's flow map, ...), mirroring the transactional collections
+// the original C benchmarks use.
+//
+// All structures have fixed capacity chosen at construction: resizing
+// under speculative execution would serialize every transaction, and
+// the STAMP originals pre-size their tables the same way.
+//
+// Concurrency follows from the STM: every slot access goes through
+// tx.Read/tx.Write, so conflicts, aborts and ordering are handled by
+// whatever engine runs the enclosing transaction.
+package txds
+
+import (
+	"fmt"
+
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Reserved hash-map key values.
+const (
+	// EmptyKey marks a never-used slot (user keys must differ).
+	EmptyKey = uint64(0)
+	// TombKey marks a deleted slot (user keys must differ).
+	TombKey = ^uint64(0)
+)
+
+// HashMap is a fixed-capacity open-addressing (linear probing) hash
+// map from uint64 keys to uint64 values. Keys 0 and ^0 are reserved.
+type HashMap struct {
+	mask uint64
+	keys []stm.Var
+	vals []stm.Var
+}
+
+// NewHashMap returns a map with capacity rounded up to a power of two
+// (at least 8). The map degrades as it fills; size it generously, as
+// the STAMP benchmarks do.
+func NewHashMap(capacity int) *HashMap {
+	size := 8
+	for size < capacity {
+		size <<= 1
+	}
+	return &HashMap{
+		mask: uint64(size - 1),
+		keys: stm.NewVars(size),
+		vals: stm.NewVars(size),
+	}
+}
+
+// Cap returns the slot count.
+func (m *HashMap) Cap() int { return len(m.keys) }
+
+func checkKey(key uint64) {
+	if key == EmptyKey || key == TombKey {
+		panic(fmt.Sprintf("txds: reserved key %#x", key))
+	}
+}
+
+// Get returns the value stored under key.
+func (m *HashMap) Get(tx stm.Tx, key uint64) (uint64, bool) {
+	checkKey(key)
+	h := rng.Mix64(key)
+	for i := uint64(0); i <= m.mask; i++ {
+		slot := (h + i) & m.mask
+		k := tx.Read(&m.keys[slot])
+		if k == key {
+			return tx.Read(&m.vals[slot]), true
+		}
+		if k == EmptyKey {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Put inserts or overwrites key. It returns false when the map is
+// full.
+func (m *HashMap) Put(tx stm.Tx, key, val uint64) bool {
+	checkKey(key)
+	h := rng.Mix64(key)
+	free := -1
+	for i := uint64(0); i <= m.mask; i++ {
+		slot := (h + i) & m.mask
+		k := tx.Read(&m.keys[slot])
+		if k == key {
+			tx.Write(&m.vals[slot], val)
+			return true
+		}
+		if k == TombKey && free < 0 {
+			free = int(slot)
+			continue
+		}
+		if k == EmptyKey {
+			if free < 0 {
+				free = int(slot)
+			}
+			tx.Write(&m.keys[uint64(free)], key)
+			tx.Write(&m.vals[uint64(free)], val)
+			return true
+		}
+	}
+	if free >= 0 {
+		tx.Write(&m.keys[uint64(free)], key)
+		tx.Write(&m.vals[uint64(free)], val)
+		return true
+	}
+	return false
+}
+
+// PutIfAbsent inserts key only if missing; it returns the value now
+// associated with key and whether this call inserted it. ok is false
+// when the map is full.
+func (m *HashMap) PutIfAbsent(tx stm.Tx, key, val uint64) (cur uint64, inserted, ok bool) {
+	checkKey(key)
+	h := rng.Mix64(key)
+	free := -1
+	for i := uint64(0); i <= m.mask; i++ {
+		slot := (h + i) & m.mask
+		k := tx.Read(&m.keys[slot])
+		if k == key {
+			return tx.Read(&m.vals[slot]), false, true
+		}
+		if k == TombKey && free < 0 {
+			free = int(slot)
+			continue
+		}
+		if k == EmptyKey {
+			if free < 0 {
+				free = int(slot)
+			}
+			tx.Write(&m.keys[uint64(free)], key)
+			tx.Write(&m.vals[uint64(free)], val)
+			return val, true, true
+		}
+	}
+	if free >= 0 {
+		tx.Write(&m.keys[uint64(free)], key)
+		tx.Write(&m.vals[uint64(free)], val)
+		return val, true, true
+	}
+	return 0, false, false
+}
+
+// Delete removes key, returning whether it was present.
+func (m *HashMap) Delete(tx stm.Tx, key uint64) bool {
+	checkKey(key)
+	h := rng.Mix64(key)
+	for i := uint64(0); i <= m.mask; i++ {
+		slot := (h + i) & m.mask
+		k := tx.Read(&m.keys[slot])
+		if k == key {
+			tx.Write(&m.keys[slot], TombKey)
+			return true
+		}
+		if k == EmptyKey {
+			return false
+		}
+	}
+	return false
+}
+
+// Snapshot returns the quiescent contents (outside any run; for
+// verification and tests).
+func (m *HashMap) Snapshot() map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	for i := range m.keys {
+		k := m.keys[i].Load()
+		if k != EmptyKey && k != TombKey {
+			out[k] = m.vals[i].Load()
+		}
+	}
+	return out
+}
+
+// Set is a hash set over HashMap.
+type Set struct{ m *HashMap }
+
+// NewSet returns a set with the given capacity.
+func NewSet(capacity int) *Set { return &Set{m: NewHashMap(capacity)} }
+
+// Add inserts key; it reports whether the key was newly added. ok is
+// false when the set is full.
+func (s *Set) Add(tx stm.Tx, key uint64) (added, ok bool) {
+	_, added, ok = s.m.PutIfAbsent(tx, key, 1)
+	return added, ok
+}
+
+// Contains reports membership.
+func (s *Set) Contains(tx stm.Tx, key uint64) bool {
+	_, found := s.m.Get(tx, key)
+	return found
+}
+
+// Remove deletes key, reporting whether it was present.
+func (s *Set) Remove(tx stm.Tx, key uint64) bool { return s.m.Delete(tx, key) }
+
+// Snapshot returns the quiescent members.
+func (s *Set) Snapshot() map[uint64]bool {
+	out := make(map[uint64]bool)
+	for k := range s.m.Snapshot() {
+		out[k] = true
+	}
+	return out
+}
+
+// Queue is a bounded FIFO ring buffer.
+type Queue struct {
+	head stm.Var // dequeue position
+	tail stm.Var // enqueue position
+	buf  []stm.Var
+	mask uint64
+}
+
+// NewQueue returns a queue with capacity rounded up to a power of two.
+func NewQueue(capacity int) *Queue {
+	size := 8
+	for size < capacity {
+		size <<= 1
+	}
+	q := &Queue{buf: stm.NewVars(size), mask: uint64(size - 1)}
+	return q
+}
+
+// Enqueue appends x; false when full.
+func (q *Queue) Enqueue(tx stm.Tx, x uint64) bool {
+	h := tx.Read(&q.head)
+	t := tx.Read(&q.tail)
+	if t-h > q.mask {
+		return false
+	}
+	tx.Write(&q.buf[t&q.mask], x)
+	tx.Write(&q.tail, t+1)
+	return true
+}
+
+// Dequeue removes the oldest element; false when empty.
+func (q *Queue) Dequeue(tx stm.Tx) (uint64, bool) {
+	h := tx.Read(&q.head)
+	t := tx.Read(&q.tail)
+	if h == t {
+		return 0, false
+	}
+	x := tx.Read(&q.buf[h&q.mask])
+	tx.Write(&q.head, h+1)
+	return x, true
+}
+
+// Len returns the current number of elements.
+func (q *Queue) Len(tx stm.Tx) int {
+	return int(tx.Read(&q.tail) - tx.Read(&q.head))
+}
+
+// List is a sorted singly-linked list (ascending unique keys) over a
+// fixed node pool, the classic STM list microstructure. Node index 0
+// is the nil sentinel.
+type List struct {
+	head stm.Var // index of first node, 0 if empty
+	free stm.Var // head of the free list
+	next []stm.Var
+	keys []stm.Var
+	vals []stm.Var
+}
+
+// NewList returns a list with room for capacity nodes.
+func NewList(capacity int) *List {
+	n := capacity + 1
+	l := &List{
+		next: stm.NewVars(n),
+		keys: stm.NewVars(n),
+		vals: stm.NewVars(n),
+	}
+	// Chain all nodes 1..capacity into the free list (quiescent init).
+	for i := 1; i < capacity; i++ {
+		l.next[i].Store(uint64(i + 1))
+	}
+	if capacity >= 1 {
+		l.free.Store(1)
+	}
+	return l
+}
+
+func (l *List) alloc(tx stm.Tx) (uint64, bool) {
+	n := tx.Read(&l.free)
+	if n == 0 {
+		return 0, false
+	}
+	tx.Write(&l.free, tx.Read(&l.next[n]))
+	return n, true
+}
+
+func (l *List) release(tx stm.Tx, n uint64) {
+	tx.Write(&l.next[n], tx.Read(&l.free))
+	tx.Write(&l.free, n)
+}
+
+// Insert adds key (keeping ascending order); inserted reports whether
+// the key was new, ok is false when the pool is exhausted.
+func (l *List) Insert(tx stm.Tx, key, val uint64) (inserted, ok bool) {
+	prev := uint64(0)
+	cur := tx.Read(&l.head)
+	for cur != 0 {
+		k := tx.Read(&l.keys[cur])
+		if k == key {
+			tx.Write(&l.vals[cur], val)
+			return false, true
+		}
+		if k > key {
+			break
+		}
+		prev, cur = cur, tx.Read(&l.next[cur])
+	}
+	n, ok := l.alloc(tx)
+	if !ok {
+		return false, false
+	}
+	tx.Write(&l.keys[n], key)
+	tx.Write(&l.vals[n], val)
+	tx.Write(&l.next[n], cur)
+	if prev == 0 {
+		tx.Write(&l.head, n)
+	} else {
+		tx.Write(&l.next[prev], n)
+	}
+	return true, true
+}
+
+// Get returns the value stored under key.
+func (l *List) Get(tx stm.Tx, key uint64) (uint64, bool) {
+	cur := tx.Read(&l.head)
+	for cur != 0 {
+		k := tx.Read(&l.keys[cur])
+		if k == key {
+			return tx.Read(&l.vals[cur]), true
+		}
+		if k > key {
+			return 0, false
+		}
+		cur = tx.Read(&l.next[cur])
+	}
+	return 0, false
+}
+
+// Remove deletes key, reporting whether it was present.
+func (l *List) Remove(tx stm.Tx, key uint64) bool {
+	prev := uint64(0)
+	cur := tx.Read(&l.head)
+	for cur != 0 {
+		k := tx.Read(&l.keys[cur])
+		if k == key {
+			nx := tx.Read(&l.next[cur])
+			if prev == 0 {
+				tx.Write(&l.head, nx)
+			} else {
+				tx.Write(&l.next[prev], nx)
+			}
+			l.release(tx, cur)
+			return true
+		}
+		if k > key {
+			return false
+		}
+		prev, cur = cur, tx.Read(&l.next[cur])
+	}
+	return false
+}
+
+// Snapshot returns the quiescent (key, value) contents in list order.
+func (l *List) Snapshot() [][2]uint64 {
+	var out [][2]uint64
+	for cur := l.head.Load(); cur != 0; cur = l.next[cur].Load() {
+		out = append(out, [2]uint64{l.keys[cur].Load(), l.vals[cur].Load()})
+	}
+	return out
+}

@@ -1,0 +1,438 @@
+// Package undolog implements the UndoLog baseline of the paper (§8):
+// an encounter-time locking, write-through STM in the style of
+// TinySTM/Ettersoft write-through designs, in four flavors — visible or
+// invisible readers, each unordered or ordered. The ordered variants
+// use the paper's age-based contention policy (always favor the
+// transaction with the lower age); commit is gated on the predefined
+// commit order.
+//
+// Unlike OUL (internal/core), UndoLog is not cooperative: a reader
+// never consumes a live writer's value knowingly — it waits for (or
+// aborts) the writer. Rollback is victim-performed: aborters only set
+// a doom flag and the victim restores its undo log when it next runs,
+// which is the classical design and one reason OUL outperforms it.
+package undolog
+
+import (
+	"sync/atomic"
+
+	"github.com/orderedstm/ostm/internal/meta"
+)
+
+// ulLock is one lock-table record: the owning writer (remains set,
+// pointing at a finalized transaction, after commit/abort — the status
+// of the owner disambiguates), a version counter bumped on every
+// release and rollback (invisible readers validate against it), and
+// lazily allocated visible-reader slots.
+type ulLock struct {
+	owner   atomic.Pointer[Txn]
+	version atomic.Uint64
+	readers meta.LazySlots[Txn]
+}
+
+// Engine implements meta.Engine for the four UndoLog variants.
+type Engine struct {
+	cfg     meta.EngineConfig
+	locks   *meta.Table[ulLock]
+	visible bool
+	ordered bool
+}
+
+// New returns a fresh UndoLog engine for one run.
+func New(cfg meta.EngineConfig, visible, ordered bool) *Engine {
+	cfg = cfg.Normalize()
+	return &Engine{cfg: cfg, locks: meta.NewTable[ulLock](cfg.TableBits), visible: visible, ordered: ordered}
+}
+
+// Name implements meta.Engine.
+func (e *Engine) Name() string {
+	n := "UndoLog-invis"
+	if e.visible {
+		n = "UndoLog-vis"
+	}
+	if e.ordered {
+		return "Ordered-" + n
+	}
+	return n
+}
+
+// Mode implements meta.Engine.
+func (e *Engine) Mode() meta.Mode {
+	if e.ordered {
+		return meta.ModeBlocked
+	}
+	return meta.ModeUnordered
+}
+
+// Stats implements meta.Engine.
+func (e *Engine) Stats() *meta.Stats { return e.cfg.Stats }
+
+// NewTxn implements meta.Engine.
+func (e *Engine) NewTxn(age uint64) meta.Txn {
+	t := &Txn{eng: e, age: age}
+	t.status.Store(meta.StatusActive)
+	return t
+}
+
+type ulWrite struct {
+	v    *meta.Var
+	lock *ulLock
+	old  uint64
+}
+
+type ulRead struct {
+	lock  *ulLock
+	owner *Txn
+	ver   uint64
+}
+
+type readRef struct {
+	arr *meta.SlotArray[Txn]
+	idx int
+}
+
+// Txn is one UndoLog transaction attempt.
+type Txn struct {
+	eng    *Engine
+	age    uint64
+	status meta.StatusWord // Active → Committed | Aborted
+	doomed atomic.Bool
+
+	writes   []ulWrite
+	reads    []ulRead  // invisible readers
+	readRefs []readRef // visible readers
+}
+
+// Age implements meta.Txn.
+func (t *Txn) Age() uint64 { return t.age }
+
+// Doomed implements meta.Txn.
+func (t *Txn) Doomed() bool { return t.doomed.Load() }
+
+// doom marks a victim for abort; the victim rolls itself back at its
+// next operation (or wait wake-up). Counts the cause once.
+func (t *Txn) doom(c meta.Cause) {
+	if t.doomed.CompareAndSwap(false, true) {
+		t.eng.cfg.Stats.Abort(c)
+	}
+	t.eng.cfg.Order.Kick()
+}
+
+func (t *Txn) checkDoom() {
+	if t.doomed.Load() {
+		t.rollback()
+		meta.PanicAbort(meta.CauseNone)
+	}
+}
+
+func (t *Txn) selfAbort(c meta.Cause) {
+	if t.doomed.CompareAndSwap(false, true) {
+		t.eng.cfg.Stats.Abort(c)
+	}
+	t.rollback()
+	meta.PanicAbort(c)
+}
+
+// live reports whether o speculatively owns its locks.
+func live(o *Txn) bool {
+	return o != nil && o.status.Load() == meta.StatusActive
+}
+
+// rollback restores the undo log, bumps versions so invisible readers
+// detect the flicker, and finalizes the attempt. Only ever run by the
+// victim's own goroutine, so no descriptor locking is needed.
+func (t *Txn) rollback() {
+	if t.status.Load().Final() {
+		return
+	}
+	for i := len(t.writes) - 1; i >= 0; i-- {
+		e := &t.writes[i]
+		if e.lock.owner.Load() == t {
+			e.v.Store(e.old)
+			e.lock.version.Add(1)
+		}
+	}
+	t.status.Store(meta.StatusAborted)
+	t.eng.cfg.Order.Kick()
+}
+
+// Read dispatches to the visible or invisible protocol.
+func (t *Txn) Read(v *meta.Var) uint64 {
+	if t.eng.visible {
+		return t.readVisible(v)
+	}
+	return t.readInvisible(v)
+}
+
+// readInvisible loads the value and records (owner, version) for
+// commit-time validation. A live foreign owner is handled by the
+// contention policy: ordered favors the lower age (abort a higher-age
+// owner, wait out a lower-age one); unordered retries a bounded number
+// of times and then backs off by self-aborting, matching §8.
+func (t *Txn) readInvisible(v *meta.Var) uint64 {
+	lk := t.eng.locks.Of(v)
+	for spin := 0; ; spin++ {
+		t.checkDoom()
+		o := lk.owner.Load()
+		ver := lk.version.Load()
+		if o != nil && o != t && live(o) {
+			if t.eng.ordered {
+				if o.age > t.age {
+					o.doom(meta.CauseRAW)
+				}
+				meta.Pause(spin) // lower age: it commits before us; wait
+				continue
+			}
+			if spin >= t.eng.cfg.SpinBudget {
+				t.selfAbort(meta.CauseBusy)
+			}
+			meta.Pause(spin)
+			continue
+		}
+		val := v.Load()
+		if lk.owner.Load() != o || lk.version.Load() != ver {
+			meta.Pause(spin)
+			continue // torn snapshot
+		}
+		t.reads = append(t.reads, ulRead{lock: lk, owner: o, ver: ver})
+		return val
+	}
+}
+
+// readVisible registers in the lock's reader slots before loading; the
+// writer/reader conflict is resolved at write time (writers abort
+// conflicting visible readers), so no commit-time validation is
+// needed.
+func (t *Txn) readVisible(v *meta.Var) uint64 {
+	lk := t.eng.locks.Of(v)
+	for spin := 0; ; spin++ {
+		t.checkDoom()
+		o := lk.owner.Load()
+		if o != nil && o != t && live(o) {
+			if t.eng.ordered {
+				if o.age > t.age {
+					o.doom(meta.CauseRAW)
+				}
+				meta.Pause(spin) // lower-age writer: wait for its commit
+				continue
+			}
+			if spin >= t.eng.cfg.SpinBudget {
+				t.selfAbort(meta.CauseBusy)
+			}
+			meta.Pause(spin)
+			continue
+		}
+		if !t.register(lk) {
+			t.rollback()
+			meta.PanicAbort(meta.CauseNone)
+		}
+		if lk.owner.Load() != o {
+			meta.Pause(spin)
+			continue // writer slipped in while we registered
+		}
+		return v.Load()
+	}
+}
+
+// register claims a visible-reader slot (free = empty or final
+// occupant). If the array stays full past the spin budget, the reader
+// dooms the highest-age occupant above its own age so the bounded
+// array can never deadlock the commit frontier. Returns false if
+// doomed while waiting for a slot.
+func (t *Txn) register(lk *ulLock) bool {
+	arr := lk.readers.Get(t.eng.cfg.MaxReaders)
+	for spin := 0; ; spin++ {
+		for i := range arr.Slots {
+			cur := arr.Slots[i].Load()
+			if cur == t {
+				return true
+			}
+			if cur == nil || cur.status.Load().Final() {
+				if arr.Slots[i].CompareAndSwap(cur, t) {
+					t.readRefs = append(t.readRefs, readRef{arr: arr, idx: i})
+					return true
+				}
+			}
+		}
+		if t.doomed.Load() {
+			return false
+		}
+		if spin > 0 && spin%t.eng.cfg.SpinBudget == 0 {
+			var victim *Txn
+			for i := range arr.Slots {
+				cur := arr.Slots[i].Load()
+				if cur != nil && cur != t && cur.age > t.age && !cur.status.Load().Final() {
+					if victim == nil || cur.age > victim.age {
+						victim = cur
+					}
+				}
+			}
+			if victim != nil {
+				victim.doom(meta.CauseBusy)
+			}
+		}
+		meta.Pause(spin)
+	}
+}
+
+// Write acquires the write lock encounter-time, saves the pre-image in
+// the undo log and writes through. Write-write conflicts follow the
+// age-based policy when ordered (favor lower age) and bounded-spin
+// self-abort when unordered. Visible readers conflicting with the
+// write are aborted (all of them when unordered — writer priority;
+// only higher-age ones when ordered, since a lower-age reader
+// serializes before this write under ACO).
+func (t *Txn) Write(v *meta.Var, x uint64) {
+	lk := t.eng.locks.Of(v)
+	for spin := 0; ; spin++ {
+		t.checkDoom()
+		o := lk.owner.Load()
+		if o == t {
+			t.appendUndo(v, lk)
+			t.killReaders(lk)
+			v.Store(x)
+			return
+		}
+		if live(o) {
+			if t.eng.ordered {
+				if o.age > t.age {
+					o.doom(meta.CauseWAW)
+				}
+				meta.Pause(spin) // wait for victim rollback / lower-age commit
+				continue
+			}
+			if spin >= t.eng.cfg.SpinBudget {
+				t.selfAbort(meta.CauseWAW)
+			}
+			meta.Pause(spin)
+			continue
+		}
+		if !lk.owner.CompareAndSwap(o, t) {
+			meta.Pause(spin)
+			continue
+		}
+		t.appendUndo(v, lk)
+		t.killReaders(lk)
+		v.Store(x)
+		return
+	}
+}
+
+func (t *Txn) appendUndo(v *meta.Var, lk *ulLock) {
+	for i := range t.writes {
+		if t.writes[i].v == v {
+			return
+		}
+	}
+	t.writes = append(t.writes, ulWrite{v: v, lock: lk, old: v.Load()})
+}
+
+// killReaders aborts visible readers that conflict with a write to lk.
+func (t *Txn) killReaders(lk *ulLock) {
+	if !t.eng.visible {
+		return
+	}
+	arr := lk.readers.Peek()
+	if arr == nil {
+		return
+	}
+	for i := range arr.Slots {
+		r := arr.Slots[i].Load()
+		if r == nil || r == t || r.status.Load().Final() {
+			continue
+		}
+		if t.eng.ordered && r.age < t.age {
+			continue // its read serializes before us under ACO
+		}
+		r.doom(meta.CauseKilledReader)
+	}
+}
+
+// ReadSetValid implements meta.Revalidator (invisible readers only;
+// visible readers cannot observe stale state undetected).
+func (t *Txn) ReadSetValid() bool {
+	if t.eng.visible {
+		return !t.doomed.Load()
+	}
+	for i := range t.reads {
+		e := &t.reads[i]
+		if e.lock.version.Load() != e.ver || e.lock.owner.Load() != e.owner {
+			return false
+		}
+	}
+	return true
+}
+
+// TryCommit validates (invisible readers), releases the write locks by
+// bumping versions and flipping the status, and — when ordered — does
+// all of that only at the transaction's commit turn.
+func (t *Txn) TryCommit() bool {
+	if t.eng.ordered {
+		if !t.eng.cfg.Order.WaitTurn(t.age, t.Doomed) {
+			t.rollback()
+			return false
+		}
+	}
+	if t.doomed.Load() {
+		t.rollback()
+		return false
+	}
+	if !t.eng.visible {
+		for i := range t.reads {
+			e := &t.reads[i]
+			if e.lock.version.Load() != e.ver || (e.lock.owner.Load() != e.owner && e.lock.owner.Load() != t) {
+				if t.eng.ordered {
+					// Age-based contention policy at commit: any live
+					// higher-age writer squatting on our read-set can
+					// never commit before us (the order forbids it), so
+					// it must be doomed or our turn never validates.
+					for j := range t.reads {
+						o := t.reads[j].lock.owner.Load()
+						if o != nil && o != t && o.age > t.age &&
+							o.status.Load() == meta.StatusActive {
+							o.doom(meta.CauseRAW)
+						}
+					}
+				}
+				t.eng.cfg.Stats.Abort(meta.CauseValidation)
+				t.doomed.Store(true)
+				t.rollback()
+				return false
+			}
+		}
+	}
+	for i := range t.writes {
+		t.writes[i].lock.version.Add(1)
+	}
+	t.status.Store(meta.StatusCommitted)
+	if t.eng.ordered {
+		t.eng.cfg.Order.Complete(t.age)
+	}
+	return true
+}
+
+// Commit implements meta.Txn.
+func (t *Txn) Commit() bool { return true }
+
+// Cleanup implements meta.Txn: clear stale back-references.
+func (t *Txn) Cleanup() {
+	for _, r := range t.readRefs {
+		r.arr.Slots[r.idx].CompareAndSwap(t, nil)
+	}
+	for i := range t.writes {
+		t.writes[i].lock.owner.CompareAndSwap(t, nil)
+	}
+	t.readRefs = nil
+	t.reads = nil
+	t.writes = nil
+}
+
+// AbandonAttempt implements meta.Txn: victim-performed rollback.
+func (t *Txn) AbandonAttempt() {
+	if !t.status.Load().Final() {
+		if t.doomed.CompareAndSwap(false, true) {
+			t.eng.cfg.Stats.Abort(meta.CauseNone)
+		}
+		t.rollback()
+	}
+}

@@ -1,0 +1,112 @@
+package stm
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/orderedstm/ostm/internal/meta"
+)
+
+// Config parameterizes an Executor.
+type Config struct {
+	// Algorithm selects the engine (default Sequential).
+	Algorithm Algorithm
+	// Workers is the number of worker goroutines (default 1). The
+	// paper's thread counts map onto this; for STMLite the commit
+	// manager runs on an extra goroutine but is counted as one of the
+	// workers to match the paper's accounting ("the number of threads
+	// in STMLite also includes its commit manager"), so STMLite runs
+	// Workers-1 transaction workers.
+	Workers int
+	// TableBits sizes the striped lock table at 1<<TableBits records
+	// (default 16). Smaller tables increase address aliasing and
+	// false conflicts, as in the paper's LSB-mapped locks.
+	TableBits uint
+	// MaxReaders bounds visible-reader slots per lock record
+	// (default 40, the paper's setting).
+	MaxReaders int
+	// Window bounds how far ahead of the last committed age workers
+	// may start new transactions (Algorithm 5's MAX; default
+	// 8*Workers, minimum 2*Workers). Only cooperative engines use it.
+	Window int
+	// SpinBudget bounds optimistic spinning before self-aborting on a
+	// busy resource (default 64).
+	SpinBudget int
+	// SigBits sizes STMLite signatures in bits (default 64, the
+	// paper's choice).
+	SigBits uint
+	// QuiesceAfter is the number of failed validator re-executions of
+	// a reachable transaction before the executor gates new exposes to
+	// guarantee progress (default 8; see DESIGN.md §5).
+	QuiesceAfter int
+	// RetryUnknownPanics makes the sandbox retry attempts that panic
+	// for reasons it cannot attribute to staleness, instead of
+	// reporting a Fault (default false).
+	RetryUnknownPanics bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.TableBits == 0 {
+		c.TableBits = meta.DefaultTableBits
+	}
+	if c.MaxReaders <= 0 {
+		c.MaxReaders = meta.DefaultMaxReaders
+	}
+	if c.Window <= 0 {
+		c.Window = 8 * c.Workers
+	}
+	if c.Window < 2*c.Workers {
+		c.Window = 2 * c.Workers
+	}
+	if c.SpinBudget <= 0 {
+		c.SpinBudget = meta.DefaultSpinBudget
+	}
+	if c.SigBits == 0 {
+		c.SigBits = meta.DefaultSigBits
+	}
+	if c.QuiesceAfter <= 0 {
+		c.QuiesceAfter = 8
+	}
+	return c
+}
+
+// Result reports one run.
+type Result struct {
+	// Algorithm that executed the run.
+	Algorithm Algorithm
+	// Workers actually used.
+	Workers int
+	// N is the number of transactions committed (== requested n on
+	// success).
+	N int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Stats are the engine counters (commits, aborts by cause, ...).
+	Stats meta.StatsView
+}
+
+// Throughput returns committed transactions per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.N) / r.Elapsed.Seconds()
+}
+
+// Fault is returned by Run when a transaction body panicked for a
+// reason the sandbox could not attribute to speculative staleness; it
+// corresponds to a fault the sequential execution would also hit.
+type Fault struct {
+	// Age of the faulting transaction.
+	Age uint64
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("stm: transaction %d faulted: %v", f.Age, f.Value)
+}

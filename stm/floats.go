@@ -1,0 +1,6 @@
+package stm
+
+import "math"
+
+func toBits(x float64) uint64   { return math.Float64bits(x) }
+func fromBits(b uint64) float64 { return math.Float64frombits(b) }

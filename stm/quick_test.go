@@ -1,0 +1,180 @@
+package stm_test
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// TestQuickACOEquivalence is the property-based form of the central
+// oracle: for arbitrary seeds, a random transactional program run by
+// a randomly chosen ordered engine with a random worker count leaves
+// memory identical to the sequential run.
+func TestQuickACOEquivalence(t *testing.T) {
+	ordered := stm.OrderedAlgorithms()
+	prop := func(seed uint64, algPick, workerPick uint8) bool {
+		alg := ordered[int(algPick)%len(ordered)]
+		workers := []int{2, 3, 5, 8}[workerPick%4]
+		vars := stm.NewVars(10)
+		body := yieldingBody(seed, vars, 6)
+
+		mustRun(t, stm.Config{Algorithm: stm.Sequential}, 60, body)
+		want := snapshot(vars)
+
+		resetVars(vars)
+		mustRun(t, stm.Config{Algorithm: alg, Workers: workers}, 60, body)
+		got := snapshot(vars)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Logf("alg=%v workers=%d seed=%d: var %d %#x != %#x",
+					alg, workers, seed, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMonotonicCounter: arbitrary per-age increments must sum
+// exactly, under an arbitrary ordered engine.
+func TestQuickMonotonicCounter(t *testing.T) {
+	ordered := stm.OrderedAlgorithms()
+	prop := func(seed uint64, algPick uint8) bool {
+		alg := ordered[int(algPick)%len(ordered)]
+		v := stm.NewVar(0)
+		r := rng.New(seed)
+		increments := make([]uint64, 80)
+		var want uint64
+		for i := range increments {
+			increments[i] = r.Uint64n(1000)
+			want += increments[i]
+		}
+		mustRun(t, stm.Config{Algorithm: alg, Workers: 4}, len(increments), func(tx stm.Tx, age int) {
+			tx.Write(v, tx.Read(v)+increments[age])
+			runtime.Gosched()
+		})
+		return v.Load() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSwapChain: each transaction swaps two random variables; the
+// multiset of values is invariant under swaps, and the exact
+// arrangement must match the sequential order.
+func TestQuickSwapChain(t *testing.T) {
+	prop := func(seed uint64) bool {
+		const nVars, nTx = 8, 100
+		vars := stm.NewVars(nVars)
+		for i := range vars {
+			vars[i].Store(uint64(i) * 111)
+		}
+		body := func(tx stm.Tx, age int) {
+			r := rng.New(seed ^ rng.Mix64(uint64(age)))
+			i, j := r.Intn(nVars), r.Intn(nVars)
+			a, b := tx.Read(&vars[i]), tx.Read(&vars[j])
+			tx.Write(&vars[i], b)
+			tx.Write(&vars[j], a)
+			runtime.Gosched()
+		}
+		mustRun(t, stm.Config{Algorithm: stm.Sequential}, nTx, body)
+		want := snapshot(vars)
+		for _, alg := range []stm.Algorithm{stm.OWB, stm.OUL, stm.OULSteal} {
+			for i := range vars {
+				vars[i].Store(uint64(i) * 111)
+			}
+			mustRun(t, stm.Config{Algorithm: alg, Workers: 6}, nTx, body)
+			got := snapshot(vars)
+			for k := range want {
+				if got[k] != want[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultDuringReachableReexecution: a body that faults only when a
+// guard is in a specific committed state must surface the fault even
+// if it first appears during a validator re-execution.
+func TestFaultDuringReachableReexecution(t *testing.T) {
+	// Deterministic fault at a fixed age: whatever path executes age
+	// 25 (worker or validator re-execution), the fault is genuine and
+	// must be reported once.
+	for _, alg := range []stm.Algorithm{stm.OWB, stm.OUL} {
+		v := stm.NewVar(0)
+		ex, err := stm.NewExecutor(stm.Config{Algorithm: alg, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = ex.Run(60, func(tx stm.Tx, age int) {
+			tx.Write(v, tx.Read(v)+1)
+			runtime.Gosched()
+			if age == 25 {
+				var zero int
+				_ = 1 / zero // deterministic division by zero
+			}
+		})
+		if err == nil {
+			t.Fatalf("%v: fault swallowed", alg)
+		}
+	}
+}
+
+// TestOrderedCommitOrderObserved records commit order via a side
+// channel (safe: one append per final commit through an ordered
+// variable read) and checks it is exactly 0..n-1.
+func TestOrderedCommitOrderObserved(t *testing.T) {
+	const n = 120
+	for _, alg := range stm.OrderedAlgorithms() {
+		chain := stm.NewVar(0)
+		violated := stm.NewVar(0)
+		mustRun(t, stm.Config{Algorithm: alg, Workers: 6}, n, func(tx stm.Tx, age int) {
+			// chain must equal age at commit time: each transaction
+			// increments it by exactly one in order.
+			if tx.Read(chain) != uint64(age) {
+				tx.Write(violated, 1)
+			}
+			tx.Write(chain, uint64(age)+1)
+			runtime.Gosched()
+		})
+		if chain.Load() != n {
+			t.Fatalf("%v: chain = %d, want %d", alg, chain.Load(), n)
+		}
+		if violated.Load() != 0 {
+			t.Fatalf("%v: a transaction observed an out-of-order chain value", alg)
+		}
+	}
+}
+
+// TestHugeWindowAndTinyTable: extreme configurations must still be
+// correct.
+func TestHugeWindowAndTinyTable(t *testing.T) {
+	vars := stm.NewVars(16)
+	body := yieldingBody(3, vars, 5)
+	mustRun(t, stm.Config{Algorithm: stm.Sequential}, 150, body)
+	want := snapshot(vars)
+	for _, alg := range []stm.Algorithm{stm.OWB, stm.OUL, stm.OULSteal} {
+		resetVars(vars)
+		mustRun(t, stm.Config{
+			Algorithm: alg, Workers: 4, Window: 10000, TableBits: 4, SpinBudget: 2,
+		}, 150, body)
+		got := snapshot(vars)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: diverged at var %d", alg, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package stm
+
+import "github.com/orderedstm/ostm/internal/meta"
+
+// seqEngine is the non-instrumented sequential baseline (the paper's
+// green line): bodies run one at a time, in age order, on a single
+// goroutine; reads and writes go straight to memory.
+type seqEngine struct {
+	cfg meta.EngineConfig
+}
+
+func newSeqEngine(cfg meta.EngineConfig) *seqEngine {
+	return &seqEngine{cfg: cfg.Normalize()}
+}
+
+// Name implements meta.Engine.
+func (e *seqEngine) Name() string { return "Sequential" }
+
+// Mode implements meta.Engine.
+func (e *seqEngine) Mode() meta.Mode { return meta.ModeSequential }
+
+// Stats implements meta.Engine.
+func (e *seqEngine) Stats() *meta.Stats { return e.cfg.Stats }
+
+// NewTxn implements meta.Engine.
+func (e *seqEngine) NewTxn(age uint64) meta.Txn { return &seqTxn{age: age} }
+
+type seqTxn struct{ age uint64 }
+
+func (t *seqTxn) Read(v *meta.Var) uint64     { return v.Load() }
+func (t *seqTxn) Write(v *meta.Var, x uint64) { v.Store(x) }
+func (t *seqTxn) Age() uint64                 { return t.age }
+func (t *seqTxn) TryCommit() bool             { return true }
+func (t *seqTxn) Commit() bool                { return true }
+func (t *seqTxn) Cleanup()                    {}
+func (t *seqTxn) AbandonAttempt()             {}
+func (t *seqTxn) Doomed() bool                { return false }

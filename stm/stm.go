@@ -1,0 +1,224 @@
+// Package stm is the public API of the OSTM library: ordered software
+// transactional memory, reproducing "Processing Transactions in a
+// Predefined Order" (Saad et al., PPoPP 2019).
+//
+// The library executes a set of transactions whose commit order is
+// fixed *before* execution (the Age-based Commit Order, ACO): the
+// transaction given age i must appear to execute exactly i-th, as in a
+// sequential run, no matter how the speculative parallel execution
+// interleaves. This is the execution model needed by speculative loop
+// parallelization (each iteration is a transaction, ages are iteration
+// indices) and by state-machine replication (ages are consensus slot
+// numbers).
+//
+// # Quick start
+//
+//	counter := stm.NewVar(0)
+//	ex, _ := stm.NewExecutor(stm.Config{Algorithm: stm.OUL, Workers: 8})
+//	res, err := ex.Run(1000, func(tx stm.Tx, age int) {
+//	    tx.Write(counter, tx.Read(counter)+1)
+//	})
+//
+// Transaction bodies must access shared state only through tx.Read and
+// tx.Write, and must be deterministic functions of (age, memory): the
+// executor re-executes bodies after aborts, possibly many times.
+// Speculative faults (panics caused by reading an inconsistent
+// snapshot) are sandboxed and retried; genuine faults are returned as
+// a *Fault error.
+//
+// # Algorithms
+//
+// The three contributions of the paper — OWB (write-back with data
+// forwarding), OUL (write-through undo-log with visible readers) and
+// OULSteal (OUL with write-lock stealing) — plus the ordered and
+// unordered baselines it evaluates: TL2, NOrec, UndoLog with visible
+// and invisible readers, STMLite, and non-instrumented sequential
+// execution.
+package stm
+
+import (
+	"fmt"
+
+	"github.com/orderedstm/ostm/internal/core"
+	"github.com/orderedstm/ostm/internal/meta"
+	"github.com/orderedstm/ostm/internal/norec"
+	"github.com/orderedstm/ostm/internal/stmlite"
+	"github.com/orderedstm/ostm/internal/tl2"
+	"github.com/orderedstm/ostm/internal/undolog"
+)
+
+// Var is a transactional variable holding one 64-bit word. Create with
+// NewVar/NewVars; access inside transactions with Tx.Read/Tx.Write and
+// outside (quiescent state only) with Load/Store.
+type Var = meta.Var
+
+// NewVar returns a fresh transactional variable initialized to x.
+func NewVar(x uint64) *Var { return meta.NewVar(x) }
+
+// NewVars returns n zero-initialized transactional variables allocated
+// contiguously; use &vs[i] as the handle.
+func NewVars(n int) []Var { return meta.NewVars(n) }
+
+// Tx is the transaction handle passed to a Body. Implementations
+// panic internally to signal aborts; bodies must not recover.
+type Tx interface {
+	// Read returns v's value in this transaction's view.
+	Read(v *Var) uint64
+	// Write updates v in this transaction's view.
+	Write(v *Var, x uint64)
+	// Age returns the transaction's position in the predefined order.
+	Age() uint64
+}
+
+// Body is a transaction body: the code run (speculatively, possibly
+// repeatedly) for the transaction at the given age.
+type Body func(tx Tx, age int)
+
+// Algorithm selects a concurrency-control engine.
+type Algorithm int
+
+// The available engines. The Ordered* and cooperative algorithms
+// enforce the predefined commit order; TL2, NOrec, UndoLogVis and
+// UndoLogInvis are their unordered counterparts (ages are ignored),
+// used by the paper's Figure 2 comparison.
+const (
+	Sequential Algorithm = iota
+	OWB
+	OUL
+	OULSteal
+	TL2
+	OrderedTL2
+	NOrec
+	OrderedNOrec
+	UndoLogVis
+	OrderedUndoLogVis
+	UndoLogInvis
+	OrderedUndoLogInvis
+	STMLite
+	numAlgorithms
+)
+
+// Algorithms lists every available algorithm.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, 0, int(numAlgorithms))
+	for a := Sequential; a < numAlgorithms; a++ {
+		out = append(out, a)
+	}
+	return out
+}
+
+// OrderedAlgorithms lists the algorithms that enforce the predefined
+// commit order (every competitor of the paper's ordered comparison).
+func OrderedAlgorithms() []Algorithm {
+	return []Algorithm{OWB, OUL, OULSteal, OrderedTL2, OrderedNOrec,
+		OrderedUndoLogVis, OrderedUndoLogInvis, STMLite}
+}
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Sequential:
+		return "Sequential"
+	case OWB:
+		return "OWB"
+	case OUL:
+		return "OUL"
+	case OULSteal:
+		return "OUL-Steal"
+	case TL2:
+		return "TL2"
+	case OrderedTL2:
+		return "Ordered-TL2"
+	case NOrec:
+		return "NOrec"
+	case OrderedNOrec:
+		return "Ordered-NOrec"
+	case UndoLogVis:
+		return "UndoLog-vis"
+	case OrderedUndoLogVis:
+		return "Ordered-UndoLog-vis"
+	case UndoLogInvis:
+		return "UndoLog-invis"
+	case OrderedUndoLogInvis:
+		return "Ordered-UndoLog-invis"
+	case STMLite:
+		return "STMLite"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Ordered reports whether the algorithm enforces the predefined commit
+// order (Sequential trivially does).
+func (a Algorithm) Ordered() bool {
+	switch a {
+	case TL2, NOrec, UndoLogVis, UndoLogInvis:
+		return false
+	default:
+		return true
+	}
+}
+
+// ParseAlgorithm resolves a paper-style name (case-sensitive, as
+// produced by String) to an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for a := Sequential; a < numAlgorithms; a++ {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("stm: unknown algorithm %q", name)
+}
+
+// newEngine builds a fresh engine instance for one run.
+func newEngine(a Algorithm, cfg meta.EngineConfig) (meta.Engine, error) {
+	switch a {
+	case Sequential:
+		return newSeqEngine(cfg), nil
+	case OWB:
+		return core.NewOWB(cfg), nil
+	case OUL:
+		return core.NewOUL(cfg), nil
+	case OULSteal:
+		return core.NewOULSteal(cfg), nil
+	case TL2:
+		return tl2.New(cfg), nil
+	case OrderedTL2:
+		return tl2.NewOrdered(cfg), nil
+	case NOrec:
+		return norec.New(cfg), nil
+	case OrderedNOrec:
+		return norec.NewOrdered(cfg), nil
+	case UndoLogVis:
+		return undolog.New(cfg, true, false), nil
+	case OrderedUndoLogVis:
+		return undolog.New(cfg, true, true), nil
+	case UndoLogInvis:
+		return undolog.New(cfg, false, false), nil
+	case OrderedUndoLogInvis:
+		return undolog.New(cfg, false, true), nil
+	case STMLite:
+		return stmlite.New(cfg), nil
+	default:
+		return nil, fmt.Errorf("stm: unknown algorithm %d", int(a))
+	}
+}
+
+// ReadFloat64 reads v as a float64 (bit-pattern conversion helper).
+func ReadFloat64(tx Tx, v *Var) float64 { return fromBits(tx.Read(v)) }
+
+// WriteFloat64 writes a float64 into v (bit-pattern conversion helper).
+func WriteFloat64(tx Tx, v *Var, x float64) { tx.Write(v, toBits(x)) }
+
+// AddFloat64 adds delta to v transactionally and returns the new value.
+func AddFloat64(tx Tx, v *Var, delta float64) float64 {
+	nv := fromBits(tx.Read(v)) + delta
+	tx.Write(v, toBits(nv))
+	return nv
+}
+
+// LoadFloat64 reads a Var's quiescent value as float64.
+func LoadFloat64(v *Var) float64 { return fromBits(v.Load()) }
+
+// StoreFloat64 sets a Var's quiescent value from a float64.
+func StoreFloat64(v *Var, x float64) { v.Store(toBits(x)) }

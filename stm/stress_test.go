@@ -1,0 +1,165 @@
+package stm_test
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// yieldingBody is like randomBody but yields the processor between
+// accesses, forcing transaction interleaving even on GOMAXPROCS=1
+// hosts. This is the strongest single-core exerciser of forwarding,
+// cascading aborts, lock stealing and reachable re-execution.
+func yieldingBody(seed uint64, vars []stm.Var, ops int) stm.Body {
+	return func(tx stm.Tx, age int) {
+		r := rng.New(seed ^ rng.Mix64(uint64(age)))
+		acc := uint64(age) + 1
+		for op := 0; op < ops; op++ {
+			i := r.Intn(len(vars))
+			switch r.Intn(4) {
+			case 0, 1:
+				acc += tx.Read(&vars[i])
+			case 2:
+				tx.Write(&vars[i], acc^r.Uint64())
+			case 3:
+				tx.Write(&vars[i], tx.Read(&vars[i])+acc)
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// TestACOEquivalenceInterleaved is the oracle under forced
+// interleaving: heavy overlap, few variables, every ordered engine,
+// several seeds and worker counts.
+func TestACOEquivalenceInterleaved(t *testing.T) {
+	const (
+		nVars = 6
+		nTx   = 150
+		ops   = 8
+	)
+	for _, seed := range []uint64{2, 77} {
+		vars := stm.NewVars(nVars)
+		body := yieldingBody(seed, vars, ops)
+
+		resetVars(vars)
+		mustRun(t, stm.Config{Algorithm: stm.Sequential}, nTx, body)
+		want := snapshot(vars)
+
+		for _, alg := range stm.OrderedAlgorithms() {
+			for _, workers := range []int{2, 4, 8, 16} {
+				resetVars(vars)
+				res := mustRun(t, stm.Config{Algorithm: alg, Workers: workers}, nTx, body)
+				got := snapshot(vars)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%v w=%d seed=%d: var %d got %#x want %#x (stats: %v)",
+							alg, workers, seed, i, got[i], want[i], res.Stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInterleavedConflictsObserved double-checks the interleaving
+// actually produces conflicts for the optimistic ordered engines (a
+// silent no-overlap run would make the equivalence tests vacuous).
+func TestInterleavedConflictsObserved(t *testing.T) {
+	vars := stm.NewVars(4)
+	body := yieldingBody(5, vars, 10)
+	var totalAborts uint64
+	for _, alg := range []stm.Algorithm{stm.OWB, stm.OUL, stm.OULSteal} {
+		resetVars(vars)
+		res := mustRun(t, stm.Config{Algorithm: alg, Workers: 8}, 200, body)
+		totalAborts += res.Stats.TotalAborts()
+	}
+	if totalAborts == 0 {
+		t.Fatal("no aborts across contended interleaved runs; oracle is vacuous")
+	}
+}
+
+// TestSmallWindowThrottle exercises the Algorithm 5 throttle with a
+// tiny run-ahead window.
+func TestSmallWindowThrottle(t *testing.T) {
+	vars := stm.NewVars(8)
+	body := yieldingBody(9, vars, 6)
+	resetVars(vars)
+	mustRun(t, stm.Config{Algorithm: stm.Sequential}, 120, body)
+	want := snapshot(vars)
+	for _, alg := range []stm.Algorithm{stm.OWB, stm.OUL, stm.OULSteal} {
+		resetVars(vars)
+		mustRun(t, stm.Config{Algorithm: alg, Workers: 4, Window: 8}, 120, body)
+		got := snapshot(vars)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: var %d diverged", alg, i)
+			}
+		}
+	}
+}
+
+// TestTinyLockTableAliasing forces heavy lock aliasing (4-bit table)
+// and checks correctness is preserved (only performance may suffer).
+func TestTinyLockTableAliasing(t *testing.T) {
+	vars := stm.NewVars(64)
+	body := yieldingBody(13, vars, 6)
+	resetVars(vars)
+	mustRun(t, stm.Config{Algorithm: stm.Sequential}, 150, body)
+	want := snapshot(vars)
+	for _, alg := range stm.OrderedAlgorithms() {
+		resetVars(vars)
+		mustRun(t, stm.Config{Algorithm: alg, Workers: 6, TableBits: 4}, 150, body)
+		got := snapshot(vars)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v with 16-entry lock table: var %d diverged", alg, i)
+			}
+		}
+	}
+}
+
+// TestFewReaderSlots stresses the bounded visible-reader arrays
+// (readers must wait for slots, never crash or misread).
+func TestFewReaderSlots(t *testing.T) {
+	vars := stm.NewVars(2)
+	body := yieldingBody(21, vars, 5)
+	resetVars(vars)
+	mustRun(t, stm.Config{Algorithm: stm.Sequential}, 100, body)
+	want := snapshot(vars)
+	for _, alg := range []stm.Algorithm{stm.OUL, stm.OULSteal, stm.OrderedUndoLogVis} {
+		resetVars(vars)
+		mustRun(t, stm.Config{Algorithm: alg, Workers: 8, MaxReaders: 2}, 100, body)
+		got := snapshot(vars)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v with 2 reader slots: var %d diverged", alg, i)
+			}
+		}
+	}
+}
+
+// TestRepeatedRunsSameExecutor checks an Executor is reusable and
+// runs are independent.
+func TestRepeatedRunsSameExecutor(t *testing.T) {
+	ex, err := stm.NewExecutor(stm.Config{Algorithm: stm.OULSteal, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := stm.NewVar(0)
+	for round := 0; round < 5; round++ {
+		v.Store(0)
+		res, err := ex.Run(50, func(tx stm.Tx, age int) {
+			tx.Write(v, tx.Read(v)+1)
+			runtime.Gosched()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.N != 50 || v.Load() != 50 {
+			t.Fatalf("round %d: n=%d v=%d", round, res.N, v.Load())
+		}
+	}
+}
