@@ -37,8 +37,16 @@ func main() {
 		algosF  = flag.String("algos", "", "comma-separated algorithms (default: figure's set)")
 		yield   = flag.Int("yield", 0, "insert a scheduler yield every N accesses (single-core hosts)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonF   = flag.Bool("json", false, "emit machine-readable JSON (one object per table; overrides -csv)")
 	)
 	flag.Parse()
+	format := formatTable
+	if *csv {
+		format = formatCSV
+	}
+	if *jsonF {
+		format = formatJSON
+	}
 	workerList, err := parseInts(*threads)
 	if err != nil {
 		fatal(err)
@@ -49,7 +57,7 @@ func main() {
 	}
 	switch *figure {
 	case 2:
-		figure2(benches, lengths, workerList, *txns, *pool, *algosF, *yield, *csv)
+		figure2(benches, lengths, workerList, *txns, *pool, *algosF, *yield, format)
 	case 3, 4:
 		if *benchF == "" {
 			if *figure == 3 {
@@ -58,9 +66,9 @@ func main() {
 				benches = []micro.Bench{micro.RWN, micro.MCAS}
 			}
 		}
-		figure34(benches, lengths, workerList, *txns, *pool, *algosF, *yield, *csv)
+		figure34(benches, lengths, workerList, *txns, *pool, *algosF, *yield, format)
 	case 5:
-		figure5(workerList, *txns, *pool, *yield, *csv)
+		figure5(workerList, *txns, *pool, *yield, format)
 	default:
 		fatal(fmt.Errorf("unknown figure %d", *figure))
 	}
@@ -133,18 +141,33 @@ func runOne(alg stm.Algorithm, workers int, w *micro.Workload) (stm.Result, erro
 	return harness.Exec(alg, workers, w.Txns(), w.Body(), nil)
 }
 
-func emit(t *harness.Table, csv bool) {
-	if csv {
+// format selects the output encoding shared by every figure.
+type format int
+
+const (
+	formatTable format = iota
+	formatCSV
+	formatJSON
+)
+
+func emit(t *harness.Table, f format) {
+	switch f {
+	case formatCSV:
 		t.WriteCSV(os.Stdout)
-	} else {
+		fmt.Println()
+	case formatJSON:
+		if err := t.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
 		t.Render(os.Stdout)
+		fmt.Println()
 	}
-	fmt.Println()
 }
 
 // figure2 prints peak throughput (over the thread sweep) for every
 // competitor, one table per length class (Figure 2a–c).
-func figure2(benches []micro.Bench, lengths []micro.Length, workers []int, txns, pool int, algosF string, yield int, csv bool) {
+func figure2(benches []micro.Bench, lengths []micro.Length, workers []int, txns, pool int, algosF string, yield int, f format) {
 	algos, err := parseAlgos(algosF, figure2Algos())
 	if err != nil {
 		fatal(err)
@@ -174,7 +197,7 @@ func figure2(benches []micro.Bench, lengths []micro.Length, workers []int, txns,
 			}
 			tab.Add(row...)
 		}
-		emit(tab, csv)
+		emit(tab, f)
 	}
 }
 
@@ -188,7 +211,7 @@ func benchNames(bs []micro.Bench) []string {
 
 // figure34 prints throughput-vs-threads and abort%-vs-threads tables
 // (Figures 3 and 4).
-func figure34(benches []micro.Bench, lengths []micro.Length, workers []int, txns, pool int, algosF string, yield int, csv bool) {
+func figure34(benches []micro.Bench, lengths []micro.Length, workers []int, txns, pool int, algosF string, yield int, f format) {
 	ordered := append(stm.OrderedAlgorithms(), stm.Sequential)
 	algos, err := parseAlgos(algosF, ordered)
 	if err != nil {
@@ -217,9 +240,9 @@ func figure34(benches []micro.Bench, lengths []micro.Length, workers []int, txns
 				thr.Add(trow...)
 				ab.Add(arow...)
 			}
-			emit(thr, csv)
+			emit(thr, f)
 			if b != micro.Disjoint {
-				emit(ab, csv)
+				emit(ab, f)
 			}
 		}
 	}
@@ -235,7 +258,7 @@ func algoNames(as []stm.Algorithm) []string {
 
 // figure5 prints the abort-cause breakdown for OWB, OUL and OUL-Steal
 // (Figure 5a–c) and total abort percentages (Figure 5d).
-func figure5(workers []int, txns, pool int, yield int, csv bool) {
+func figure5(workers []int, txns, pool int, yield int, f format) {
 	if yield == 0 {
 		yield = 4 // single-core hosts need interleaving for any aborts
 	}
@@ -271,11 +294,11 @@ func figure5(workers []int, txns, pool int, yield int, csv bool) {
 			tab.Add(row...)
 			totalRows[name] = append(totalRows[name], harness.AbortPct(res))
 		}
-		emit(tab, csv)
+		emit(tab, f)
 	}
 	for _, c := range combos {
 		name := fmt.Sprintf("%v-%v", c.b, c.l)
 		totals.Add(append([]string{name}, totalRows[name]...)...)
 	}
-	emit(totals, csv)
+	emit(totals, f)
 }

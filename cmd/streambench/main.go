@@ -1,0 +1,237 @@
+// Command streambench measures the streaming front-end (stm.Pipeline)
+// under a closed-loop load: a set of client goroutines each submits a
+// transaction, waits for its ticket to commit, and immediately submits
+// the next — the standard way to measure a long-lived transaction
+// service's sustained throughput and commit latency together, as
+// opposed to the open-loop batch numbers microbench reports.
+//
+// It also verifies the epoch-recycling story: heap occupancy is
+// sampled across the run so an unbounded stream that leaked engine
+// metadata per transaction would show up as monotonic growth.
+//
+// Examples:
+//
+//	streambench -alg OUL -workers 8 -clients 16 -txns 100000
+//	streambench -alg OWB -json >> BENCH_stream.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/stm"
+)
+
+func main() {
+	var (
+		algF     = flag.String("alg", "OUL", "algorithm (paper-style name, see stm.ParseAlgorithm)")
+		workers  = flag.Int("workers", 8, "engine worker goroutines")
+		clients  = flag.Int("clients", 16, "closed-loop client goroutines")
+		txns     = flag.Int("txns", 100000, "total transactions to stream")
+		pool     = flag.Int("pool", 1<<16, "shared word-pool size (accounts)")
+		ops      = flag.Int("ops", 4, "reads+writes per transaction")
+		capF     = flag.Int("capacity", 0, "pipeline capacity (0 = default)")
+		window   = flag.Int("window", 0, "run-ahead window (0 = default)")
+		epoch    = flag.Int("epoch", 1<<14, "commits per recycling epoch")
+		jsonF    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		memEvery = flag.Int("memevery", 8, "heap samples across the run")
+	)
+	flag.Parse()
+	alg, err := stm.ParseAlgorithm(*algF)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := stm.NewPipeline(stm.Config{
+		Algorithm: alg,
+		Workers:   *workers,
+		Window:    *window,
+		Capacity:  *capF,
+		EpochAges: *epoch,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	accounts := stm.NewVars(*pool)
+	for i := range accounts {
+		accounts[i].Store(1000)
+	}
+
+	latencies := make([][]time.Duration, *clients)
+	heapSamples := make([]uint64, 0, *memEvery+2)
+	var heapMu sync.Mutex
+	// The endpoint samples force a collection so first-vs-last compares
+	// live bytes (the leak signal); mid-run samples are taken raw to
+	// avoid injecting GC pauses into the measured latencies.
+	sampleHeap := func(forceGC bool) {
+		if forceGC {
+			runtime.GC()
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapMu.Lock()
+		heapSamples = append(heapSamples, ms.HeapAlloc)
+		heapMu.Unlock()
+	}
+	sampleHeap(true)
+
+	if *clients > *txns {
+		*clients = *txns // fewer transactions than clients: shrink the loop
+	}
+	if *clients < 1 {
+		fatal(fmt.Errorf("need at least 1 transaction (got -txns %d)", *txns))
+	}
+	perClient := *txns / *clients
+	if *memEvery < 1 {
+		*memEvery = 1
+	}
+	sampleEvery := perClient / *memEvery
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, perClient)
+			r := rng.New(uint64(c)*0x9E3779B97F4A7C15 + 1)
+			for i := 0; i < perClient; i++ {
+				from := r.Intn(*pool)
+				to := r.Intn(*pool)
+				ops := *ops
+				t0 := time.Now()
+				tk, err := p.Submit(func(tx stm.Tx, age int) {
+					b := tx.Read(&accounts[from])
+					for k := 1; k < ops-1; k++ {
+						b += tx.Read(&accounts[(from+k)%len(accounts)])
+					}
+					amt := b % 7
+					cur := tx.Read(&accounts[from])
+					if cur >= amt {
+						tx.Write(&accounts[from], cur-amt)
+						tx.Write(&accounts[to], tx.Read(&accounts[to])+amt)
+					}
+				})
+				if err != nil {
+					fatal(err)
+				}
+				if err := tk.Wait(); err != nil {
+					fatal(err)
+				}
+				lat = append(lat, time.Since(t0))
+				if c == 0 && i%sampleEvery == sampleEvery-1 {
+					sampleHeap(false)
+				}
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	sampleHeap(true)
+
+	committed := p.Committed()
+	all := make([]time.Duration, 0, *txns)
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sv := p.Stats()
+
+	rep := report{
+		Bench:     "stream-closed-loop",
+		Algorithm: alg.String(),
+		Workers:   *workers,
+		Clients:   *clients,
+		Txns:      int(committed),
+		Capacity:  p.Config().Capacity,
+		Window:    p.Config().Window,
+		ElapsedS:  elapsed.Seconds(),
+		TxPerSec:  stm.Throughput(committed, elapsed),
+		LatencyUS: percentiles(all),
+		Epochs:    p.Epochs(),
+		Commits:   sv.Commits,
+		Aborts:    sv.TotalAborts(),
+		Retries:   sv.Retries,
+		HeapBytes: heapSamples,
+	}
+	if *jsonF {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("%s  workers=%d clients=%d\n", rep.Algorithm, rep.Workers, rep.Clients)
+	fmt.Printf("  %d txns in %.3fs  →  %.0f tx/s\n", rep.Txns, rep.ElapsedS, rep.TxPerSec)
+	fmt.Printf("  commit latency  p50=%.1fµs  p95=%.1fµs  p99=%.1fµs  max=%.1fµs\n",
+		rep.LatencyUS["p50"], rep.LatencyUS["p95"], rep.LatencyUS["p99"], rep.LatencyUS["max"])
+	fmt.Printf("  aborts=%d retries=%d epochs=%d\n", rep.Aborts, rep.Retries, rep.Epochs)
+	if n := len(heapSamples); n >= 2 {
+		fmt.Printf("  live heap: start=%dKiB end=%dKiB (flat ⇒ epoch recycling holds; raw mid-run peak=%dKiB)\n",
+			heapSamples[0]/1024, heapSamples[n-1]/1024, maxOf(heapSamples[1:n-1])/1024)
+	}
+}
+
+// report is the -json document; one line per run appended to a
+// BENCH_*.json file tracks the perf trajectory across PRs.
+type report struct {
+	Bench     string             `json:"bench"`
+	Algorithm string             `json:"algorithm"`
+	Workers   int                `json:"workers"`
+	Clients   int                `json:"clients"`
+	Txns      int                `json:"txns"`
+	Capacity  int                `json:"capacity"`
+	Window    int                `json:"window"`
+	ElapsedS  float64            `json:"elapsed_s"`
+	TxPerSec  float64            `json:"tx_per_s"`
+	LatencyUS map[string]float64 `json:"latency_us"`
+	Epochs    uint64             `json:"epochs"`
+	Commits   uint64             `json:"commits"`
+	Aborts    uint64             `json:"aborts"`
+	Retries   uint64             `json:"retries"`
+	HeapBytes []uint64           `json:"heap_bytes"`
+}
+
+func percentiles(sorted []time.Duration) map[string]float64 {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	out := map[string]float64{"p50": 0, "p95": 0, "p99": 0, "max": 0}
+	if len(sorted) == 0 {
+		return out
+	}
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	out["p50"] = us(at(0.50))
+	out["p95"] = us(at(0.95))
+	out["p99"] = us(at(0.99))
+	out["max"] = us(sorted[len(sorted)-1])
+	return out
+}
+
+func maxOf(xs []uint64) uint64 {
+	var m uint64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "streambench:", err)
+	os.Exit(1)
+}

@@ -1,10 +1,16 @@
 // Package ostm is the root of the OSTM repository: a Go reproduction
 // of "Processing Transactions in a Predefined Order" (Saad, Javidi
-// Kishi, Jing, Hans, Palmieri — PPoPP 2019).
+// Kishi, Jing, Hans, Palmieri — PPoPP 2019), grown toward a
+// production-grade ordered transaction service.
 //
-// The public API lives in package stm (ordered software transactional
-// memory: OWB, OUL, OUL-Steal and the paper's baselines). The
-// benchmarks in bench_test.go regenerate every table and figure of
-// the paper's evaluation; see DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// The public API lives in package stm: ordered software transactional
+// memory (OWB, OUL, OUL-Steal and the paper's baselines) behind two
+// front-ends — Executor for one-shot batches and Pipeline, a
+// long-lived Submit/Future streaming service. The benchmarks in
+// bench_test.go and the cmd tools regenerate the paper's evaluation.
+//
+// See README.md for a quickstart and package map, DESIGN.md for the
+// system inventory and deliberate departures from the paper's
+// pseudocode, and EXPERIMENTS.md for how to reproduce and track
+// measurements.
 package ostm

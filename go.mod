@@ -1,0 +1,3 @@
+module github.com/orderedstm/ostm
+
+go 1.22

@@ -31,4 +31,14 @@
 // collector plays the role of the epoch-based reclamation scheme a
 // C/C++ implementation would need, and ABA on descriptor pointers is
 // structurally impossible.
+//
+// Engines used to be torn down after every batch, which bounded how
+// long a stale reference could pin a descriptor. A long-lived
+// stm.Pipeline reuses one engine for an unbounded stream, so OUL (the
+// only engine whose reader slots and writer words can retain finalized
+// descriptors indefinitely on cold records) additionally implements
+// meta.Recycler: an epoch sweep clears those references so retained
+// memory tracks the in-flight window, not the stream length. OWB needs
+// no sweep — its commit, abort and cleanup paths already clear every
+// lock word and dependency reference they published.
 package core

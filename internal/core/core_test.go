@@ -383,3 +383,67 @@ func TestDoomedOperationsUnwind(t *testing.T) {
 		t.Fatal("doomed transaction committed")
 	}
 }
+
+// --- long-lived metadata recycling ---
+
+// TestOULRecycleScrubsFinalizedDescriptors: after transactions
+// finalize, Recycle must clear the references Cleanup cannot reach —
+// reader slots left by aborted attempts and committed writers parked
+// in cold lock words — without touching live transactions.
+func TestOULRecycleScrubsFinalizedDescriptors(t *testing.T) {
+	eng := NewOUL(cfg())
+	v := meta.NewVar(0)
+	lk := eng.locks.Of(v)
+
+	// Register a reader that will be aborted and a live lower-age
+	// reader first, so each holds its own slot (registration reuses
+	// finalized occupants' slots, and a writer kills higher-age
+	// readers — the live reader must dodge both).
+	reader := eng.NewTxn(5).(*OULTxn)
+	reader.Read(v)
+	live := eng.NewTxn(1).(*OULTxn)
+	live.Read(v)
+	reader.abort(meta.CauseBusy)
+	reader.AbandonAttempt()
+
+	// A committed writer whose Cleanup was never run (the cleaner can
+	// lose the CAS race or a pipeline can stop caring about a cold
+	// record) stays parked in the lock word.
+	writer := eng.NewTxn(6).(*OULTxn)
+	writer.Write(v, 42)
+	if !writer.TryCommit() || !writer.Commit() {
+		t.Fatal("writer failed to commit")
+	}
+
+	foundReader := false
+	arr := lk.readers.Peek()
+	for i := range arr.Slots {
+		if arr.Slots[i].Load() == reader {
+			foundReader = true
+		}
+	}
+	if !foundReader || lk.writer.Load() != writer {
+		t.Fatal("test setup: stale descriptors not in place")
+	}
+
+	eng.Recycle()
+
+	if lk.writer.Load() != nil {
+		t.Fatal("Recycle left the committed writer in the lock word")
+	}
+	foundReader, foundLive := false, false
+	for i := range arr.Slots {
+		switch arr.Slots[i].Load() {
+		case reader:
+			foundReader = true
+		case live:
+			foundLive = true
+		}
+	}
+	if foundReader {
+		t.Fatal("Recycle left the aborted reader in its slot")
+	}
+	if !foundLive {
+		t.Fatal("Recycle evicted a live reader")
+	}
+}

@@ -62,6 +62,35 @@ func (e *OULEngine) NewTxn(age uint64) meta.Txn {
 	return t
 }
 
+// Recycle implements meta.Recycler: scrub finalized descriptors out of
+// the lock table so a long-lived pipeline does not retain them. Two
+// kinds of references outlive Cleanup: a reader slot keeps pointing at
+// an *aborted* attempt until some later reader reuses the slot (on a
+// cold record that may be never), and a writer word can retain the
+// last committed writer of a record nobody touches again. Both
+// transitions below are ones concurrent transactions already perform
+// themselves — register treats any final occupant as a free slot, and
+// Cleanup does the same committed-writer CAS — so racing with live
+// traffic is safe: a finalized status never un-finalizes, and every
+// clear is a CAS on the exact descriptor observed.
+func (e *OULEngine) Recycle() {
+	for i := 0; i < e.locks.Len(); i++ {
+		lk := e.locks.Entry(i)
+		if w := lk.writer.Load(); w != nil && w != oulBusy && w.status.Load() == meta.StatusCommitted {
+			lk.writer.CompareAndSwap(w, nil)
+		}
+		arr := lk.readers.Peek()
+		if arr == nil {
+			continue
+		}
+		for j := range arr.Slots {
+			if r := arr.Slots[j].Load(); r != nil && r.status.Load().Final() {
+				arr.Slots[j].CompareAndSwap(r, nil)
+			}
+		}
+	}
+}
+
 // oulWriteEntry is one undo-log record: the variable, its lock record,
 // the value it held just before this transaction's first write to it,
 // and (OUL-Steal) the writer the lock was stolen from, so the lock can

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -85,6 +86,19 @@ func (t *Table) WriteCSV(w io.Writer) {
 	for _, row := range t.Rows {
 		fmt.Fprintln(w, strings.Join(row, ","))
 	}
+}
+
+// WriteJSON renders the table as one machine-readable JSON object per
+// line ({"title", "header", "rows"}), the format the cmd tools emit
+// behind their -json flags so successive benchmark runs can be
+// archived (BENCH_*.json) and diffed across PRs.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{Title: t.Title, Header: t.Header, Rows: t.Rows})
 }
 
 // String renders the table to a string.

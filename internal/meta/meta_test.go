@@ -348,3 +348,80 @@ func TestEngineConfigNormalize(t *testing.T) {
 		t.Fatalf("explicit values overwritten: %+v", c2)
 	}
 }
+
+func TestOrderAtBaseAndHalt(t *testing.T) {
+	o := NewOrderAt(1000)
+	if o.Committed() != 1000 {
+		t.Fatalf("base frontier = %d, want 1000", o.Committed())
+	}
+	if !o.Reachable(1000) || o.Reachable(1001) {
+		t.Fatal("reachability at the base frontier is wrong")
+	}
+	if !o.WaitTurn(1000, nil) {
+		t.Fatal("WaitTurn at the frontier must succeed immediately")
+	}
+	o.Complete(1000)
+	if o.Committed() != 1001 {
+		t.Fatalf("after Complete frontier = %d, want 1001", o.Committed())
+	}
+
+	// Halt cancels parked and future waits.
+	var wg sync.WaitGroup
+	results := make([]bool, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = o.WaitTurn(uint64(2000+i), nil)
+		}(i)
+	}
+	o.Halt()
+	wg.Wait()
+	for i, turned := range results {
+		if turned {
+			t.Fatalf("waiter %d reported its turn after Halt", i)
+		}
+	}
+	if !o.Halted() {
+		t.Fatal("Halted() = false after Halt")
+	}
+	if o.WaitTurn(5000, nil) {
+		t.Fatal("WaitTurn after Halt must fail")
+	}
+	done := make(chan struct{})
+	go func() {
+		o.WaitReachable(9000, nil) // must return immediately, not park
+		close(done)
+	}()
+	<-done
+}
+
+func TestStatsRotateAndPlus(t *testing.T) {
+	s := &Stats{}
+	for i := 0; i < 5; i++ {
+		s.Start()
+		s.Commit()
+	}
+	s.Retry()
+	s.Abort(CauseRAW)
+	first := s.Rotate()
+	if first.Commits != 5 || first.Retries != 1 || first.Aborts[CauseRAW] != 1 {
+		t.Fatalf("first epoch delta = %+v", first)
+	}
+	if after := s.View(); after.Commits != 0 || after.TotalAborts() != 0 {
+		t.Fatalf("counters not reset by Rotate: %+v", after)
+	}
+	for i := 0; i < 3; i++ {
+		s.Start()
+		s.Commit()
+	}
+	s.Abort(CauseWAW)
+	second := s.Rotate()
+	total := first.Plus(second)
+	if total.Commits != 8 || total.Starts != 8 {
+		t.Fatalf("folded commits = %d starts = %d, want 8/8", total.Commits, total.Starts)
+	}
+	if total.Aborts[CauseRAW] != 1 || total.Aborts[CauseWAW] != 1 || total.TotalAborts() != 2 {
+		t.Fatalf("folded aborts = %+v", total.Aborts)
+	}
+}

@@ -5,26 +5,36 @@ import (
 	"sync/atomic"
 )
 
-// Order tracks the Age-based Commit Order (ACO) progress of one run:
-// how many transactions have committed so far, which equals the age of
-// the next transaction allowed to commit. Blocked engines wait on it
-// for their turn; cooperative engines use it to decide reachability;
-// the executor uses it to throttle run-ahead (Algorithm 5's
-// MAX/MIN window).
+// Order tracks the Age-based Commit Order (ACO) progress of one engine
+// instantiation: how many transactions have committed so far, which
+// equals the age of the next transaction allowed to commit. Blocked
+// engines wait on it for their turn; cooperative engines use it to
+// decide reachability; the executor uses it to throttle run-ahead
+// (Algorithm 5's MAX/MIN window).
 //
-// The committed count is an atomic for cheap reads on hot paths; a
-// condition variable provides sleeping waits so that turn-waiting does
-// not burn the (single) CPU.
+// The frontier is open-ended: nothing in Order assumes a batch size, so
+// the same state serves a one-shot Executor.Run and an unbounded
+// stm.Pipeline. The committed count is an atomic for cheap reads on hot
+// paths; a condition variable provides sleeping waits so that
+// turn-waiting does not burn the (single) CPU.
 type Order struct {
 	committed atomic.Uint64 // == next age to commit
+	halted    atomic.Bool   // run stopped; all waits must return
 
 	mu   sync.Mutex
 	cond *sync.Cond
 }
 
 // NewOrder returns order state starting at age 0.
-func NewOrder() *Order {
+func NewOrder() *Order { return NewOrderAt(0) }
+
+// NewOrderAt returns order state whose first committable age is start.
+// A pipeline resuming from a snapshot (a replica rejoining at a known
+// consensus slot, a loop restarting at an iteration index) seeds the
+// frontier here instead of renumbering its transactions from zero.
+func NewOrderAt(start uint64) *Order {
 	o := &Order{}
+	o.committed.Store(start)
 	o.cond = sync.NewCond(&o.mu)
 	return o
 }
@@ -37,35 +47,41 @@ func (o *Order) Committed() uint64 { return o.committed.Load() }
 // has committed.
 func (o *Order) Reachable(age uint64) bool { return o.committed.Load() >= age }
 
-// WaitTurn blocks until it is age's turn to commit or doomed() becomes
-// true, whichever is first; it returns true iff the turn arrived.
-// Aborters that doom a waiting transaction must call Kick to wake it.
+// WaitTurn blocks until it is age's turn to commit, the order halts, or
+// doomed() becomes true, whichever is first; it returns true iff the
+// turn arrived. Aborters that doom a waiting transaction must call Kick
+// to wake it.
 func (o *Order) WaitTurn(age uint64, doomed func() bool) bool {
 	if o.committed.Load() == age {
-		return true
+		// Even at the frontier, a halted order must not report the
+		// turn: a fault has already resolved this age's outcome, and
+		// committing now would break the "stopped ages did not
+		// commit" contract for a whole chain of parked waiters.
+		return !o.halted.Load()
 	}
 	o.mu.Lock()
 	for o.committed.Load() != age {
-		if doomed != nil && doomed() {
+		if o.halted.Load() || (doomed != nil && doomed()) {
 			o.mu.Unlock()
 			return false
 		}
 		o.cond.Wait()
 	}
+	halted := o.halted.Load()
 	o.mu.Unlock()
-	return true
+	return !halted
 }
 
-// WaitReachable blocks until committed >= age or cancel() reports
-// true (used by the executor's run-ahead throttle). Cancellers must
-// call Kick to wake waiters.
+// WaitReachable blocks until committed >= age, the order halts, or
+// cancel() reports true (used by the executor's run-ahead throttle).
+// Cancellers must call Kick to wake waiters.
 func (o *Order) WaitReachable(age uint64, cancel func() bool) {
 	if o.committed.Load() >= age {
 		return
 	}
 	o.mu.Lock()
 	for o.committed.Load() < age {
-		if cancel != nil && cancel() {
+		if o.halted.Load() || (cancel != nil && cancel()) {
 			break
 		}
 		o.cond.Wait()
@@ -92,3 +108,16 @@ func (o *Order) Kick() {
 	o.cond.Broadcast()
 	o.mu.Unlock()
 }
+
+// Halt permanently cancels every current and future wait on the order:
+// WaitTurn returns false and WaitReachable returns immediately. The
+// executor halts the order when a run stops on a fault, so that no
+// worker stays parked waiting for a turn that will never come (ages
+// below it were abandoned, not committed).
+func (o *Order) Halt() {
+	o.halted.Store(true)
+	o.Kick()
+}
+
+// Halted reports whether Halt was called.
+func (o *Order) Halted() bool { return o.halted.Load() }

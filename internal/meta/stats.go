@@ -37,6 +37,26 @@ func (s *Stats) Abort(c Cause) {
 	s.aborts[c].Add(1)
 }
 
+// Rotate drains the counters into a delta view and resets them to
+// zero, starting a new accounting epoch. Long-lived pipelines rotate
+// periodically and fold the deltas into their own totals, so the
+// engine-side counters never grow without bound no matter how long the
+// stream runs. Individual counters are swapped atomically;
+// cross-counter skew with concurrent updates is the same (harmless)
+// skew View has always had.
+func (s *Stats) Rotate() StatsView {
+	v := StatsView{
+		Starts:   s.starts.Swap(0),
+		Commits:  s.commits.Swap(0),
+		Retries:  s.retries.Swap(0),
+		Quiesces: s.quiesces.Swap(0),
+	}
+	for i := range s.aborts {
+		v.Aborts[i] = s.aborts[i].Swap(0)
+	}
+	return v
+}
+
 // View returns a consistent-enough snapshot for reporting (individual
 // counters are read atomically; cross-counter skew is harmless because
 // snapshots are taken after the run drains).
@@ -60,6 +80,21 @@ type StatsView struct {
 	Retries  uint64
 	Quiesces uint64
 	Aborts   [NumCauses]uint64
+}
+
+// Plus returns the element-wise sum of two views (epoch accounting:
+// accumulated past epochs + the live counters of the current one).
+func (v StatsView) Plus(w StatsView) StatsView {
+	out := StatsView{
+		Starts:   v.Starts + w.Starts,
+		Commits:  v.Commits + w.Commits,
+		Retries:  v.Retries + w.Retries,
+		Quiesces: v.Quiesces + w.Quiesces,
+	}
+	for i := range v.Aborts {
+		out.Aborts[i] = v.Aborts[i] + w.Aborts[i]
+	}
+	return out
 }
 
 // TotalAborts sums aborts across causes.

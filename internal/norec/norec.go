@@ -158,7 +158,12 @@ func (t *Txn) Write(v *meta.Var, x uint64) {
 // is repaired by one re-execution.
 func (t *Txn) TryCommit() bool {
 	if t.eng.ordered {
-		t.eng.cfg.Order.WaitTurn(t.age, nil)
+		if !t.eng.cfg.Order.WaitTurn(t.age, nil) {
+			// The order halted (the run stopped on a fault): our turn
+			// will never come, so abandon instead of parking forever.
+			t.eng.cfg.Stats.Abort(meta.CauseOrder)
+			return false
+		}
 	}
 	ok := t.commitInner()
 	if ok && t.eng.ordered {

@@ -16,6 +16,7 @@
 package stmlite
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -167,6 +168,21 @@ func (t *Txn) TryCommit() bool {
 	}
 	if !<-s.grant {
 		t.eng.cfg.Stats.Abort(meta.CauseValidation)
+		// The denial names commits whose write-backs may not have
+		// landed yet (start stamps only cover *stable* commits):
+		// re-executing before they land reads the same pre-write-back
+		// state and gets denied again — and under the tight TCM/worker
+		// channel ping-pong of a GOMAXPROCS=1 host that retry loop can
+		// monopolize the scheduler, starving the very write-backs it
+		// needs (a livelock the streaming pipeline reliably hit).
+		// Yield until the grant frontier stabilizes. The wait must be
+		// bounded: the TCM republishes stable only while submissions
+		// flow, so a quiesced system needs our re-execution to push a
+		// submission through before stable can catch up.
+		granted := t.eng.stamp.Load()
+		for spin := 0; t.eng.stable.Load() < granted && spin < 128; spin++ {
+			runtime.Gosched()
+		}
 		return false
 	}
 	for i := range t.writes {

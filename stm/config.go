@@ -43,6 +43,27 @@ type Config struct {
 	// for reasons it cannot attribute to staleness, instead of
 	// reporting a Fault (default false).
 	RetryUnknownPanics bool
+
+	// The remaining fields only apply to Pipeline (the streaming
+	// front-end); Executor.Run ignores them.
+
+	// Capacity bounds how many submissions may be in flight (submitted
+	// but not yet committed) before Submit blocks — the pipeline's
+	// backpressure depth, measured against the commit frontier.
+	// Default 4*Window, floored at Window+Workers+8 so backpressure
+	// never strangles the run-ahead window.
+	Capacity int
+	// EpochAges is the number of commits between pipeline epochs. At
+	// each epoch boundary the engine's stats counters are drained into
+	// the pipeline's running totals and recyclable engine metadata is
+	// scrubbed (meta.Recycler), so an unbounded stream runs in bounded
+	// engine state. Default 1<<16.
+	EpochAges int
+	// FirstAge is the age assigned to the first submission (default
+	// 0). A replica resuming from a snapshot at a known consensus slot
+	// submits its next command with that slot as FirstAge instead of
+	// renumbering from zero.
+	FirstAge uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +91,15 @@ func (c Config) withDefaults() Config {
 	if c.QuiesceAfter <= 0 {
 		c.QuiesceAfter = 8
 	}
+	if c.Capacity <= 0 {
+		c.Capacity = 4 * c.Window
+	}
+	if min := c.Window + c.Workers + 8; c.Capacity < min {
+		c.Capacity = min
+	}
+	if c.EpochAges <= 0 {
+		c.EpochAges = 1 << 16
+	}
 	return c
 }
 
@@ -79,9 +109,14 @@ type Result struct {
 	Algorithm Algorithm
 	// Workers actually used.
 	Workers int
-	// N is the number of transactions committed (== requested n on
-	// success).
+	// N is the number of transactions that actually committed. On a
+	// clean run it equals Requested; on a faulted (stopped) run it is
+	// the partial count of commits that landed before the stop, so a
+	// caller that ignores Run's error can still detect partial
+	// completion by comparing N against Requested.
 	N int
+	// Requested is the transaction count the caller asked Run for.
+	Requested int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 	// Stats are the engine counters (commits, aborts by cause, ...).

@@ -2,7 +2,6 @@ package stm
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,13 +10,9 @@ import (
 )
 
 // Executor runs batches of ordered transactions under a configured
-// algorithm. It implements the paper's thread execution model
-// (Algorithm 5): a pool of workers speculatively executes transactions
-// pulled from a work queue; for the cooperative engines a
-// flat-combining validator role commits exposed transactions strictly
-// in age order, re-executing reachable failures inline, and a cleaner
-// step reclaims metadata; a run-ahead window throttles workers that
-// get too far ahead of the commit frontier.
+// algorithm: n transactions, ages 0..n-1, one shared Body. It is the
+// batch front-end over the shared run-loop (runloop.go); Pipeline is
+// the streaming front-end over the same core.
 //
 // An Executor is immutable and safe for concurrent use; every Run gets
 // fresh engine state.
@@ -40,7 +35,9 @@ func (e *Executor) Config() Config { return e.cfg }
 // algorithms the run is externally indistinguishable from running the
 // bodies sequentially in age order; unordered algorithms provide plain
 // serializability. Run returns a *Fault error if a body faulted
-// non-speculatively.
+// non-speculatively; the returned Result is still meaningful then —
+// compare Result.N against Result.Requested to see how far the run
+// got before it stopped.
 func (e *Executor) Run(n int, body Body) (Result, error) {
 	if n < 0 {
 		return Result{}, fmt.Errorf("stm: negative transaction count %d", n)
@@ -49,6 +46,7 @@ func (e *Executor) Run(n int, body Body) (Result, error) {
 		return Result{}, fmt.Errorf("stm: nil body")
 	}
 	cfg := e.cfg
+	cfg.FirstAge = 0 // batch ages are always 0..n-1
 	stats := &meta.Stats{}
 	order := meta.NewOrder()
 	eng, err := newEngine(cfg.Algorithm, meta.EngineConfig{
@@ -67,14 +65,14 @@ func (e *Executor) Run(n int, body Body) (Result, error) {
 	if eng.Mode() == meta.ModeSequential || n == 0 {
 		ferr = runSequential(n, body, eng, stats)
 	} else {
-		r := newRun(cfg, eng, order, stats, body, n)
-		ferr = r.runParallel()
+		ferr = runBatch(cfg, eng, order, stats, body, uint64(n))
 	}
 	view := stats.View()
 	res := Result{
 		Algorithm: cfg.Algorithm,
 		Workers:   cfg.Workers,
 		N:         int(view.Commits),
+		Requested: n,
 		Elapsed:   time.Since(start),
 		Stats:     view,
 	}
@@ -104,284 +102,46 @@ func callBody(body Body, txn meta.Txn) (err error) {
 	return nil
 }
 
-// exposedCell holds one exposed transaction in the commit ring; the
-// age tag detects slot reuse.
-type exposedCell struct {
-	age uint64
-	txn meta.Txn
+// batchFeed adapts the fixed-size, shared-body batch to the run-loop's
+// feed contract: claiming is a lock-free counter bump, and nothing
+// blocks because the whole work list exists up front.
+type batchFeed struct {
+	n    uint64
+	body Body
+	next atomic.Uint64
 }
 
-// run is the state of one parallel execution.
-type run struct {
-	cfg     Config
-	eng     meta.Engine
-	order   *meta.Order
-	stats   *meta.Stats
-	body    Body
-	n       uint64
-	workers int
-
-	next    atomic.Uint64
-	ring    []atomic.Pointer[exposedCell]
-	mask    uint64
-	vtok    atomic.Bool
-	gate    atomic.Bool
-	stopped atomic.Bool
-	fault   atomic.Pointer[Fault]
-	kick    chan struct{}
-}
-
-func newRun(cfg Config, eng meta.Engine, order *meta.Order, stats *meta.Stats, body Body, n int) *run {
-	workers := cfg.Workers
-	if eng.Mode() == meta.ModeLite && workers > 1 {
-		workers-- // the TCM goroutine counts as one of the paper's threads
+func (b *batchFeed) claim(func() bool) (uint64, Body, bool) {
+	age := b.next.Add(1) - 1
+	if age >= b.n {
+		return 0, nil, false
 	}
-	r := &run{
-		cfg:     cfg,
-		eng:     eng,
-		order:   order,
-		stats:   stats,
-		body:    body,
-		n:       uint64(n),
-		workers: workers,
-		kick:    make(chan struct{}, 1),
-	}
-	if eng.Mode() == meta.ModeCooperative {
-		// The commit ring must cover every in-flight age: the window
-		// bounds run-ahead, plus one in-progress age per worker.
-		span := uint64(cfg.Window + workers + 8)
-		size := uint64(1)
-		for size < 4*span {
-			size <<= 1
-		}
-		if size > uint64(n) {
-			rounded := uint64(1)
-			for rounded < uint64(n) {
-				rounded <<= 1
-			}
-			size = rounded
-		}
-		r.ring = make([]atomic.Pointer[exposedCell], size)
-		r.mask = size - 1
-	}
-	return r
+	return age, b.body, true
 }
 
-func (r *run) stop() bool { return r.stopped.Load() }
+func (b *batchFeed) committed(uint64) {}
+func (b *batchFeed) halted(*Fault)    {}
 
-func (r *run) fail(f *Fault) {
-	r.fault.CompareAndSwap(nil, f)
-	r.stopped.Store(true)
-	r.order.Kick()
-	r.kickMain()
-}
-
-func (r *run) kickMain() {
-	select {
-	case r.kick <- struct{}{}:
-	default:
-	}
-}
-
-func (r *run) runParallel() error {
-	if svc, ok := r.eng.(meta.Service); ok {
+// runBatch drives one parallel batch over the shared run-loop.
+func runBatch(cfg Config, eng meta.Engine, order *meta.Order, stats *meta.Stats, body Body, n uint64) error {
+	f := &batchFeed{n: n, body: body}
+	// The commit ring must cover every in-flight age: the window bounds
+	// run-ahead, plus one in-progress age per worker — but never more
+	// slots than the batch has transactions.
+	span := uint64(cfg.Window + cfg.Workers + 8)
+	l := newLoop(cfg, eng, order, stats, f, span, n)
+	if svc, ok := eng.(meta.Service); ok {
 		svc.Start()
 		defer svc.Stop()
 	}
-	mode := r.eng.Mode()
 	var wg sync.WaitGroup
-	for w := 0; w < r.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			r.worker(mode)
-		}()
-	}
-	if mode == meta.ModeCooperative {
-		// The main goroutine keeps the validator role alive so commits
-		// never stall while all workers sit in the throttle window.
-		for !r.stop() && r.order.Committed() < r.n {
-			r.validate()
-			if r.stop() || r.order.Committed() >= r.n {
-				break
-			}
-			<-r.kick
-		}
+	l.spawnWorkers(&wg)
+	if l.mode == meta.ModeCooperative {
+		l.validatorLoop(func() bool { return order.Committed() >= n })
 	}
 	wg.Wait()
-	if f := r.fault.Load(); f != nil {
+	if f := l.fault.Load(); f != nil {
 		return f
 	}
 	return nil
-}
-
-// worker is Algorithm 5's per-thread loop.
-func (r *run) worker(mode meta.Mode) {
-	defer r.kickMain() // wake the validator loop on exit
-	window := uint64(r.cfg.Window)
-	for !r.stop() {
-		age := r.next.Add(1) - 1
-		if age >= r.n {
-			return
-		}
-		if mode == meta.ModeCooperative && age >= window {
-			// Throttle: stay within the run-ahead window of the commit
-			// frontier (Algorithm 5 lines 18–24).
-			r.order.WaitReachable(age-window, r.stop)
-		}
-		if !r.runOne(age, mode) {
-			return
-		}
-		if mode == meta.ModeCooperative {
-			r.validate() // flat combining: opportunistically take the role
-		}
-	}
-}
-
-// runOne drives one age to its exposed (cooperative) or committed
-// (other modes) state, retrying aborted attempts with fresh
-// descriptors. Returns false if the run stopped.
-func (r *run) runOne(age uint64, mode meta.Mode) bool {
-	for attempt := 0; ; attempt++ {
-		if r.stop() {
-			return false
-		}
-		for r.gate.Load() && !r.stop() {
-			runtime.Gosched() // validator quiesce in progress
-		}
-		if attempt > 0 {
-			r.stats.Retry()
-			// Algorithm 5 line 18: a transaction aborted more than
-			// LIMIT times waits for the commit frontier to close in
-			// (first to a small gap, then all the way to
-			// reachability), which starves out retry storms under
-			// heavy conflicts. Blocked and lite engines get the same
-			// treatment (the bounded-buffer stalling of the paper's
-			// blocking baselines).
-			switch {
-			case mode == meta.ModeUnordered:
-				// no order to wait on
-			case mode == meta.ModeLite:
-				// A denied STMLite transaction re-executes right at
-				// the commit frontier: grants are in age order anyway,
-				// and retrying far from the frontier just feeds the
-				// signature false-conflict loop.
-				r.order.WaitReachable(age, r.stop)
-			case attempt >= 6:
-				r.order.WaitReachable(age, r.stop)
-			case attempt >= 3:
-				gap := uint64(2 * r.workers)
-				if age > gap {
-					r.order.WaitReachable(age-gap, r.stop)
-				}
-			}
-		}
-		txn := r.eng.NewTxn(age)
-		if !r.sandbox(txn) {
-			continue
-		}
-		if !txn.TryCommit() {
-			continue
-		}
-		if mode == meta.ModeCooperative {
-			r.ring[age&r.mask].Store(&exposedCell{age: age, txn: txn})
-			r.kickMain()
-		} else {
-			r.stats.Commit()
-		}
-		return true
-	}
-}
-
-// sandbox runs the body, containing speculative faults: an abort
-// signal or a doomed/invalid snapshot leads to a retry; anything else
-// is a genuine fault and stops the run.
-func (r *run) sandbox(txn meta.Txn) (ok bool) {
-	r.stats.Start()
-	defer func() {
-		rec := recover()
-		if rec == nil {
-			return
-		}
-		ok = false
-		if _, isAbort := meta.AbortCause(rec); isAbort || txn.Doomed() {
-			txn.AbandonAttempt()
-			return
-		}
-		if rv, can := txn.(meta.Revalidator); can && !rv.ReadSetValid() {
-			txn.AbandonAttempt()
-			return
-		}
-		if r.cfg.RetryUnknownPanics {
-			txn.AbandonAttempt()
-			return
-		}
-		txn.AbandonAttempt()
-		r.fail(&Fault{Age: txn.Age(), Value: rec})
-	}()
-	r.body(txn, int(txn.Age()))
-	return true
-}
-
-// validate is the flat-combining validator role (Algorithm 5 lines
-// 2–17): whoever wins the token commits exposed transactions in age
-// order; a commit-pending transaction that fails its final validation
-// is re-executed inline — it is reachable, so the re-execution wins
-// every conflict and commits.
-func (r *run) validate() {
-	if !r.vtok.CompareAndSwap(false, true) {
-		return
-	}
-	defer r.vtok.Store(false)
-	for !r.stop() {
-		next := r.order.Committed()
-		if next >= r.n {
-			return
-		}
-		cell := r.ring[next&r.mask].Load()
-		if cell == nil || cell.age != next {
-			return // not exposed yet
-		}
-		if cell.txn.Commit() {
-			r.order.Complete(next)
-			r.stats.Commit()
-			cell.txn.Cleanup() // cleaner role
-			continue
-		}
-		r.reexecute(next)
-	}
-}
-
-// reexecute drives the reachable transaction at the given age to
-// commit, gating new exposes (quiesce) if higher-age transactions keep
-// invalidating it; see DESIGN.md §5.
-func (r *run) reexecute(age uint64) {
-	gated := false
-	defer func() {
-		if gated {
-			r.gate.Store(false)
-		}
-	}()
-	for attempt := 0; !r.stop(); attempt++ {
-		if attempt >= r.cfg.QuiesceAfter && !gated {
-			gated = true
-			r.gate.Store(true)
-			r.stats.Quiesce()
-		}
-		r.stats.Retry()
-		txn := r.eng.NewTxn(age)
-		if !r.sandbox(txn) {
-			continue
-		}
-		if !txn.TryCommit() {
-			continue
-		}
-		if txn.Commit() {
-			r.ring[age&r.mask].Store(&exposedCell{age: age, txn: txn})
-			r.order.Complete(age)
-			r.stats.Commit()
-			txn.Cleanup()
-			return
-		}
-	}
 }

@@ -1,0 +1,436 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/orderedstm/ostm/internal/meta"
+)
+
+// Pipeline is the streaming front-end over the shared run-loop: a
+// long-lived Submit/Future service for ordered transaction
+// processing. Where Executor.Run executes a fixed batch of n
+// identical-body transactions and tears everything down, a Pipeline
+// accepts an unbounded stream of heterogeneous bodies — consensus
+// slots arriving at a replica, iterations of an open-ended loop —
+// assigns each the next age in the predefined commit order, and
+// resolves the returned Ticket when that age commits.
+//
+// Backpressure: Submit blocks once Capacity submissions are in flight
+// (submitted but not yet committed), so a fast producer is paced by
+// the commit frontier instead of queueing without bound.
+//
+// Epochs: every EpochAges commits the pipeline drains the engine's
+// stats counters into its running totals and asks the engine to
+// recycle stale metadata (meta.Recycler), so an arbitrarily long
+// stream runs in bounded engine state. Stats always reports
+// whole-stream totals.
+//
+// Faults: a body panic the sandbox cannot attribute to speculation
+// stops the pipeline, exactly as it stops Executor.Run. The faulting
+// ticket resolves with the *Fault; every other unresolved ticket
+// resolves with a *Stopped error. A *Stopped transaction has not
+// committed, with one narrow exception: an attempt already inside
+// its commit step when the fault landed may still complete
+// concurrently with the stop (commits racing the halt are possible
+// in every mode; waiters parked on the order are cancelled). Submit
+// and Close report the fault afterwards.
+//
+// Submit may be called from any number of goroutines. Close is
+// idempotent. A Pipeline must be Closed to release its workers.
+type Pipeline struct {
+	cfg   Config
+	eng   meta.Engine
+	order *meta.Order
+	stats *meta.Stats
+	l     *loop
+	s     *stream
+
+	wg    sync.WaitGroup // workers
+	vdone chan struct{}  // validator goroutine exit (closed if none)
+	jdone chan struct{}  // janitor goroutine exit
+	jkick chan struct{}  // epoch-boundary signals to the janitor
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewPipeline validates the configuration, builds a fresh engine, and
+// starts the worker pool. The pipeline is immediately ready for
+// Submit; ages are assigned from cfg.FirstAge upward.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if cfg.Algorithm < Sequential || cfg.Algorithm >= numAlgorithms {
+		return nil, fmt.Errorf("stm: unknown algorithm %d", int(cfg.Algorithm))
+	}
+	cfg = cfg.withDefaults()
+	stats := &meta.Stats{}
+	order := meta.NewOrderAt(cfg.FirstAge)
+	eng, err := newEngine(cfg.Algorithm, meta.EngineConfig{
+		TableBits:  cfg.TableBits,
+		MaxReaders: cfg.MaxReaders,
+		SpinBudget: cfg.SpinBudget,
+		SigBits:    cfg.SigBits,
+		Order:      order,
+		Stats:      stats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if eng.Mode() == meta.ModeSequential {
+		// The non-instrumented engine has no concurrency control at
+		// all; a single worker claiming ages in order is the only
+		// correct way to drive it.
+		cfg.Workers = 1
+	}
+	s := newStream(cfg)
+	// The commit ring must cover every in-flight exposed age; in
+	// steady state backpressure bounds those to Capacity, plus one
+	// in-progress age per worker.
+	span := uint64(cfg.Capacity + cfg.Workers + 8)
+	l := newLoop(cfg, eng, order, stats, s, span, 0)
+	p := &Pipeline{
+		cfg:   cfg,
+		eng:   eng,
+		order: order,
+		stats: stats,
+		l:     l,
+		s:     s,
+		vdone: make(chan struct{}),
+		jdone: make(chan struct{}),
+		jkick: make(chan struct{}, 1),
+	}
+	s.epochKick = p.jkick
+	if svc, ok := eng.(meta.Service); ok {
+		svc.Start()
+	}
+	l.spawnWorkers(&p.wg)
+	if l.mode == meta.ModeCooperative {
+		go func() {
+			defer close(p.vdone)
+			l.validatorLoop(s.drained)
+		}()
+	} else {
+		close(p.vdone)
+	}
+	go p.janitor()
+	return p, nil
+}
+
+// Config returns the pipeline's effective configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Submit hands the pipeline the next transaction of the stream. It
+// assigns the next age, blocks while Capacity submissions are already
+// in flight, and returns a Ticket resolving when that age commits.
+// After Close it returns ErrClosed; after a fault it returns the
+// *Stopped error.
+func (p *Pipeline) Submit(body Body) (*Ticket, error) {
+	if body == nil {
+		return nil, errors.New("stm: nil body")
+	}
+	s := p.s
+	s.mu.Lock()
+	for {
+		if s.fault != nil {
+			f := s.fault
+			s.mu.Unlock()
+			return nil, &Stopped{Fault: f}
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if s.submitted-(s.base+s.ncommitted) < uint64(s.capacity) {
+			break
+		}
+		s.cond.Wait() // backpressure: wait for the commit frontier
+	}
+	age := s.submitted
+	t := &Ticket{age: age, done: make(chan struct{})}
+	s.entries[age&s.emask] = pipeEntry{age: age, body: body}
+	s.tickets[age] = t
+	s.submitted++
+	s.cond.Broadcast() // wake claim-blocked workers
+	s.mu.Unlock()
+	return t, nil
+}
+
+// Drain blocks until every transaction submitted before the call has
+// committed (or the pipeline stopped on a fault, which it returns).
+// The pipeline stays open: Submit keeps working during and after a
+// Drain.
+func (p *Pipeline) Drain() error {
+	s := p.s
+	s.mu.Lock()
+	target := s.submitted
+	for s.fault == nil && s.base+s.ncommitted < target {
+		s.cond.Wait()
+	}
+	f := s.fault
+	s.mu.Unlock()
+	if f != nil {
+		return f
+	}
+	return nil
+}
+
+// Close drains the stream and shuts the pipeline down: no new
+// submissions are accepted, everything already submitted is driven to
+// commit, workers and the validator exit, background engine services
+// stop. It returns the fault that stopped the pipeline, if any.
+// Close is idempotent; concurrent calls return the same error.
+func (p *Pipeline) Close() error {
+	p.closeOnce.Do(func() {
+		p.s.close()
+		p.l.kickMain() // a parked validator must re-check drained()
+		p.wg.Wait()    // workers drain every claimable age and exit
+		p.l.kickMain() // wake the validator for the exposed tail
+		<-p.vdone
+		if svc, ok := p.eng.(meta.Service); ok {
+			svc.Stop()
+		}
+		close(p.jkick)
+		<-p.jdone
+		p.s.settle()
+		if f := p.l.fault.Load(); f != nil {
+			p.closeErr = f
+		}
+	})
+	return p.closeErr
+}
+
+// Stats returns whole-stream counters: every finished epoch plus the
+// live counters of the current one.
+func (p *Pipeline) Stats() meta.StatsView {
+	s := p.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totals.Plus(p.stats.View())
+}
+
+// Submitted returns the number of transactions accepted so far.
+func (p *Pipeline) Submitted() uint64 {
+	s := p.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.submitted - s.base
+}
+
+// Committed returns the number of transactions committed so far.
+func (p *Pipeline) Committed() uint64 {
+	s := p.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ncommitted
+}
+
+// InFlight returns the number of submissions not yet committed; it
+// never exceeds the configured Capacity.
+func (p *Pipeline) InFlight() int {
+	s := p.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.submitted - (s.base + s.ncommitted))
+}
+
+// Epochs returns how many recycling epochs have completed.
+func (p *Pipeline) Epochs() uint64 {
+	s := p.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epochs
+}
+
+// janitor performs epoch work off the commit path: it folds the
+// engine's counters into the stream totals and scrubs recyclable
+// engine metadata. One goroutine per pipeline; woken at epoch
+// boundaries, exits when Close closes the kick channel.
+func (p *Pipeline) janitor() {
+	defer close(p.jdone)
+	for range p.jkick {
+		p.s.foldEpoch(p.stats)
+		if rec, ok := p.eng.(meta.Recycler); ok {
+			rec.Recycle()
+		}
+	}
+}
+
+// pipeEntry is one slot of the submission ring. A slot only needs to
+// survive until its age is claimed (claims are in age order, so a
+// slot is always consumed before the backpressure window lets it be
+// overwritten); tickets live in the age-keyed map instead, because
+// unordered engines — and STMLite's concurrent write-backs — report
+// commits out of age order, which can recycle a slot while an older
+// age's ticket is still unresolved.
+type pipeEntry struct {
+	age  uint64
+	body Body
+}
+
+// stream implements feed for the pipeline: a bounded ring of
+// submissions between the producer side (Submit/Drain/Close) and the
+// run-loop's workers. All state is guarded by mu; the single cond
+// covers every wait (backpressure, claim, drain) — commits broadcast
+// and each waiter re-checks its own predicate.
+type stream struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	entries []pipeEntry
+	emask   uint64
+	tickets map[uint64]*Ticket // in-flight ages; bounded by capacity
+
+	base       uint64 // first age of the stream
+	capacity   int
+	submitted  uint64 // next age to assign (starts at base)
+	claimed    uint64 // next age to hand to a worker (starts at base)
+	ncommitted uint64 // count of committed transactions
+	closed     bool
+	fault      *Fault
+
+	epochAges  uint64
+	sinceEpoch uint64
+	epochs     uint64
+	totals     meta.StatsView
+	epochKick  chan<- struct{}
+}
+
+func newStream(cfg Config) *stream {
+	size := uint64(1)
+	for size < uint64(cfg.Capacity) {
+		size <<= 1
+	}
+	s := &stream{
+		entries:   make([]pipeEntry, size),
+		emask:     size - 1,
+		tickets:   make(map[uint64]*Ticket, cfg.Capacity),
+		base:      cfg.FirstAge,
+		capacity:  cfg.Capacity,
+		submitted: cfg.FirstAge,
+		claimed:   cfg.FirstAge,
+		epochAges: uint64(cfg.EpochAges),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// claim implements feed: hand out submitted ages in order, blocking
+// while the stream is open but empty.
+func (s *stream) claim(stop func() bool) (uint64, Body, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if stop() {
+			return 0, nil, false
+		}
+		if s.claimed < s.submitted {
+			age := s.claimed
+			s.claimed++
+			return age, s.entries[age&s.emask].body, true
+		}
+		if s.closed {
+			return 0, nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// committed implements feed: resolve the age's ticket, advance the
+// commit count (which releases backpressure), and signal the janitor
+// at epoch boundaries.
+func (s *stream) committed(age uint64) {
+	s.mu.Lock()
+	if t, ok := s.tickets[age]; ok {
+		delete(s.tickets, age)
+		t.resolve(nil)
+	}
+	s.ncommitted++
+	s.sinceEpoch++
+	if s.sinceEpoch >= s.epochAges {
+		s.sinceEpoch = 0
+		select {
+		case s.epochKick <- struct{}{}:
+		default: // janitor is behind; this epoch folds into the next
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// halted implements feed: the loop stopped on a fault before draining.
+// Resolve every outstanding ticket and wake all waiters.
+func (s *stream) halted(f *Fault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fault != nil {
+		return
+	}
+	s.fault = f
+	s.resolveOutstanding(f)
+	s.cond.Broadcast()
+}
+
+// resolveOutstanding resolves every unresolved ticket: the faulting
+// age with the fault itself, everything else with a *Stopped error.
+// Called with mu held.
+func (s *stream) resolveOutstanding(f *Fault) {
+	for age, t := range s.tickets {
+		delete(s.tickets, age)
+		switch {
+		case f != nil && age == f.Age:
+			t.resolve(f)
+		case f != nil:
+			t.resolve(&Stopped{Fault: f})
+		default:
+			t.resolve(ErrClosed)
+		}
+	}
+}
+
+// drained reports that the stream is closed and every submitted age
+// has committed (the validator's exit condition).
+func (s *stream) drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed && s.base+s.ncommitted == s.submitted
+}
+
+// close stops accepting submissions and wakes claim-blocked workers
+// so they can drain the tail and exit.
+func (s *stream) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// settle resolves any ticket still unresolved at teardown (only
+// possible on the fault path, where halted already ran; this is a
+// backstop so no Wait can hang after Close returns).
+func (s *stream) settle() {
+	s.mu.Lock()
+	s.resolveOutstanding(s.fault)
+	s.mu.Unlock()
+}
+
+// foldEpoch rotates the engine counters and folds the delta into the
+// stream totals in one critical section, so Pipeline.Stats (which
+// reads totals + live counters under the same lock) never observes
+// the window where counters are zeroed but the delta is unfolded.
+func (s *stream) foldEpoch(st *meta.Stats) {
+	s.mu.Lock()
+	s.totals = s.totals.Plus(st.Rotate())
+	s.epochs++
+	s.mu.Unlock()
+}
+
+// Throughput is a convenience for benchmarks: committed transactions
+// per second over the given elapsed time.
+func Throughput(committed uint64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(committed) / elapsed.Seconds()
+}

@@ -1,0 +1,328 @@
+package stm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/orderedstm/ostm/internal/meta"
+)
+
+// This file is the shared execution core behind both front-ends:
+// Executor.Run (one-shot batch) and Pipeline (open-ended stream). It
+// is the paper's thread execution model (Algorithm 5) — a pool of
+// workers speculatively executes transactions; for the cooperative
+// engines a flat-combining validator role commits exposed transactions
+// strictly in age order, re-executing reachable failures inline, and a
+// cleaner step reclaims metadata; a run-ahead window throttles workers
+// that get too far ahead of the commit frontier — with two batch-era
+// assumptions removed: the loop has no fixed transaction count, and
+// every age carries its own Body.
+
+// feed supplies work to the shared run-loop and observes its progress.
+// batchFeed (executor.go) serves a fixed count of one shared body;
+// stream (pipeline.go) serves an unbounded sequence of heterogeneous
+// submissions.
+type feed interface {
+	// claim hands the calling worker the next age and its body. It may
+	// block while more work can still arrive; a blocked claim must
+	// return when stop() becomes true. ok=false tells the worker to
+	// exit: the feed is exhausted (batch done, or stream closed and
+	// fully claimed).
+	claim(stop func() bool) (age uint64, body Body, ok bool)
+	// committed reports that age reached its final commit. Cooperative
+	// and blocked engines report in strict age order; unordered engines
+	// report in commit order, which can differ from age order.
+	committed(age uint64)
+	// halted reports that the loop stopped before draining (a body
+	// faulted). The feed must wake anything blocked in claim or in a
+	// producer-side wait.
+	halted(f *Fault)
+}
+
+// exposedCell holds one exposed transaction in the commit ring; the
+// age tag detects slot reuse. The body rides along so the validator
+// can re-execute a reachable failure without assuming every age runs
+// the same code.
+type exposedCell struct {
+	age  uint64
+	txn  meta.Txn
+	body Body
+}
+
+// loop is the engine-driving state shared by one batch run or one
+// pipeline. The commit ring covers the in-flight window only, so its
+// size is independent of how many transactions will ever flow through.
+type loop struct {
+	cfg     Config
+	eng     meta.Engine
+	mode    meta.Mode
+	order   *meta.Order
+	stats   *meta.Stats
+	feed    feed
+	base    uint64 // first age of the stream (Config.FirstAge; 0 for batch)
+	workers int
+
+	ring    []atomic.Pointer[exposedCell]
+	mask    uint64
+	vtok    atomic.Bool
+	gate    atomic.Bool
+	stopped atomic.Bool
+	fault   atomic.Pointer[Fault]
+	kick    chan struct{}
+}
+
+// newLoop wires a loop over a fresh engine. span bounds how many ages
+// can be in flight at once (window + one in-progress age per worker,
+// plus slack); the cooperative commit ring is sized to cover it.
+// ringCap, when nonzero, caps the ring at the next power of two ≥
+// ringCap (a batch of n transactions never needs more than n slots).
+func newLoop(cfg Config, eng meta.Engine, order *meta.Order, stats *meta.Stats, f feed, span, ringCap uint64) *loop {
+	workers := cfg.Workers
+	if eng.Mode() == meta.ModeLite && workers > 1 {
+		workers-- // the TCM goroutine counts as one of the paper's threads
+	}
+	l := &loop{
+		cfg:     cfg,
+		eng:     eng,
+		mode:    eng.Mode(),
+		order:   order,
+		stats:   stats,
+		feed:    f,
+		base:    cfg.FirstAge,
+		workers: workers,
+		kick:    make(chan struct{}, 1),
+	}
+	if l.mode == meta.ModeCooperative {
+		size := uint64(1)
+		for size < 4*span {
+			size <<= 1
+		}
+		if ringCap != 0 && size > ringCap {
+			rounded := uint64(1)
+			for rounded < ringCap {
+				rounded <<= 1
+			}
+			size = rounded
+		}
+		l.ring = make([]atomic.Pointer[exposedCell], size)
+		l.mask = size - 1
+	}
+	return l
+}
+
+func (l *loop) stop() bool { return l.stopped.Load() }
+
+// fail records the first fault, stops the loop, and wakes everything
+// that could be waiting: order waiters (including blocked engines
+// parked in WaitTurn, via Halt), the validator, and the feed.
+func (l *loop) fail(f *Fault) {
+	l.fault.CompareAndSwap(nil, f)
+	l.stopped.Store(true)
+	l.order.Halt()
+	l.kickMain()
+	l.feed.halted(l.fault.Load())
+}
+
+func (l *loop) kickMain() {
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+}
+
+// spawnWorkers starts the worker pool; callers wait on wg.
+func (l *loop) spawnWorkers(wg *sync.WaitGroup) {
+	for w := 0; w < l.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.worker()
+		}()
+	}
+}
+
+// validatorLoop keeps the validator role alive on the calling
+// goroutine so commits never stall while all workers sit in the
+// throttle window. drained reports that every age the feed will ever
+// produce has committed. Only cooperative engines need it.
+func (l *loop) validatorLoop(drained func() bool) {
+	for !l.stop() && !drained() {
+		l.validate()
+		if l.stop() || drained() {
+			return
+		}
+		<-l.kick
+	}
+}
+
+// worker is Algorithm 5's per-thread loop.
+func (l *loop) worker() {
+	defer l.kickMain() // wake the validator loop on exit
+	window := uint64(l.cfg.Window)
+	for !l.stop() {
+		age, body, ok := l.feed.claim(l.stop)
+		if !ok {
+			return
+		}
+		if l.mode == meta.ModeCooperative && age >= l.base+window {
+			// Throttle: stay within the run-ahead window of the commit
+			// frontier (Algorithm 5 lines 18–24).
+			l.order.WaitReachable(age-window, l.stop)
+		}
+		if !l.runOne(age, body) {
+			return
+		}
+		if l.mode == meta.ModeCooperative {
+			l.validate() // flat combining: opportunistically take the role
+		}
+	}
+}
+
+// runOne drives one age to its exposed (cooperative) or committed
+// (other modes) state, retrying aborted attempts with fresh
+// descriptors. Returns false if the loop stopped.
+func (l *loop) runOne(age uint64, body Body) bool {
+	for attempt := 0; ; attempt++ {
+		if l.stop() {
+			return false
+		}
+		for l.gate.Load() && !l.stop() {
+			runtime.Gosched() // validator quiesce in progress
+		}
+		if attempt > 0 {
+			l.stats.Retry()
+			// Algorithm 5 line 18: a transaction aborted more than
+			// LIMIT times waits for the commit frontier to close in
+			// (first to a small gap, then all the way to
+			// reachability), which starves out retry storms under
+			// heavy conflicts. Blocked and lite engines get the same
+			// treatment (the bounded-buffer stalling of the paper's
+			// blocking baselines).
+			switch {
+			case l.mode == meta.ModeUnordered:
+				// no order to wait on
+			case l.mode == meta.ModeLite:
+				// A denied STMLite transaction re-executes right at
+				// the commit frontier: grants are in age order anyway,
+				// and retrying far from the frontier just feeds the
+				// signature false-conflict loop.
+				l.order.WaitReachable(age, l.stop)
+			case attempt >= 6:
+				l.order.WaitReachable(age, l.stop)
+			case attempt >= 3:
+				gap := uint64(2 * l.workers)
+				if age > l.base+gap {
+					l.order.WaitReachable(age-gap, l.stop)
+				}
+			}
+		}
+		txn := l.eng.NewTxn(age)
+		if !l.sandbox(txn, body) {
+			continue
+		}
+		if !txn.TryCommit() {
+			continue
+		}
+		if l.mode == meta.ModeCooperative {
+			l.ring[age&l.mask].Store(&exposedCell{age: age, txn: txn, body: body})
+			l.kickMain()
+		} else {
+			l.stats.Commit()
+			l.feed.committed(age)
+		}
+		return true
+	}
+}
+
+// sandbox runs the body, containing speculative faults: an abort
+// signal or a doomed/invalid snapshot leads to a retry; anything else
+// is a genuine fault and stops the loop.
+func (l *loop) sandbox(txn meta.Txn, body Body) (ok bool) {
+	l.stats.Start()
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		ok = false
+		if _, isAbort := meta.AbortCause(rec); isAbort || txn.Doomed() {
+			txn.AbandonAttempt()
+			return
+		}
+		if rv, can := txn.(meta.Revalidator); can && !rv.ReadSetValid() {
+			txn.AbandonAttempt()
+			return
+		}
+		if l.cfg.RetryUnknownPanics {
+			txn.AbandonAttempt()
+			return
+		}
+		txn.AbandonAttempt()
+		l.fail(&Fault{Age: txn.Age(), Value: rec})
+	}()
+	body(txn, int(txn.Age()))
+	return true
+}
+
+// validate is the flat-combining validator role (Algorithm 5 lines
+// 2–17): whoever wins the token commits exposed transactions in age
+// order; a commit-pending transaction that fails its final validation
+// is re-executed inline — it is reachable, so the re-execution wins
+// every conflict and commits.
+func (l *loop) validate() {
+	if !l.vtok.CompareAndSwap(false, true) {
+		return
+	}
+	defer l.vtok.Store(false)
+	for !l.stop() {
+		next := l.order.Committed()
+		cell := l.ring[next&l.mask].Load()
+		if cell == nil || cell.age != next {
+			return // not exposed yet (or past the end of the stream)
+		}
+		if cell.txn.Commit() {
+			l.order.Complete(next)
+			l.stats.Commit()
+			cell.txn.Cleanup() // cleaner role
+			l.feed.committed(next)
+			continue
+		}
+		l.reexecute(next, cell.body)
+	}
+}
+
+// reexecute drives the reachable transaction at the given age to
+// commit, gating new exposes (quiesce) if higher-age transactions keep
+// invalidating it; see DESIGN.md §5.
+func (l *loop) reexecute(age uint64, body Body) {
+	gated := false
+	defer func() {
+		if gated {
+			l.gate.Store(false)
+		}
+	}()
+	for attempt := 0; !l.stop(); attempt++ {
+		if attempt >= l.cfg.QuiesceAfter && !gated {
+			gated = true
+			l.gate.Store(true)
+			l.stats.Quiesce()
+		}
+		l.stats.Retry()
+		txn := l.eng.NewTxn(age)
+		if !l.sandbox(txn, body) {
+			continue
+		}
+		if !txn.TryCommit() {
+			continue
+		}
+		if txn.Commit() {
+			l.ring[age&l.mask].Store(&exposedCell{age: age, txn: txn, body: body})
+			l.order.Complete(age)
+			l.stats.Commit()
+			txn.Cleanup()
+			l.feed.committed(age)
+			return
+		}
+	}
+}

@@ -13,11 +13,25 @@
 //
 // # Quick start
 //
+// Batch (one-shot, one shared body — the paper's model):
+//
 //	counter := stm.NewVar(0)
 //	ex, _ := stm.NewExecutor(stm.Config{Algorithm: stm.OUL, Workers: 8})
 //	res, err := ex.Run(1000, func(tx stm.Tx, age int) {
 //	    tx.Write(counter, tx.Read(counter)+1)
 //	})
+//
+// Streaming (long-lived Submit/Future service over an unbounded
+// stream of heterogeneous bodies; ages are assigned at Submit and the
+// Ticket resolves when that age commits):
+//
+//	p, _ := stm.NewPipeline(stm.Config{Algorithm: stm.OUL, Workers: 8})
+//	ticket, _ := p.Submit(func(tx stm.Tx, age int) { ... })
+//	err := ticket.Wait()
+//	...
+//	err = p.Close()
+//
+// Both front-ends drive the same execution core; see DESIGN.md.
 //
 // Transaction bodies must access shared state only through tx.Read and
 // tx.Write, and must be deterministic functions of (age, memory): the

@@ -2,6 +2,7 @@ package stm_test
 
 import (
 	"runtime"
+	"sync"
 	"testing"
 
 	"github.com/orderedstm/ostm/internal/rng"
@@ -138,6 +139,98 @@ func TestFewReaderSlots(t *testing.T) {
 				t.Fatalf("%v with 2 reader slots: var %d diverged", alg, i)
 			}
 		}
+	}
+}
+
+// TestPipelineStressConcurrentProducers is the streaming stress
+// variant (kept -race-clean; CI runs this package under the race
+// detector): several producer goroutines submit conflicting
+// bank-transfer bodies into one pipeline while a drainer and a stats
+// reader poke at it concurrently. Submission interleaving is
+// nondeterministic, so the oracle is the conservation invariant
+// rather than a sequential replay.
+func TestPipelineStressConcurrentProducers(t *testing.T) {
+	const (
+		producers   = 4
+		perProducer = 250
+		accounts    = 8
+		initial     = 1000
+	)
+	for _, alg := range []stm.Algorithm{stm.OWB, stm.OUL, stm.OULSteal, stm.OrderedTL2, stm.STMLite} {
+		t.Run(alg.String(), func(t *testing.T) {
+			vars := stm.NewVars(accounts)
+			for i := range vars {
+				vars[i].Store(initial)
+			}
+			p, err := stm.NewPipeline(stm.Config{
+				Algorithm: alg, Workers: 8, Window: 8, Capacity: 32, EpochAges: 128,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for pr := 0; pr < producers; pr++ {
+				wg.Add(1)
+				go func(pr int) {
+					defer wg.Done()
+					r := rng.New(uint64(pr)*977 + 11)
+					for i := 0; i < perProducer; i++ {
+						from := r.Intn(accounts)
+						to := r.Intn(accounts)
+						amt := uint64(r.Intn(40))
+						tk, err := p.Submit(func(tx stm.Tx, age int) {
+							b := tx.Read(&vars[from])
+							if b >= amt {
+								tx.Write(&vars[from], b-amt)
+								tx.Write(&vars[to], tx.Read(&vars[to])+amt)
+							}
+							runtime.Gosched()
+						})
+						if err != nil {
+							t.Errorf("producer %d submit: %v", pr, err)
+							return
+						}
+						if i%16 == 0 {
+							if err := tk.Wait(); err != nil {
+								t.Errorf("producer %d wait: %v", pr, err)
+								return
+							}
+						}
+					}
+				}(pr)
+			}
+			done := make(chan struct{})
+			go func() { // concurrent observers
+				for {
+					select {
+					case <-done:
+						return
+					default:
+						_ = p.Stats()
+						_ = p.InFlight()
+						runtime.Gosched()
+					}
+				}
+			}()
+			wg.Wait()
+			if err := p.Drain(); err != nil {
+				t.Fatalf("Drain: %v", err)
+			}
+			close(done)
+			if err := p.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if got := p.Committed(); got != producers*perProducer {
+				t.Fatalf("committed %d, want %d", got, producers*perProducer)
+			}
+			var total uint64
+			for i := range vars {
+				total += vars[i].Load()
+			}
+			if total != accounts*initial {
+				t.Fatalf("%v: total %d, want %d (money lost or duplicated)", alg, total, accounts*initial)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,63 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is returned by Pipeline.Submit after Close has been
+// called.
+var ErrClosed = errors.New("stm: pipeline closed")
+
+// Stopped is the error resolving tickets whose age can no longer
+// commit because the pipeline stopped on a fault, and the error
+// Submit returns once the pipeline has stopped. Fault identifies the
+// transaction that stopped the stream. errors.As(err, **Fault) works
+// through it.
+type Stopped struct {
+	Fault *Fault
+}
+
+// Error implements error.
+func (s *Stopped) Error() string {
+	return fmt.Sprintf("stm: pipeline stopped by fault at age %d", s.Fault.Age)
+}
+
+// Unwrap exposes the underlying fault.
+func (s *Stopped) Unwrap() error { return s.Fault }
+
+// Ticket tracks one submitted transaction through the pipeline. It is
+// resolved exactly once: with nil when its age commits, with the
+// *Fault itself if this transaction faulted non-speculatively, or
+// with a *Stopped error if the pipeline stopped before this age could
+// commit.
+type Ticket struct {
+	age  uint64
+	done chan struct{}
+	err  error // written once before done is closed
+}
+
+// Age returns the commit-order position (consensus slot, loop index)
+// the pipeline assigned to this submission.
+func (t *Ticket) Age() uint64 { return t.age }
+
+// Done returns a channel closed when the ticket resolves; use it to
+// select across tickets and other events.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the ticket resolves and returns its outcome: nil
+// once the transaction committed (its effects are visible and every
+// lower age has committed, for ordered algorithms), or the error the
+// ticket was resolved with.
+func (t *Ticket) Wait() error {
+	<-t.done
+	return t.err
+}
+
+// resolve completes the ticket. Callers serialize through the
+// stream's mutex and clear their reference afterwards, so a ticket is
+// resolved at most once.
+func (t *Ticket) resolve(err error) {
+	t.err = err
+	close(t.done)
+}
