@@ -1,9 +1,17 @@
-// Command streambench measures the streaming front-end (stm.Pipeline)
-// under a closed-loop load: a set of client goroutines each submits a
-// transaction, waits for its ticket to commit, and immediately submits
-// the next — the standard way to measure a long-lived transaction
-// service's sustained throughput and commit latency together, as
-// opposed to the open-loop batch numbers microbench reports.
+// Command streambench measures the streaming front-ends (stm.Pipeline
+// and shard.ShardedPipeline) under a closed-loop load: a set of client
+// goroutines each submits a transaction, waits for its ticket to
+// commit, and immediately submits the next — the standard way to
+// measure a long-lived transaction service's sustained throughput and
+// commit latency together, as opposed to the open-loop batch numbers
+// microbench reports.
+//
+// With -shards 0 (the default) it drives a single stm.Pipeline. With
+// -shards S >= 1 it drives a shard.ShardedPipeline over S partitions:
+// accounts are laid out partition-locally, each client transacts
+// within a random partition, and -cross sets the fraction of
+// transactions that deliberately span two partitions (declared via
+// stm.Access and executed through the fence/rendezvous protocol).
 //
 // It also verifies the epoch-recycling story: heap occupancy is
 // sampled across the run so an unbounded stream that leaked engine
@@ -12,7 +20,7 @@
 // Examples:
 //
 //	streambench -alg OUL -workers 8 -clients 16 -txns 100000
-//	streambench -alg OWB -json >> BENCH_stream.json
+//	streambench -alg OUL -shards 4 -cross 0.05 -json >> BENCH_stream.json
 package main
 
 import (
@@ -27,12 +35,16 @@ import (
 
 	"github.com/orderedstm/ostm/internal/rng"
 	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/shard"
 )
+
+// waiter is the common ticket surface of both front-ends.
+type waiter interface{ Wait() error }
 
 func main() {
 	var (
 		algF     = flag.String("alg", "OUL", "algorithm (paper-style name, see stm.ParseAlgorithm)")
-		workers  = flag.Int("workers", 8, "engine worker goroutines")
+		workers  = flag.Int("workers", 8, "engine worker goroutines (per shard when -shards > 0)")
 		clients  = flag.Int("clients", 16, "closed-loop client goroutines")
 		txns     = flag.Int("txns", 100000, "total transactions to stream")
 		pool     = flag.Int("pool", 1<<16, "shared word-pool size (accounts)")
@@ -40,6 +52,8 @@ func main() {
 		capF     = flag.Int("capacity", 0, "pipeline capacity (0 = default)")
 		window   = flag.Int("window", 0, "run-ahead window (0 = default)")
 		epoch    = flag.Int("epoch", 1<<14, "commits per recycling epoch")
+		shardsF  = flag.Int("shards", 0, "partitions for sharded execution (0 = unsharded stm.Pipeline)")
+		crossF   = flag.Float64("cross", 0, "fraction of transactions spanning two shards (sharded mode)")
 		jsonF    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		memEvery = flag.Int("memevery", 8, "heap samples across the run")
 	)
@@ -48,19 +62,114 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	p, err := stm.NewPipeline(stm.Config{
+	pcfg := stm.Config{
 		Algorithm: alg,
 		Workers:   *workers,
 		Window:    *window,
 		Capacity:  *capF,
 		EpochAges: *epoch,
-	})
-	if err != nil {
-		fatal(err)
 	}
+
 	accounts := stm.NewVars(*pool)
 	for i := range accounts {
 		accounts[i].Store(1000)
+	}
+
+	// submit runs one closed-loop client step; the two front-ends plug
+	// their own routing in here.
+	var submit func(r *rng.Rand) (waiter, error)
+	var closeSvc func() error
+	var committed func() uint64
+	var epochs func() uint64
+	var stats func() (commits, aborts, retries uint64)
+	var perShard func() []shardStats
+	var crossCount func() uint64
+	var effCapacity, effWindow int
+
+	if *shardsF == 0 {
+		p, err := stm.NewPipeline(pcfg)
+		if err != nil {
+			fatal(err)
+		}
+		submit = func(r *rng.Rand) (waiter, error) {
+			from, to := r.Intn(*pool), r.Intn(*pool)
+			return p.Submit(transferBody(accounts, from, to, extraReads(from, *ops, *pool, nil)))
+		}
+		closeSvc = p.Close
+		committed = p.Committed
+		epochs = p.Epochs
+		stats = func() (uint64, uint64, uint64) {
+			sv := p.Stats()
+			return sv.Commits, sv.TotalAborts(), sv.Retries
+		}
+		perShard = func() []shardStats { return nil }
+		crossCount = func() uint64 { return 0 }
+		effCapacity, effWindow = p.Config().Capacity, p.Config().Window
+	} else {
+		sp, err := shard.New(shard.Config{Shards: *shardsF, Pipeline: pcfg})
+		if err != nil {
+			fatal(err)
+		}
+		// Partition-local account layout: bucket indices by owning shard.
+		buckets := make([][]int, *shardsF)
+		for i := range accounts {
+			s := sp.ShardOf(&accounts[i])
+			buckets[s] = append(buckets[s], i)
+		}
+		for s, b := range buckets {
+			if len(b) < 2 {
+				fatal(fmt.Errorf("shard %d owns %d accounts; raise -pool", s, len(b)))
+			}
+		}
+		nshards := *shardsF
+		crossPPM := int(*crossF * 1e6) // per-million threshold; rng has no Float64
+		submit = func(r *rng.Rand) (waiter, error) {
+			if nshards > 1 && r.Intn(1_000_000) < crossPPM {
+				// Cross-shard transfer between two partitions.
+				sa := r.Intn(nshards)
+				sb := (sa + 1 + r.Intn(nshards-1)) % nshards
+				from := buckets[sa][r.Intn(len(buckets[sa]))]
+				to := buckets[sb][r.Intn(len(buckets[sb]))]
+				return sp.Submit(
+					stm.Touches(&accounts[from], &accounts[to]),
+					transferBody(accounts, from, to, nil),
+				)
+			}
+			// Single-shard transaction confined to one partition.
+			s := r.Intn(nshards)
+			bk := buckets[s]
+			fi := r.Intn(len(bk))
+			from, to := bk[fi], bk[r.Intn(len(bk))]
+			extra := extraReads(fi, *ops, len(bk), bk)
+			vs := make([]*stm.Var, 0, *ops+1)
+			vs = append(vs, &accounts[from], &accounts[to])
+			for _, i := range extra {
+				vs = append(vs, &accounts[i])
+			}
+			return sp.Submit(stm.Touches(vs...), transferBody(accounts, from, to, extra))
+		}
+		closeSvc = sp.Close
+		committed = sp.Submitted // every accepted txn commits on a clean run
+		epochs = func() uint64 { return 0 }
+		stats = func() (uint64, uint64, uint64) {
+			sv := sp.Stats()
+			return sv.Commits, sv.TotalAborts(), sv.Retries
+		}
+		perShard = func() []shardStats {
+			out := make([]shardStats, 0, nshards)
+			for s, sv := range sp.ShardStats() {
+				out = append(out, shardStats{
+					Shard:    s,
+					Commits:  sv.Commits,
+					Aborts:   sv.TotalAborts(),
+					Retries:  sv.Retries,
+					Quiesces: sv.Quiesces,
+				})
+			}
+			return out
+		}
+		crossCount = sp.CrossShard
+		effCapacity, effWindow = sp.PipelineConfig().Capacity, sp.PipelineConfig().Window
 	}
 
 	latencies := make([][]time.Duration, *clients)
@@ -104,22 +213,8 @@ func main() {
 			lat := make([]time.Duration, 0, perClient)
 			r := rng.New(uint64(c)*0x9E3779B97F4A7C15 + 1)
 			for i := 0; i < perClient; i++ {
-				from := r.Intn(*pool)
-				to := r.Intn(*pool)
-				ops := *ops
 				t0 := time.Now()
-				tk, err := p.Submit(func(tx stm.Tx, age int) {
-					b := tx.Read(&accounts[from])
-					for k := 1; k < ops-1; k++ {
-						b += tx.Read(&accounts[(from+k)%len(accounts)])
-					}
-					amt := b % 7
-					cur := tx.Read(&accounts[from])
-					if cur >= amt {
-						tx.Write(&accounts[from], cur-amt)
-						tx.Write(&accounts[to], tx.Read(&accounts[to])+amt)
-					}
-				})
+				tk, err := submit(r)
 				if err != nil {
 					fatal(err)
 				}
@@ -135,35 +230,38 @@ func main() {
 		}(c)
 	}
 	wg.Wait()
-	if err := p.Close(); err != nil {
+	ncommitted := committed()
+	if err := closeSvc(); err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
 	sampleHeap(true)
 
-	committed := p.Committed()
 	all := make([]time.Duration, 0, *txns)
 	for _, lat := range latencies {
 		all = append(all, lat...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	sv := p.Stats()
+	commits, aborts, retries := stats()
 
 	rep := report{
 		Bench:     "stream-closed-loop",
 		Algorithm: alg.String(),
 		Workers:   *workers,
 		Clients:   *clients,
-		Txns:      int(committed),
-		Capacity:  p.Config().Capacity,
-		Window:    p.Config().Window,
+		Shards:    *shardsF,
+		Txns:      int(ncommitted),
+		CrossTxns: crossCount(),
+		Capacity:  effCapacity,
+		Window:    effWindow,
 		ElapsedS:  elapsed.Seconds(),
-		TxPerSec:  stm.Throughput(committed, elapsed),
+		TxPerSec:  stm.Throughput(ncommitted, elapsed),
 		LatencyUS: percentiles(all),
-		Epochs:    p.Epochs(),
-		Commits:   sv.Commits,
-		Aborts:    sv.TotalAborts(),
-		Retries:   sv.Retries,
+		Epochs:    epochs(),
+		Commits:   commits,
+		Aborts:    aborts,
+		Retries:   retries,
+		PerShard:  perShard(),
 		HeapBytes: heapSamples,
 	}
 	if *jsonF {
@@ -173,15 +271,68 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("%s  workers=%d clients=%d\n", rep.Algorithm, rep.Workers, rep.Clients)
+	if rep.Shards > 0 {
+		fmt.Printf("%s  shards=%d workers=%d/shard clients=%d cross=%d\n",
+			rep.Algorithm, rep.Shards, rep.Workers, rep.Clients, rep.CrossTxns)
+	} else {
+		fmt.Printf("%s  workers=%d clients=%d\n", rep.Algorithm, rep.Workers, rep.Clients)
+	}
 	fmt.Printf("  %d txns in %.3fs  →  %.0f tx/s\n", rep.Txns, rep.ElapsedS, rep.TxPerSec)
 	fmt.Printf("  commit latency  p50=%.1fµs  p95=%.1fµs  p99=%.1fµs  max=%.1fµs\n",
 		rep.LatencyUS["p50"], rep.LatencyUS["p95"], rep.LatencyUS["p99"], rep.LatencyUS["max"])
 	fmt.Printf("  aborts=%d retries=%d epochs=%d\n", rep.Aborts, rep.Retries, rep.Epochs)
+	for _, s := range rep.PerShard {
+		fmt.Printf("    shard %d: commits=%d aborts=%d retries=%d\n", s.Shard, s.Commits, s.Aborts, s.Retries)
+	}
 	if n := len(heapSamples); n >= 2 {
 		fmt.Printf("  live heap: start=%dKiB end=%dKiB (flat ⇒ epoch recycling holds; raw mid-run peak=%dKiB)\n",
 			heapSamples[0]/1024, heapSamples[n-1]/1024, maxOf(heapSamples[1:n-1])/1024)
 	}
+}
+
+// extraReads lists the account indices a transaction folds in beyond
+// its from/to pair: ops-2 neighbors of position fi, walking the given
+// index set (or the whole pool when idx is nil).
+func extraReads(fi, ops, n int, idx []int) []int {
+	if ops <= 2 {
+		return nil
+	}
+	out := make([]int, 0, ops-2)
+	for k := 1; k < ops-1; k++ {
+		if idx == nil {
+			out = append(out, (fi+k)%n)
+		} else {
+			out = append(out, idx[(fi+k)%n])
+		}
+	}
+	return out
+}
+
+// transferBody builds the standard bank-transfer body: fold the
+// extra reads, then conditionally move a small amount from from to
+// to. Deterministic in (age, memory) as the library requires.
+func transferBody(accounts []stm.Var, from, to int, extra []int) stm.Body {
+	return func(tx stm.Tx, age int) {
+		b := tx.Read(&accounts[from])
+		for _, i := range extra {
+			b += tx.Read(&accounts[i])
+		}
+		amt := b % 7
+		cur := tx.Read(&accounts[from])
+		if cur >= amt {
+			tx.Write(&accounts[from], cur-amt)
+			tx.Write(&accounts[to], tx.Read(&accounts[to])+amt)
+		}
+	}
+}
+
+// shardStats is the per-shard engine counter breakdown in -json mode.
+type shardStats struct {
+	Shard    int    `json:"shard"`
+	Commits  uint64 `json:"commits"`
+	Aborts   uint64 `json:"aborts"`
+	Retries  uint64 `json:"retries"`
+	Quiesces uint64 `json:"quiesces"`
 }
 
 // report is the -json document; one line per run appended to a
@@ -191,7 +342,9 @@ type report struct {
 	Algorithm string             `json:"algorithm"`
 	Workers   int                `json:"workers"`
 	Clients   int                `json:"clients"`
+	Shards    int                `json:"shards"`
 	Txns      int                `json:"txns"`
+	CrossTxns uint64             `json:"cross_txns"`
 	Capacity  int                `json:"capacity"`
 	Window    int                `json:"window"`
 	ElapsedS  float64            `json:"elapsed_s"`
@@ -201,6 +354,7 @@ type report struct {
 	Commits   uint64             `json:"commits"`
 	Aborts    uint64             `json:"aborts"`
 	Retries   uint64             `json:"retries"`
+	PerShard  []shardStats       `json:"per_shard,omitempty"`
 	HeapBytes []uint64           `json:"heap_bytes"`
 }
 

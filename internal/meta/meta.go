@@ -139,6 +139,19 @@ type Recycler interface {
 	Recycle()
 }
 
+// Stabilizer is implemented by attempts whose engine can leave a gap
+// between a commit entering the order (the frontier advancing) and its
+// effects being fully applied to memory: STMLite's commit manager
+// grants write-back permission in age order, but the write-back itself
+// runs on the granted worker afterwards. WaitStable blocks until every
+// granted commit has landed in memory. Frontier-exact readers (the
+// shard fence protocol) call it after reaching the commit frontier and
+// before reading; engines that publish writes before advancing the
+// order never implement it.
+type Stabilizer interface {
+	WaitStable()
+}
+
 // Revalidator is implemented by attempts that can check their read-set
 // consistency on demand. The executor's sandbox uses it to distinguish
 // a genuine application fault from a fault induced by an inconsistent

@@ -20,6 +20,7 @@ import (
 type Order struct {
 	committed atomic.Uint64 // == next age to commit
 	halted    atomic.Bool   // run stopped; all waits must return
+	haltc     chan struct{} // closed by Halt, for select-based waiters
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -33,7 +34,7 @@ func NewOrder() *Order { return NewOrderAt(0) }
 // consensus slot, a loop restarting at an iteration index) seeds the
 // frontier here instead of renumbering its transactions from zero.
 func NewOrderAt(start uint64) *Order {
-	o := &Order{}
+	o := &Order{haltc: make(chan struct{})}
 	o.committed.Store(start)
 	o.cond = sync.NewCond(&o.mu)
 	return o
@@ -115,9 +116,16 @@ func (o *Order) Kick() {
 // worker stays parked waiting for a turn that will never come (ages
 // below it were abandoned, not committed).
 func (o *Order) Halt() {
-	o.halted.Store(true)
+	if o.halted.CompareAndSwap(false, true) {
+		close(o.haltc)
+	}
 	o.Kick()
 }
 
 // Halted reports whether Halt was called.
 func (o *Order) Halted() bool { return o.halted.Load() }
+
+// HaltCh returns a channel closed when the order halts, so goroutines
+// multiplexing on channels (the STMLite commit manager) can observe
+// the stop without polling the condition variable.
+func (o *Order) HaltCh() <-chan struct{} { return o.haltc }

@@ -1,0 +1,43 @@
+package meta
+
+// Shard-aware variable identity. A sharded executor partitions the Var
+// space into S disjoint slices and runs one engine per slice; because
+// every engine instance carries its own lock table and commit order,
+// the partition function must be a pure function of the Var's identity
+// so that router, engines, tests and benchmarks all agree on which
+// shard owns a variable.
+//
+// The id is Fibonacci-mixed before reduction, for the same reason
+// Table hashes ids: consecutively allocated variables (NewVars) would
+// otherwise all land on the same shard, and a partitioned workload
+// wants neighboring variables spread across shards by default.
+
+// ShardOf maps a variable id to one of `shards` partitions. The
+// mapping is deterministic and stable for the life of the process:
+// the same id always lands on the same shard for a given shard count.
+// Any shards <= 1 collapses to a single partition.
+func ShardOf(id uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(((id * fibMult) >> 32) % uint64(shards))
+}
+
+// Shard returns the partition owning v among `shards` partitions
+// (ShardOf of the variable's id).
+func (v *Var) Shard(shards int) int { return ShardOf(v.id, shards) }
+
+// ShardTableBits sizes a per-shard lock table: each of `shards`
+// engines sees roughly a 1/shards slice of the variable space, so the
+// per-engine table can shrink by log2(shards) bits and keep the
+// aggregate memory footprint — and the per-variable aliasing rate —
+// comparable to a single engine with `bits` bits.
+func ShardTableBits(bits uint, shards int) uint {
+	for s := 1; s < shards && bits > MinTableBits; s *= 2 {
+		bits--
+	}
+	if bits < MinTableBits {
+		bits = MinTableBits
+	}
+	return bits
+}

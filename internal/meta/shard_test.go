@@ -1,0 +1,72 @@
+package meta
+
+import "testing"
+
+// TestShardOf: the mapping is stable, in range, consistent between the
+// package-level function and the Var method, and spreads consecutively
+// allocated variables across shards instead of clustering them.
+func TestShardOf(t *testing.T) {
+	if ShardOf(12345, 0) != 0 || ShardOf(12345, 1) != 0 || ShardOf(12345, -3) != 0 {
+		t.Fatal("degenerate shard counts must collapse to partition 0")
+	}
+	for _, shards := range []int{2, 3, 4, 7, 16} {
+		vs := NewVars(4096)
+		counts := make([]int, shards)
+		for i := range vs {
+			s := vs[i].Shard(shards)
+			if s != ShardOf(vs[i].ID(), shards) {
+				t.Fatal("Var.Shard disagrees with ShardOf")
+			}
+			if s != ShardOf(vs[i].ID(), shards) || s < 0 || s >= shards {
+				t.Fatalf("shard %d out of range for S=%d", s, shards)
+			}
+			counts[s]++
+		}
+		// Fibonacci mixing should spread a contiguous id run roughly
+		// evenly: no shard may be empty or hold more than half.
+		for s, c := range counts {
+			if c == 0 {
+				t.Fatalf("S=%d: shard %d owns no variables of a 4096 run", shards, s)
+			}
+			if c > len(vs)/2 && shards > 2 {
+				t.Fatalf("S=%d: shard %d owns %d of %d variables", shards, s, c, len(vs))
+			}
+		}
+	}
+}
+
+// TestShardTableBits: per-shard tables shrink by log2(shards), floored
+// at the minimum.
+func TestShardTableBits(t *testing.T) {
+	cases := []struct {
+		bits   uint
+		shards int
+		want   uint
+	}{
+		{16, 1, 16}, {16, 2, 15}, {16, 4, 14}, {16, 8, 13},
+		{16, 3, 14}, {5, 1024, MinTableBits}, {MinTableBits, 4, MinTableBits},
+	}
+	for _, c := range cases {
+		if got := ShardTableBits(c.bits, c.shards); got != c.want {
+			t.Fatalf("ShardTableBits(%d, %d) = %d, want %d", c.bits, c.shards, got, c.want)
+		}
+	}
+}
+
+// TestOrderHaltCh: the halt channel closes exactly once, regardless of
+// repeated Halt calls.
+func TestOrderHaltCh(t *testing.T) {
+	o := NewOrder()
+	select {
+	case <-o.HaltCh():
+		t.Fatal("halt channel closed before Halt")
+	default:
+	}
+	o.Halt()
+	o.Halt() // must not panic on double close
+	select {
+	case <-o.HaltCh():
+	default:
+		t.Fatal("halt channel open after Halt")
+	}
+}

@@ -143,6 +143,23 @@ func (t *Txn) Write(v *meta.Var, x uint64) {
 	t.writes = append(t.writes, writeEntry{v: v, val: x})
 }
 
+// WaitStable implements meta.Stabilizer: block until every granted
+// write-back has landed in memory. Only meaningful when the caller
+// holds the commit frontier (no further grants can intervene, so the
+// grant stamp is frozen and the TCM's idle polling drives the stable
+// stamp up to it). A halted order is an escape hatch: the TCM stops
+// republishing stable once it enters its deny-everything drain, so
+// waiting would deadlock teardown — and a halted run discards the
+// caller's work anyway (write-backs are never granted after a halt).
+func (t *Txn) WaitStable() {
+	for spin := 0; t.eng.stable.Load() < t.eng.stamp.Load(); spin++ {
+		if t.eng.cfg.Order.Halted() {
+			return
+		}
+		meta.Pause(spin)
+	}
+}
+
 // ReadSetValid implements meta.Revalidator. Signatures cannot be
 // re-validated against values, so a speculative fault is
 // conservatively attributed to staleness whenever any transaction
@@ -215,15 +232,53 @@ func (e *Engine) tcm() {
 	var inflight []*submission
 	for {
 		var s *submission
-		select {
-		case s = <-e.subs:
-		case <-e.stopc:
-			for _, p := range pending {
-				p.grant <- false
+		for spin := 0; s == nil; spin++ {
+			// While granted write-backs are outstanding, poll them down
+			// between channel checks: the stable stamp must be able to
+			// catch up with the grant stamp even if no submission ever
+			// arrives again. A worker re-validating its read set after
+			// a denial — or the sandbox classifying a fault — waits for
+			// exactly that catch-up, and a TCM parked in a blocking
+			// receive would leave it spinning forever.
+			e.advanceStable(&inflight)
+			if len(inflight) > 0 {
+				select {
+				case s = <-e.subs:
+				case <-e.stopc:
+					e.denyAll(pending)
+					return
+				case <-e.cfg.Order.HaltCh():
+					e.denyAll(pending)
+					e.drainDenying()
+					return
+				default:
+					meta.Pause(spin)
+				}
+				continue
 			}
-			return
+			select {
+			case s = <-e.subs:
+			case <-e.stopc:
+				e.denyAll(pending)
+				return
+			case <-e.cfg.Order.HaltCh():
+				// The run stopped (a fault halted the order). The age
+				// at the commit frontier will never submit, so no
+				// parked submission can ever be granted: deny
+				// everything now and keep denying until Stop, or
+				// workers blocked in TryCommit could never exit and
+				// teardown would deadlock.
+				e.denyAll(pending)
+				e.drainDenying()
+				return
+			}
 		}
 		pending[s.age] = s
+		if e.cfg.Order.Halted() {
+			e.denyAll(pending)
+			e.drainDenying()
+			return
+		}
 		// Grant as many consecutive next-to-commit transactions as
 		// possible.
 		for {
@@ -274,6 +329,27 @@ func (e *Engine) tcm() {
 			cand.grant <- true
 			e.cfg.Order.Complete(next)
 			e.advanceStable(&inflight)
+		}
+	}
+}
+
+// denyAll denies every parked submission.
+func (e *Engine) denyAll(pending map[uint64]*submission) {
+	for age, p := range pending {
+		delete(pending, age)
+		p.grant <- false
+	}
+}
+
+// drainDenying denies every further submission until Stop; it runs
+// after a halt, when no grant can ever be issued again.
+func (e *Engine) drainDenying() {
+	for {
+		select {
+		case s := <-e.subs:
+			s.grant <- false
+		case <-e.stopc:
+			return
 		}
 	}
 }

@@ -1,0 +1,42 @@
+package stm
+
+// Access declares which transactional variables a submission may touch
+// before it runs. The paper's model executes bodies blind — conflicts
+// are discovered, not declared — but partition-parallel front-ends
+// (stm/shard) need the touched set up front to route a transaction to
+// the pipelines owning its data, exactly as queue-oriented and
+// deterministic systems (QueCC, Calvin) require declared read/write
+// sets for partitioned scheduling.
+//
+// A declaration is a superset promise: the body may touch fewer
+// variables than declared, but touching an undeclared variable whose
+// partition was not reserved is a fault (the sharded executor stops
+// rather than silently break isolation). Declaring more than needed
+// costs parallelism (extra partitions rendezvous), never correctness.
+//
+// The zero Access declares nothing; a body submitted with it may not
+// touch any shared variable at all (useful for pure control commands).
+type Access struct {
+	vars []*Var
+	all  bool
+}
+
+// Touches declares that the transaction may read or write exactly the
+// given variables. The slice is retained; callers must not mutate it
+// after submission.
+func Touches(vs ...*Var) Access { return Access{vars: vs} }
+
+// TouchesAll declares that the transaction may touch any variable.
+// A sharded executor treats it as involving every partition — a
+// global barrier transaction — so it serializes against everything
+// and should be reserved for occasional whole-state work (snapshots,
+// audits, schema-style changes).
+func TouchesAll() Access { return Access{all: true} }
+
+// All reports whether the declaration covers every variable.
+func (a Access) All() bool { return a.all }
+
+// Vars returns the declared variables (nil for TouchesAll or an empty
+// declaration). The returned slice is the declaration's backing store;
+// treat it as read-only.
+func (a Access) Vars() []*Var { return a.vars }

@@ -145,3 +145,14 @@ type Fault struct {
 func (f *Fault) Error() string {
 	return fmt.Sprintf("stm: transaction %d faulted: %v", f.Age, f.Value)
 }
+
+// Unwrap exposes the recovered panic value when it is itself an
+// error, so errors.Is/As reach through a Fault to typed causes (a
+// body that panicked with a sentinel error, a shard access
+// violation).
+func (f *Fault) Unwrap() error {
+	if err, ok := f.Value.(error); ok {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package stm_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/orderedstm/ostm/stm"
+)
+
+// TestTicketErrPeek: Err never blocks, reports resolved=false while in
+// flight, and returns the Wait outcome once resolved.
+func TestTicketErrPeek(t *testing.T) {
+	p, err := stm.NewPipeline(stm.Config{Algorithm: stm.OUL, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	gate := stm.NewVar(0)
+	tk, err := p.Submit(func(tx stm.Tx, age int) {
+		tx.Read(gate)
+		<-release
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err, ok := tk.Err(); ok || err != nil {
+		t.Fatalf("in-flight Err = %v, %v; want nil, false", err, ok)
+	}
+	close(release)
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err, ok := tk.Err(); !ok || err != nil {
+		t.Fatalf("resolved Err = %v, %v; want nil, true", err, ok)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineWaitFrontier: WaitFrontier observes the exact commit
+// prefix for cooperative, blocked, lite and sequential modes.
+func TestPipelineWaitFrontier(t *testing.T) {
+	for _, alg := range []stm.Algorithm{stm.OUL, stm.OrderedNOrec, stm.STMLite, stm.Sequential} {
+		t.Run(alg.String(), func(t *testing.T) {
+			p, err := stm.NewPipeline(stm.Config{Algorithm: alg, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 64
+			v := stm.NewVar(0)
+			for i := 0; i < n; i++ {
+				if _, err := p.Submit(func(tx stm.Tx, age int) {
+					tx.Write(v, tx.Read(v)+1)
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !p.WaitFrontier(n) {
+				t.Fatal("WaitFrontier returned false on a healthy stream")
+			}
+			// All n ages committed; for write-through and settled
+			// write-back engines the memory reflects it. (STMLite's
+			// write-backs may still be landing; Drain settles them.)
+			if err := p.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if got := v.Load(); got != n {
+				t.Fatalf("v = %d after frontier %d", got, n)
+			}
+			if err := p.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPipelineStop: a forced stop resolves outstanding tickets as
+// *Stopped, rejects new submissions, and is reported by Close and
+// Fault.
+func TestPipelineStop(t *testing.T) {
+	p, err := stm.NewPipeline(stm.Config{Algorithm: stm.OWB, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fault() != nil {
+		t.Fatal("fresh pipeline reports a fault")
+	}
+	release := make(chan struct{})
+	blocker, err := p.Submit(func(tx stm.Tx, age int) { <-release })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parked []*stm.Ticket
+	for i := 0; i < 20; i++ {
+		tk, err := p.Submit(func(tx stm.Tx, age int) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parked = append(parked, tk)
+	}
+	p.Stop("shutdown requested")
+	close(release) // the in-flight body may still finish; that is fine
+	var st *stm.Stopped
+	for i, tk := range parked {
+		werr := tk.Wait() // must not hang
+		if werr != nil && !errors.As(werr, &st) {
+			t.Fatalf("ticket %d resolved with %v", i, werr)
+		}
+	}
+	_ = blocker
+	if _, err := p.Submit(func(stm.Tx, int) {}); err == nil {
+		t.Fatal("Submit accepted after Stop")
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("Close reported nil after Stop")
+	}
+	f := p.Fault()
+	if f == nil || f.Value != "shutdown requested" {
+		t.Fatalf("Fault() = %v", f)
+	}
+	// WaitFrontier must not hang on a stopped pipeline.
+	done := make(chan bool, 1)
+	go func() { done <- p.WaitFrontier(1 << 30) }()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("WaitFrontier reported an unreachable frontier")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitFrontier hung on a stopped pipeline")
+	}
+}
+
+// TestAccessDeclaration covers the Access API surface.
+func TestAccessDeclaration(t *testing.T) {
+	v1, v2 := stm.NewVar(0), stm.NewVar(0)
+	a := stm.Touches(v1, v2)
+	if a.All() {
+		t.Fatal("Touches reports All")
+	}
+	if vs := a.Vars(); len(vs) != 2 || vs[0] != v1 || vs[1] != v2 {
+		t.Fatalf("Vars() = %v", vs)
+	}
+	all := stm.TouchesAll()
+	if !all.All() || all.Vars() != nil {
+		t.Fatal("TouchesAll malformed")
+	}
+	var zero stm.Access
+	if zero.All() || len(zero.Vars()) != 0 {
+		t.Fatal("zero Access malformed")
+	}
+}
+
+// TestFaultUnwrap: errors.As reaches an error-typed panic value
+// through the Fault.
+func TestFaultUnwrap(t *testing.T) {
+	sentinel := errors.New("bad business rule")
+	ex, err := stm.NewExecutor(stm.Config{Algorithm: stm.OUL, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := ex.Run(10, func(tx stm.Tx, age int) {
+		if age == 5 {
+			panic(sentinel)
+		}
+	})
+	if !errors.Is(rerr, sentinel) {
+		t.Fatalf("run error %v does not unwrap to the sentinel", rerr)
+	}
+}

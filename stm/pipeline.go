@@ -201,6 +201,38 @@ func (p *Pipeline) Close() error {
 	return p.closeErr
 }
 
+// WaitFrontier blocks until the commit frontier reaches age — every
+// transaction with a lower age has committed — or the pipeline stops,
+// whichever is first; it returns true iff the frontier arrived. It is
+// the pipeline-level reachability wait: a body that must observe the
+// exact sequential prefix below its own age (the shard fence protocol)
+// parks here, and order-enforcing engines guarantee the frontier keeps
+// advancing underneath it.
+func (p *Pipeline) WaitFrontier(age uint64) bool {
+	p.order.WaitReachable(age, nil)
+	return p.order.Committed() >= age
+}
+
+// Stop halts the pipeline without draining, as if a transaction
+// faulted: workers and waiters are cancelled, every unresolved ticket
+// resolves with a *Stopped error, and Submit/Close report the stop.
+// Ages not yet committed when Stop lands do not commit (with the same
+// narrow racing-commit exception documented on the type). If cause is
+// already a *Fault it is recorded as-is; any other value is wrapped in
+// a Fault positioned at the current commit frontier. Stop is
+// idempotent; the first stop (or genuine fault) wins.
+func (p *Pipeline) Stop(cause any) {
+	f, ok := cause.(*Fault)
+	if !ok {
+		f = &Fault{Age: p.order.Committed(), Value: cause}
+	}
+	p.l.fail(f)
+}
+
+// Fault returns the fault that stopped the pipeline, or nil while it
+// is running (and after a clean Close).
+func (p *Pipeline) Fault() *Fault { return p.l.fault.Load() }
+
 // Stats returns whole-stream counters: every finished epoch plus the
 // live counters of the current one.
 func (p *Pipeline) Stats() meta.StatsView {

@@ -146,14 +146,40 @@ func (l *loop) spawnWorkers(wg *sync.WaitGroup) {
 // goroutine so commits never stall while all workers sit in the
 // throttle window. drained reports that every age the feed will ever
 // produce has committed. Only cooperative engines need it.
+//
+// The loop must never park while a committable cell sits in the ring:
+// validate() can lose the token to a worker whose own scan read the
+// ring just before the frontier cell was exposed — that worker finds
+// nothing, the exposing worker's validate() loses the same CAS, and
+// the expose's kick was already consumed by the receive that led
+// here. Parking then would strand the frontier forever (every later
+// commit needs this one first), so re-poll until the token frees up.
 func (l *loop) validatorLoop(drained func() bool) {
 	for !l.stop() && !drained() {
 		l.validate()
 		if l.stop() || drained() {
 			return
 		}
+		if l.committable() {
+			runtime.Gosched() // token contended; retry, yielding the CPU
+			continue
+		}
 		<-l.kick
 	}
+}
+
+// committable reports whether the age at the commit frontier is
+// exposed in the ring (the validator has work). Exposes store the
+// cell before kicking, so a false result here followed by a park on
+// the kick channel cannot miss work: any later expose leaves either
+// the cell (seen by the next poll) or a kick token (unparking us).
+func (l *loop) committable() bool {
+	if l.mask == 0 {
+		return false
+	}
+	next := l.order.Committed()
+	cell := l.ring[next&l.mask].Load()
+	return cell != nil && cell.age == next
 }
 
 // worker is Algorithm 5's per-thread loop.

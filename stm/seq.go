@@ -23,15 +23,30 @@ func (e *seqEngine) Mode() meta.Mode { return meta.ModeSequential }
 func (e *seqEngine) Stats() *meta.Stats { return e.cfg.Stats }
 
 // NewTxn implements meta.Engine.
-func (e *seqEngine) NewTxn(age uint64) meta.Txn { return &seqTxn{age: age} }
+func (e *seqEngine) NewTxn(age uint64) meta.Txn {
+	return &seqTxn{age: age, order: e.cfg.Order}
+}
 
-type seqTxn struct{ age uint64 }
+type seqTxn struct {
+	age   uint64
+	order *meta.Order
+}
 
 func (t *seqTxn) Read(v *meta.Var) uint64     { return v.Load() }
 func (t *seqTxn) Write(v *meta.Var, x uint64) { v.Store(x) }
 func (t *seqTxn) Age() uint64                 { return t.age }
-func (t *seqTxn) TryCommit() bool             { return true }
-func (t *seqTxn) Commit() bool                { return true }
-func (t *seqTxn) Cleanup()                    {}
-func (t *seqTxn) AbandonAttempt()             {}
-func (t *seqTxn) Doomed() bool                { return false }
+
+// TryCommit advances the commit frontier. The single sequential worker
+// claims and commits ages strictly in order, so Complete(age) always
+// matches; keeping the Order current lets frontier observers
+// (Pipeline.WaitFrontier, the shard fence protocol) work uniformly
+// across every mode. Executor.Run's sequential fast path bypasses
+// TryCommit entirely and is unaffected.
+func (t *seqTxn) TryCommit() bool {
+	t.order.Complete(t.age)
+	return true
+}
+func (t *seqTxn) Commit() bool    { return true }
+func (t *seqTxn) Cleanup()        {}
+func (t *seqTxn) AbandonAttempt() {}
+func (t *seqTxn) Doomed() bool    { return false }

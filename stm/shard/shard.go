@@ -1,0 +1,422 @@
+// Package shard implements partition-parallel ordered execution: S
+// independent stm.Pipeline engines, each owning a hash-partition of
+// the Var space, behind a single Submit front-end that preserves the
+// global predefined commit order.
+//
+// The Age-based Commit Order model caps throughput at what one commit
+// frontier can sustain; sharding is the scaling path past it. A
+// ShardedPipeline assigns every submission a global age, routes
+// single-partition transactions (the common case, and the only ones a
+// partitionable workload produces) to their shard's local age
+// sequence, and handles multi-partition transactions in the
+// deterministic, queue-oriented style of Calvin and QueCC: a fence is
+// inserted at the equivalent local age on every involved shard, the
+// participating shards rendezvous when those fences reach their
+// commit frontiers, and the lowest involved shard executes the body
+// against a cross-shard Tx view while the others hold their
+// frontiers. No two-phase commit is needed: a fence at the frontier
+// is reachable, and a reachable transaction in this system always
+// commits.
+//
+// Determinism contract: because every shard commits its slice of the
+// global age sequence in local-age order, and cross-shard
+// transactions freeze every involved shard at exactly the global
+// prefix below them, a sharded run produces per-ticket results and
+// final memory identical to executing all bodies sequentially in
+// global-age order — for any order-enforcing algorithm and any shard
+// count.
+//
+// Transactions must declare the variables they may touch
+// (stm.Access); the declaration is a superset promise, and violating
+// it is a fault, not a silent isolation leak.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/orderedstm/ostm/internal/meta"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Config parameterizes a ShardedPipeline.
+type Config struct {
+	// Shards is the number of partitions S (default 2). Each partition
+	// runs an independent stm.Pipeline owning the Vars that hash to it
+	// (meta's stable shard mapping; see Of).
+	Shards int
+
+	// Pipeline parameterizes every per-shard pipeline. Algorithm must
+	// enforce the predefined commit order (the unordered baselines
+	// cannot provide sharded determinism and are rejected). Workers,
+	// Window, Capacity and EpochAges are per shard. FirstAge is the
+	// global age of the first submission; the per-shard local age
+	// sequences always start at zero. TableBits left zero defaults to
+	// a per-shard table shrunk by log2(Shards) — each engine sees only
+	// its slice of the variable space, so the aggregate lock-table
+	// footprint matches a single unsharded engine.
+	Pipeline stm.Config
+}
+
+// ShardedPipeline is the sharded streaming front-end. Submit may be
+// called from any number of goroutines; Close must be called to
+// release the per-shard workers. See the package documentation for
+// the execution model.
+type ShardedPipeline struct {
+	shards       int
+	pipes        []*stm.Pipeline
+	retryUnknown bool
+
+	mu     sync.Mutex // router: serializes age assignment and routing
+	nextG  uint64
+	closed bool
+	ncross uint64
+
+	fault atomic.Pointer[stm.Fault] // first global fault
+
+	xmu   sync.Mutex
+	xcond *sync.Cond
+	xlive map[uint64]*xtxn // cross-shard transactions not yet resolved
+	xout  int
+	xwg   sync.WaitGroup
+
+	firstAge  uint64
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New validates the configuration and starts one pipeline per shard.
+func New(cfg Config) (*ShardedPipeline, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if !cfg.Pipeline.Algorithm.Ordered() {
+		return nil, fmt.Errorf("shard: %v does not enforce the predefined commit order; sharded determinism requires an ordered algorithm", cfg.Pipeline.Algorithm)
+	}
+	pcfg := cfg.Pipeline
+	first := pcfg.FirstAge
+	pcfg.FirstAge = 0
+	if pcfg.TableBits == 0 {
+		pcfg.TableBits = meta.ShardTableBits(meta.DefaultTableBits, cfg.Shards)
+	}
+	sp := &ShardedPipeline{
+		shards:       cfg.Shards,
+		retryUnknown: pcfg.RetryUnknownPanics,
+		nextG:        first,
+		firstAge:     first,
+		xlive:        make(map[uint64]*xtxn),
+	}
+	sp.xcond = sync.NewCond(&sp.xmu)
+	for s := 0; s < cfg.Shards; s++ {
+		p, err := stm.NewPipeline(pcfg)
+		if err != nil {
+			for _, q := range sp.pipes {
+				q.Close()
+			}
+			return nil, err
+		}
+		sp.pipes = append(sp.pipes, p)
+	}
+	return sp, nil
+}
+
+// Submit hands the sharded pipeline the next transaction of the
+// global stream. access declares the variables body may touch; body
+// receives the global age (Tx.Age is global too). Submit assigns the
+// next global age, routes the transaction to the involved shards, and
+// returns a Ticket resolving when it commits everywhere it ran.
+// After Close it returns stm.ErrClosed; after a fault, the
+// *stm.Stopped error.
+func (sp *ShardedPipeline) Submit(access stm.Access, body stm.Body) (*Ticket, error) {
+	if body == nil {
+		return nil, errors.New("shard: nil body")
+	}
+	involved, err := sp.partitions(access)
+	if err != nil {
+		return nil, err
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if f := sp.fault.Load(); f != nil {
+		return nil, &stm.Stopped{Fault: f}
+	}
+	if sp.closed {
+		return nil, stm.ErrClosed
+	}
+	g := sp.nextG
+	sp.nextG++
+	if len(involved) == 1 {
+		return sp.submitLocal(g, involved[0], body)
+	}
+	sp.ncross++
+	return sp.submitCross(g, involved, body)
+}
+
+// partitions resolves an access declaration to the ascending list of
+// involved shards. An empty declaration is ordered on (and confined
+// to) partition 0.
+func (sp *ShardedPipeline) partitions(a stm.Access) ([]int, error) {
+	if sp.shards == 1 {
+		return []int{0}, nil
+	}
+	if a.All() {
+		all := make([]int, sp.shards)
+		for s := range all {
+			all[s] = s
+		}
+		return all, nil
+	}
+	seen := make([]bool, sp.shards)
+	var out []int
+	for _, v := range a.Vars() {
+		if v == nil {
+			return nil, errors.New("shard: nil Var in access declaration")
+		}
+		if s := meta.ShardOf(v.ID(), sp.shards); !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return []int{0}, nil
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// submitLocal routes a single-shard transaction straight to its
+// shard's local age sequence. Called with sp.mu held; the per-shard
+// Submit may block on that shard's backpressure, which paces the
+// whole router — the global sequencer is intentionally the one
+// serialization point.
+func (sp *ShardedPipeline) submitLocal(g uint64, s int, body stm.Body) (*Ticket, error) {
+	wrapped := func(tx stm.Tx, _ int) {
+		defer sp.guard(g, tx)
+		body(&checkedTx{tx: tx, shards: sp.shards, shard: s, g: g}, int(g))
+	}
+	lt, err := sp.pipes[s].Submit(wrapped)
+	if err != nil {
+		return nil, sp.translate(g, err)
+	}
+	return &Ticket{g: g, sp: sp, local: lt}, nil
+}
+
+// guard mirrors the run-loop sandbox's fault classification one level
+// up: a genuine fault must stop every shard, not just the one that
+// hit it, so the global predefined order is cut at a single point.
+func (sp *ShardedPipeline) guard(g uint64, tx stm.Tx) {
+	rec := recover()
+	if rec == nil {
+		return
+	}
+	if !speculative(rec, tx) && !sp.retryUnknown {
+		sp.fail(&stm.Fault{Age: g, Value: rec})
+	}
+	panic(rec)
+}
+
+// submitCross registers the coordination state and fences every
+// involved shard. Called with sp.mu held.
+func (sp *ShardedPipeline) submitCross(g uint64, involved []int, body stm.Body) (*Ticket, error) {
+	x := newXtxn(sp, g, involved, body)
+	t := &Ticket{g: g, sp: sp, done: make(chan struct{})}
+	sp.xmu.Lock()
+	sp.xlive[g] = x
+	sp.xout++
+	sp.xmu.Unlock()
+	fences := make([]*stm.Ticket, 0, len(involved))
+	for _, s := range involved {
+		ft, err := sp.pipes[s].Submit(sp.fenceBody(x, s))
+		if err != nil {
+			// A shard refused the fence, which only happens when the
+			// system is stopping (Close cannot interleave: it takes
+			// sp.mu before closing pipelines). Fences already in
+			// flight must be released here too: sp.fail's xlive sweep
+			// can race our registration — if its snapshot predates
+			// it, nobody else will ever fail this xtxn, and a fence
+			// already parked in the rendezvous would strand its worker
+			// and deadlock Close.
+			if f := sp.fault.Load(); f != nil {
+				x.fail(f)
+			}
+			t.err = err
+			close(t.done)
+			sp.xfinish(g)
+			return nil, sp.translate(g, err)
+		}
+		fences = append(fences, ft)
+	}
+	sp.xwg.Add(1)
+	go func() {
+		defer sp.xwg.Done()
+		var err error
+		for _, ft := range fences {
+			if e := ft.Wait(); e != nil && err == nil {
+				err = e
+			}
+		}
+		t.err = err
+		close(t.done)
+		sp.xfinish(g)
+	}()
+	return t, nil
+}
+
+func (sp *ShardedPipeline) xfinish(g uint64) {
+	sp.xmu.Lock()
+	delete(sp.xlive, g)
+	sp.xout--
+	sp.xcond.Broadcast()
+	sp.xmu.Unlock()
+}
+
+// fail records the first global fault and stops the world: every
+// shard pipeline halts (resolving its outstanding local tickets) and
+// every in-flight cross-shard rendezvous is released. Never called
+// with sp.mu held — a router blocked in a shard's backpressure wait
+// is unblocked by the pipeline stops this performs.
+func (sp *ShardedPipeline) fail(f *stm.Fault) {
+	if !sp.fault.CompareAndSwap(nil, f) {
+		return
+	}
+	for _, p := range sp.pipes {
+		p.Stop(f)
+	}
+	sp.xmu.Lock()
+	xs := make([]*xtxn, 0, len(sp.xlive))
+	for _, x := range sp.xlive {
+		xs = append(xs, x)
+	}
+	sp.xmu.Unlock()
+	for _, x := range xs {
+		x.fail(f)
+	}
+}
+
+// translate rewrites a shard-local error into the global vocabulary:
+// after a global fault, the faulting transaction's ticket resolves
+// with the *stm.Fault itself (carrying the global age) and every
+// other unresolved ticket with *stm.Stopped around it, regardless of
+// which local error the shard reported.
+func (sp *ShardedPipeline) translate(g uint64, err error) error {
+	if err == nil {
+		return nil
+	}
+	if f := sp.fault.Load(); f != nil {
+		if f.Age == g {
+			return f
+		}
+		return &stm.Stopped{Fault: f}
+	}
+	return err
+}
+
+// Drain blocks until every transaction submitted before the call has
+// committed on all its shards and its ticket resolved (or the system
+// stopped on a fault, which it returns). The pipeline stays open.
+func (sp *ShardedPipeline) Drain() error {
+	for _, p := range sp.pipes {
+		if p.Drain() != nil {
+			break // the global fault is reported below
+		}
+	}
+	sp.xmu.Lock()
+	for sp.xout > 0 && sp.fault.Load() == nil {
+		sp.xcond.Wait()
+	}
+	sp.xmu.Unlock()
+	if f := sp.fault.Load(); f != nil {
+		return f
+	}
+	return nil
+}
+
+// Close drains and shuts down every shard pipeline and waits for all
+// cross-shard bookkeeping to settle. It returns the global fault that
+// stopped the system, if any. Close is idempotent.
+func (sp *ShardedPipeline) Close() error {
+	sp.closeOnce.Do(func() {
+		sp.mu.Lock()
+		sp.closed = true
+		sp.mu.Unlock()
+		// Closing shard by shard is safe: a draining shard's fences
+		// only need their peers' workers, and later shards stay live
+		// until their own Close.
+		var first error
+		for _, p := range sp.pipes {
+			if err := p.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		sp.xwg.Wait()
+		sp.closeErr = first
+		if f := sp.fault.Load(); f != nil {
+			sp.closeErr = f
+		}
+	})
+	return sp.closeErr
+}
+
+// Shards returns the partition count.
+func (sp *ShardedPipeline) Shards() int { return sp.shards }
+
+// PipelineConfig returns the effective per-shard pipeline
+// configuration (defaults resolved), as every shard runs it.
+func (sp *ShardedPipeline) PipelineConfig() stm.Config {
+	return sp.pipes[0].Config()
+}
+
+// ShardOf returns the partition owning v under this pipeline's shard
+// count.
+func (sp *ShardedPipeline) ShardOf(v *stm.Var) int {
+	return meta.ShardOf(v.ID(), sp.shards)
+}
+
+// Of returns the partition owning v among `shards` partitions — the
+// same stable mapping every ShardedPipeline uses, exposed so
+// workloads can be laid out partition-locally up front.
+func Of(v *stm.Var, shards int) int { return meta.ShardOf(v.ID(), shards) }
+
+// Submitted returns the number of transactions accepted so far.
+func (sp *ShardedPipeline) Submitted() uint64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.nextG - sp.firstAge
+}
+
+// CrossShard returns how many accepted transactions involved more
+// than one shard.
+func (sp *ShardedPipeline) CrossShard() uint64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.ncross
+}
+
+// Fault returns the global fault that stopped the system, or nil.
+func (sp *ShardedPipeline) Fault() *stm.Fault { return sp.fault.Load() }
+
+// Stats returns engine counters aggregated across every shard
+// (commits, aborts, retries and quiesces summed). Note that each
+// cross-shard transaction commits one fence per involved shard, so
+// engine-level commits exceed Submitted when cross-shard traffic is
+// present.
+func (sp *ShardedPipeline) Stats() meta.StatsView {
+	var out meta.StatsView
+	for _, p := range sp.pipes {
+		out = out.Plus(p.Stats())
+	}
+	return out
+}
+
+// ShardStats returns the per-shard engine counter breakdown, indexed
+// by shard.
+func (sp *ShardedPipeline) ShardStats() []meta.StatsView {
+	out := make([]meta.StatsView, len(sp.pipes))
+	for s, p := range sp.pipes {
+		out[s] = p.Stats()
+	}
+	return out
+}

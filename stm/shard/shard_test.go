@@ -1,0 +1,529 @@
+package shard_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/orderedstm/ostm/internal/rng"
+	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/shard"
+)
+
+// directTx applies a body to quiescent memory: the sequential oracle.
+type directTx struct{ age uint64 }
+
+func (d directTx) Read(v *stm.Var) uint64     { return v.Load() }
+func (d directTx) Write(v *stm.Var, x uint64) { v.Store(x) }
+func (d directTx) Age() uint64                { return d.age }
+
+// xcmd is one randomized transaction of the fuzz stream: a declared
+// set of variable indices (spanning 1–3 shards) and a deterministic
+// body over them.
+type xcmd struct {
+	idx []int // indices into the shared pool, all declared
+}
+
+// buckets groups pool indices by owning shard so the generator can
+// construct single-shard and deliberately cross-shard access sets.
+func buckets(pool []stm.Var, shards int) [][]int {
+	out := make([][]int, shards)
+	for i := range pool {
+		s := shard.Of(&pool[i], shards)
+		out[s] = append(out[s], i)
+	}
+	return out
+}
+
+// genCmds builds a stream mixing ~2/3 single-shard and ~1/3
+// cross-shard (2–3 shards) transactions.
+func genCmds(seed uint64, n, shards int, bk [][]int) []xcmd {
+	r := rng.New(seed)
+	pick := func(s int) int { return bk[s][r.Intn(len(bk[s]))] }
+	cmds := make([]xcmd, n)
+	for i := range cmds {
+		var idx []int
+		switch r.Intn(6) {
+		case 0, 1: // cross-shard over 2 shards
+			a := r.Intn(shards)
+			b := (a + 1 + r.Intn(shards-1)) % shards
+			idx = []int{pick(a), pick(b), pick(a)}
+		case 2: // cross-shard over up to 3 shards
+			a := r.Intn(shards)
+			b := (a + 1) % shards
+			c := (a + 2) % shards
+			idx = []int{pick(a), pick(b), pick(c)}
+		default: // single-shard, 1-4 vars
+			s := r.Intn(shards)
+			for k := 0; k <= r.Intn(4); k++ {
+				idx = append(idx, pick(s))
+			}
+		}
+		cmds[i] = xcmd{idx: idx}
+	}
+	return cmds
+}
+
+// body builds the deterministic transaction for one command: read
+// every declared variable, fold the values, rotate writes through the
+// declared set, and record the fold as the per-ticket result.
+func body(c xcmd, pool []stm.Var, results []uint64, g int) stm.Body {
+	return func(tx stm.Tx, age int) {
+		var sum uint64
+		for _, i := range c.idx {
+			sum += tx.Read(&pool[i])
+		}
+		for k, i := range c.idx {
+			tx.Write(&pool[i], sum+uint64(g)+uint64(k))
+		}
+		results[g] = sum
+	}
+}
+
+func access(c xcmd, pool []stm.Var) stm.Access {
+	vs := make([]*stm.Var, len(c.idx))
+	for k, i := range c.idx {
+		vs[k] = &pool[i]
+	}
+	return stm.Touches(vs...)
+}
+
+const poolSize = 256
+
+func initPool(pool []stm.Var) {
+	for i := range pool {
+		pool[i].Store(uint64(100 + i))
+	}
+}
+
+func snapshot(pool []stm.Var) []uint64 {
+	out := make([]uint64, len(pool))
+	for i := range pool {
+		out[i] = pool[i].Load()
+	}
+	return out
+}
+
+// oracle executes the commands strictly in global-age order against
+// quiescent memory.
+func oracle(cmds []xcmd, pool []stm.Var, results []uint64) []uint64 {
+	initPool(pool)
+	for g, c := range cmds {
+		body(c, pool, results, g)(directTx{age: uint64(g)}, g)
+	}
+	return snapshot(pool)
+}
+
+// TestShardedDeterminism is the acceptance oracle: for every
+// order-enforcing algorithm and S in {2,4}, a sharded run of a
+// randomized mixed single/cross-shard stream produces per-ticket
+// results and final memory identical to the sequential execution in
+// global-age order.
+func TestShardedDeterminism(t *testing.T) {
+	n := 1500
+	if testing.Short() {
+		n = 400
+	}
+	algos := append(stm.OrderedAlgorithms(), stm.Sequential)
+	for _, shards := range []int{2, 4} {
+		pool := stm.NewVars(poolSize)
+		bk := buckets(pool, shards)
+		for s, b := range bk {
+			if len(b) == 0 {
+				t.Fatalf("shard %d owns no pool variables", s)
+			}
+		}
+		cmds := genCmds(0xD15C0^uint64(shards), n, shards, bk)
+		wantResults := make([]uint64, n)
+		wantState := oracle(cmds, pool, wantResults)
+
+		for _, alg := range algos {
+			t.Run(fmt.Sprintf("S%d/%s", shards, alg), func(t *testing.T) {
+				initPool(pool)
+				results := make([]uint64, n)
+				sp, err := shard.New(shard.Config{
+					Shards:   shards,
+					Pipeline: stm.Config{Algorithm: alg, Workers: 4},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tickets := make([]*shard.Ticket, n)
+				for g, c := range cmds {
+					tk, err := sp.Submit(access(c, pool), body(c, pool, results, g))
+					if err != nil {
+						t.Fatalf("Submit %d: %v", g, err)
+					}
+					if tk.Age() != uint64(g) {
+						t.Fatalf("ticket age %d, want %d", tk.Age(), g)
+					}
+					tickets[g] = tk
+				}
+				if err := sp.Drain(); err != nil {
+					t.Fatalf("Drain: %v", err)
+				}
+				for g, tk := range tickets {
+					if err := tk.Wait(); err != nil {
+						t.Fatalf("ticket %d: %v", g, err)
+					}
+					if err, ok := tk.Err(); !ok || err != nil {
+						t.Fatalf("ticket %d Err peek = %v, %v after resolution", g, err, ok)
+					}
+				}
+				if err := sp.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+				gotState := snapshot(pool)
+				for i := range wantState {
+					if gotState[i] != wantState[i] {
+						t.Fatalf("pool[%d] diverged: got %d want %d (stats %v)",
+							i, gotState[i], wantState[i], sp.Stats())
+					}
+				}
+				for g := range wantResults {
+					if results[g] != wantResults[g] {
+						t.Fatalf("per-ticket result %d diverged: got %d want %d",
+							g, results[g], wantResults[g])
+					}
+				}
+				if sp.CrossShard() == 0 {
+					t.Fatal("stream exercised no cross-shard transactions")
+				}
+			})
+		}
+	}
+}
+
+// TestShardedCrossFault: a faulting cross-shard transaction stops all
+// shards; its ticket carries the *stm.Fault at the global age, every
+// later ticket resolves as *stm.Stopped with that fault, and Submit
+// and Close report it. The faulter touches every shard, so all
+// frontiers are fenced when it runs: every earlier ticket has
+// committed and no later one can.
+func TestShardedCrossFault(t *testing.T) {
+	for _, alg := range []stm.Algorithm{stm.Sequential, stm.OUL, stm.OWB, stm.OrderedTL2, stm.STMLite} {
+		t.Run(alg.String(), func(t *testing.T) {
+			const shards, before, after = 3, 40, 40
+			sp, err := shard.New(shard.Config{
+				Shards:   shards,
+				Pipeline: stm.Config{Algorithm: alg, Workers: 2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := stm.NewVars(64)
+			bk := buckets(pool, shards)
+			var tickets []*shard.Ticket
+			add := func(a stm.Access, b stm.Body) {
+				tk, err := sp.Submit(a, b)
+				if err != nil {
+					return // the stream may stop while we submit
+				}
+				tickets = append(tickets, tk)
+			}
+			bump := func(i int) (stm.Access, stm.Body) {
+				v := &pool[i]
+				return stm.Touches(v), func(tx stm.Tx, age int) { tx.Write(v, tx.Read(v)+1) }
+			}
+			for i := 0; i < before; i++ {
+				add(bump(bk[i%shards][i%len(bk[i%shards])]))
+			}
+			faultAge := uint64(before)
+			add(stm.TouchesAll(), func(tx stm.Tx, age int) {
+				if uint64(age) != faultAge || tx.Age() != faultAge {
+					t.Errorf("faulter saw age %d / %d, want %d", age, tx.Age(), faultAge)
+				}
+				panic("boom")
+			})
+			for i := 0; i < after; i++ {
+				add(bump(bk[i%shards][i%len(bk[i%shards])]))
+			}
+			err = sp.Close()
+			var f *stm.Fault
+			if !errors.As(err, &f) || f.Age != faultAge || f.Value != "boom" {
+				t.Fatalf("Close error = %v, want fault at global age %d", err, faultAge)
+			}
+			for g, tk := range tickets {
+				werr := tk.Wait() // must not hang
+				switch {
+				case uint64(g) < faultAge:
+					if werr != nil {
+						t.Fatalf("pre-fault ticket %d resolved with %v", g, werr)
+					}
+				case uint64(g) == faultAge:
+					if !errors.As(werr, &f) || f.Age != faultAge {
+						t.Fatalf("faulting ticket resolved with %v", werr)
+					}
+				default:
+					var st *stm.Stopped
+					if !errors.As(werr, &st) || st.Fault.Age != faultAge {
+						t.Fatalf("post-fault ticket %d resolved with %v, want Stopped{%d}", g, werr, faultAge)
+					}
+				}
+			}
+			if _, err := sp.Submit(stm.Touches(&pool[0]), func(stm.Tx, int) {}); err == nil {
+				t.Fatal("Submit after fault succeeded")
+			} else {
+				var st *stm.Stopped
+				if !errors.As(err, &st) {
+					t.Fatalf("Submit after fault = %v, want *Stopped", err)
+				}
+			}
+			if sp.Fault() == nil || sp.Fault().Age != faultAge {
+				t.Fatalf("Fault() = %v", sp.Fault())
+			}
+		})
+	}
+}
+
+// TestShardedSingleFault: a genuine fault inside a single-shard
+// transaction also stops every shard (the global order is cut at one
+// point), not just the one that hit it.
+func TestShardedSingleFault(t *testing.T) {
+	const shards = 4
+	sp, err := shard.New(shard.Config{
+		Shards:   shards,
+		Pipeline: stm.Config{Algorithm: stm.OUL, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := stm.NewVars(64)
+	bk := buckets(pool, shards)
+	v0 := &pool[bk[0][0]]
+	tk, err := sp.Submit(stm.Touches(v0), func(tx stm.Tx, age int) { panic("solo") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f *stm.Fault
+	if werr := tk.Wait(); !errors.As(werr, &f) || f.Age != 0 || f.Value != "solo" {
+		t.Fatalf("faulting ticket resolved with %v", werr)
+	}
+	// Every other shard must reject new work too.
+	for s := 1; s < shards; s++ {
+		vs := &pool[bk[s][0]]
+		var st *stm.Stopped
+		if _, err := sp.Submit(stm.Touches(vs), func(stm.Tx, int) {}); !errors.As(err, &st) {
+			t.Fatalf("shard %d accepted work after a global fault: %v", s, err)
+		}
+	}
+	if err := sp.Close(); !errors.As(err, &f) || f.Value != "solo" {
+		t.Fatalf("Close = %v, want the solo fault", err)
+	}
+}
+
+// TestShardedUndeclaredAccess: touching a variable on a shard the
+// declaration did not reserve faults with *AccessError — for both the
+// single-shard checked view and the cross-shard routed view.
+func TestShardedUndeclaredAccess(t *testing.T) {
+	const shards = 4
+	pool := stm.NewVars(64)
+	bk := buckets(pool, shards)
+	cases := []struct {
+		name   string
+		access stm.Access
+	}{
+		{"single", stm.Touches(&pool[bk[0][0]])},
+		{"cross", stm.Touches(&pool[bk[0][0]], &pool[bk[1][0]])},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp, err := shard.New(shard.Config{
+				Shards:   shards,
+				Pipeline: stm.Config{Algorithm: stm.OWB, Workers: 2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			outlaw := &pool[bk[2][0]] // undeclared partition
+			tk, err := sp.Submit(tc.access, func(tx stm.Tx, age int) {
+				tx.Read(outlaw)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			werr := tk.Wait()
+			var ae *shard.AccessError
+			if !errors.As(werr, &ae) || ae.Shard != 2 || ae.Age != 0 {
+				t.Fatalf("undeclared access resolved with %v, want AccessError{0, 2}", werr)
+			}
+			sp.Close()
+		})
+	}
+}
+
+// TestShardedLifecycle covers constructor validation, Drain/Close
+// semantics, ErrClosed, and the one-shard degenerate case.
+func TestShardedLifecycle(t *testing.T) {
+	if _, err := shard.New(shard.Config{Pipeline: stm.Config{Algorithm: stm.TL2}}); err == nil {
+		t.Fatal("unordered algorithm accepted")
+	}
+	sp, err := shard.New(shard.Config{Shards: 1, Pipeline: stm.Config{Algorithm: stm.OUL, Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Shards() != 1 {
+		t.Fatalf("Shards() = %d", sp.Shards())
+	}
+	if _, err := sp.Submit(stm.Touches(), nil); err == nil {
+		t.Fatal("nil body accepted")
+	}
+	v := stm.NewVar(0)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, err := sp.Submit(stm.TouchesAll(), func(tx stm.Tx, age int) {
+			tx.Write(v, tx.Read(v)+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := v.Load(); got != n {
+		t.Fatalf("v = %d, want %d", got, n)
+	}
+	if got := sp.Submitted(); got != n {
+		t.Fatalf("Submitted() = %d, want %d", got, n)
+	}
+	if sv := sp.Stats(); sv.Commits != n {
+		t.Fatalf("aggregate commits %d, want %d", sv.Commits, n)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := sp.Submit(stm.TouchesAll(), func(stm.Tx, int) {}); !errors.Is(err, stm.ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestShardedFirstAge: global ages start at Pipeline.FirstAge while
+// every shard's local sequence starts at zero.
+func TestShardedFirstAge(t *testing.T) {
+	const base = uint64(7_000_000)
+	sp, err := shard.New(shard.Config{
+		Shards:   2,
+		Pipeline: stm.Config{Algorithm: stm.OUL, Workers: 2, FirstAge: base},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := stm.NewVars(16)
+	bk := buckets(pool, 2)
+	for i := 0; i < 50; i++ {
+		vi := &pool[bk[i%2][i%len(bk[i%2])]]
+		want := base + uint64(i)
+		tk, err := sp.Submit(stm.Touches(vi), func(tx stm.Tx, age int) {
+			if uint64(age) != want || tx.Age() != want {
+				t.Errorf("body saw age %d / %d, want %d", age, tx.Age(), want)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.Age() != want {
+			t.Fatalf("ticket age %d, want %d", tk.Age(), want)
+		}
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedStatsBreakdown: aggregate equals the sum of the
+// per-shard breakdown, and cross-shard fences are visible as extra
+// engine commits.
+func TestShardedStatsBreakdown(t *testing.T) {
+	const shards = 2
+	sp, err := shard.New(shard.Config{
+		Shards:   shards,
+		Pipeline: stm.Config{Algorithm: stm.OUL, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := stm.NewVars(32)
+	bk := buckets(pool, shards)
+	const singles, crosses = 60, 10
+	for i := 0; i < singles; i++ {
+		s := i % shards
+		v := &pool[bk[s][i%len(bk[s])]]
+		if _, err := sp.Submit(stm.Touches(v), func(tx stm.Tx, age int) {
+			tx.Write(v, tx.Read(v)+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := &pool[bk[0][0]], &pool[bk[1][0]]
+	for i := 0; i < crosses; i++ {
+		if _, err := sp.Submit(stm.Touches(a, b), func(tx stm.Tx, age int) {
+			tx.Write(a, tx.Read(b)+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.CrossShard(); got != crosses {
+		t.Fatalf("CrossShard() = %d, want %d", got, crosses)
+	}
+	per := sp.ShardStats()
+	if len(per) != shards {
+		t.Fatalf("ShardStats len %d", len(per))
+	}
+	var sum uint64
+	for _, v := range per {
+		sum += v.Commits
+	}
+	agg := sp.Stats()
+	if agg.Commits != sum {
+		t.Fatalf("aggregate commits %d != per-shard sum %d", agg.Commits, sum)
+	}
+	// singles commit once; each cross commits one fence per shard.
+	if want := uint64(singles + crosses*shards); sum != want {
+		t.Fatalf("engine commits %d, want %d", sum, want)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedTicketSelect: tickets support select-based consumption
+// for both single-shard and cross-shard submissions.
+func TestShardedTicketSelect(t *testing.T) {
+	sp, err := shard.New(shard.Config{Shards: 2, Pipeline: stm.Config{Algorithm: stm.OWB, Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := stm.NewVars(16)
+	bk := buckets(pool, 2)
+	a, b := &pool[bk[0][0]], &pool[bk[1][0]]
+	single, err := sp.Submit(stm.Touches(a), func(tx stm.Tx, age int) { tx.Write(a, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := sp.Submit(stm.Touches(a, b), func(tx stm.Tx, age int) { tx.Write(b, tx.Read(a)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-single.Done()
+	<-cross.Done()
+	for _, tk := range []*shard.Ticket{single, cross} {
+		if err, ok := tk.Err(); !ok || err != nil {
+			t.Fatalf("ticket %d Err = %v, %v", tk.Age(), err, ok)
+		}
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Load() != 1 || b.Load() != 1 {
+		t.Fatalf("a=%d b=%d, want 1 1", a.Load(), b.Load())
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,425 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/orderedstm/ostm/internal/meta"
+	"github.com/orderedstm/ostm/stm"
+)
+
+// This file is the cross-shard transaction protocol: fence bodies,
+// the rendezvous, and the cross-shard Tx view. The invariants it
+// leans on:
+//
+//  1. A fence occupies one local age on every involved shard, and its
+//     body first waits until that age IS the shard's commit frontier.
+//     From then until the fence commits, nothing else can commit on
+//     that shard, so the shard's committed state is frozen at exactly
+//     the global-order prefix below this transaction.
+//  2. All reads and writes go through each shard's own live
+//     transaction attempt (never around the engine), so concurrent
+//     higher-age speculation on that shard is handled by the shard
+//     engine's ordered conflict resolution: the fence is reachable,
+//     and a reachable transaction wins every conflict the paper's
+//     engines can produce.
+//  3. Bodies are deterministic functions of (age, memory), and the
+//     memory a fence can read is frozen by (1); therefore every
+//     execution round of the body computes identical reads and
+//     writes, which is what makes restarting a round after a
+//     participant's attempt aborts — and replaying recorded writes
+//     into a replacement attempt after the round completed — exact.
+//
+// The router submits the fences of one transaction to every involved
+// shard before accepting the next submission, and always in ascending
+// shard order, so for any two cross-shard transactions their fences
+// appear in the same relative order on every shard they share: the
+// rendezvous graph is cycle-free and the protocol cannot deadlock.
+
+// AccessError is the fault value raised when a transaction touches a
+// variable on a partition its Access declaration did not reserve.
+// Undeclared cross-partition access cannot be executed safely (the
+// owning shard's engine was never brought to the rendezvous), so the
+// sharded pipeline stops instead of silently breaking isolation.
+type AccessError struct {
+	// Age is the global age of the offending transaction.
+	Age uint64
+	// Shard is the partition owning the undeclared variable.
+	Shard int
+}
+
+// Error implements error.
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("shard: transaction %d touched an undeclared variable on shard %d", e.Age, e.Shard)
+}
+
+// stopPanic carries a global stop into a shard pipeline's sandbox: it
+// is not an engine abort signal, so the run-loop treats it as a
+// genuine fault and halts the shard. Ticket errors are translated
+// back to the global fault before users see them.
+type stopPanic struct{ f *stm.Fault }
+
+func (s stopPanic) String() string {
+	return fmt.Sprintf("shard: stopped by global fault at age %d", s.f.Age)
+}
+
+// retrySignal unwinds the home's current round after a peer's attempt
+// died mid-round; the round restarts once the peer re-arrives.
+type retrySignal struct{}
+
+// part is one shard's live participation in a cross-shard
+// transaction: the transaction handle its parked fence contributed,
+// plus the death notice the home leaves when an operation on that
+// handle aborted.
+type part struct {
+	txn   stm.Tx
+	dead  bool
+	cause any
+}
+
+// xtxn coordinates one cross-shard transaction.
+type xtxn struct {
+	sp       *ShardedPipeline
+	g        uint64 // global age
+	body     stm.Body
+	involved []int // ascending shard indices; involved[0] is the home
+	home     int
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	live        map[int]*part // arrived, usable participants
+	roundActive bool          // home is executing the body right now
+	done        bool          // body completed; outcome is fixed
+	failed      *stm.Fault    // global stop reached this transaction
+
+	// wlog records, per shard, the final value written to each
+	// variable. Only the home goroutine writes it (successive rounds
+	// may run on different goroutines, ordered by mu at round
+	// boundaries); participants read their slice only after observing
+	// done under mu. A participant whose commit step aborts after done
+	// replays its slice into a fresh attempt — the frontier cannot
+	// move until that fence commits, so the replay is exact.
+	wlog map[int]map[*stm.Var]uint64
+}
+
+func newXtxn(sp *ShardedPipeline, g uint64, involved []int, body stm.Body) *xtxn {
+	x := &xtxn{
+		sp:       sp,
+		g:        g,
+		body:     body,
+		involved: involved,
+		home:     involved[0],
+		live:     make(map[int]*part, len(involved)),
+		wlog:     make(map[int]map[*stm.Var]uint64, len(involved)),
+	}
+	x.cond = sync.NewCond(&x.mu)
+	return x
+}
+
+// fail releases every parked participant with a global stop. Once the
+// body has completed the outcome is fixed and the stop no longer
+// takes the transaction back (its fences race the halt exactly like
+// any commit racing a pipeline stop).
+func (x *xtxn) fail(f *stm.Fault) {
+	x.mu.Lock()
+	if x.failed == nil && !x.done {
+		x.failed = f
+		x.cond.Broadcast()
+	}
+	x.mu.Unlock()
+}
+
+func (x *xtxn) allLive() bool {
+	for _, s := range x.involved {
+		if x.live[s] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// fenceBody builds the body submitted to shard s for this
+// transaction. The local age the pipeline assigns arrives as the
+// body's age parameter.
+func (sp *ShardedPipeline) fenceBody(x *xtxn, s int) stm.Body {
+	pipe := sp.pipes[s]
+	return func(tx stm.Tx, lage int) {
+		if !pipe.WaitFrontier(uint64(lage)) {
+			// The shard stopped while we held its queue. Every stop is
+			// supposed to reach us through the coordinator first; the
+			// fail call is a backstop for stops that originated below
+			// the sharded layer, and a no-op otherwise.
+			sp.fail(&stm.Fault{Age: x.g, Value: fmt.Sprintf("shard %d stopped under a fence", s)})
+			panic(stopPanic{sp.fault.Load()})
+		}
+		if st, ok := tx.(meta.Stabilizer); ok {
+			// Engines that advance the frontier before their
+			// write-backs land (STMLite) must settle memory before the
+			// rendezvous reads the frozen prefix.
+			st.WaitStable()
+		}
+		if s == x.home {
+			x.runHome(tx)
+		} else {
+			x.runPeer(tx, s)
+		}
+	}
+}
+
+// runPeer contributes this shard's transaction handle to the
+// rendezvous and parks while the home drives the body, holding the
+// shard's commit frontier exactly at this transaction's slot.
+func (x *xtxn) runPeer(tx stm.Tx, s int) {
+	x.mu.Lock()
+	if x.failed != nil {
+		f := x.failed
+		x.mu.Unlock()
+		panic(stopPanic{f})
+	}
+	if x.done {
+		// A previous attempt of this fence was part of the completed
+		// round but aborted during its commit step; redo this shard's
+		// writes on the fresh attempt and commit it.
+		wl := x.wlog[s]
+		x.mu.Unlock()
+		for v, val := range wl {
+			tx.Write(v, val)
+		}
+		return
+	}
+	h := &part{txn: tx}
+	x.live[s] = h
+	x.cond.Broadcast()
+	for !x.done && x.failed == nil && !h.dead {
+		x.cond.Wait()
+	}
+	switch {
+	case h.dead:
+		cause := h.cause
+		x.mu.Unlock()
+		// An operation the home ran on our handle aborted our attempt.
+		// Re-raise the cause on our own goroutine: the shard sandbox
+		// abandons the attempt and re-executes this fence, which
+		// re-arrives with a fresh descriptor.
+		panic(cause)
+	case x.done:
+		delete(x.live, s)
+		x.mu.Unlock()
+		return // writes already landed through our handle; commit
+	default: // failed
+		// Wait out any round still running so the home cannot touch
+		// our descriptor after the sandbox abandons it.
+		for x.roundActive {
+			x.cond.Wait()
+		}
+		f := x.failed
+		delete(x.live, s)
+		x.mu.Unlock()
+		panic(stopPanic{f})
+	}
+}
+
+// runHome waits for every involved shard to arrive, then executes the
+// user body against the cross-shard view, restarting the round
+// whenever a participant's attempt dies underneath it. Determinism
+// makes restarts exact: every round reads the same frozen prefix and
+// therefore issues the same writes.
+func (x *xtxn) runHome(tx stm.Tx) {
+	x.mu.Lock()
+	if x.done {
+		// Our own previous attempt completed the body but aborted
+		// while committing; replay the home slice of the writes.
+		wl := x.wlog[x.home]
+		x.mu.Unlock()
+		for v, val := range wl {
+			tx.Write(v, val)
+		}
+		return
+	}
+	if x.failed != nil {
+		f := x.failed
+		x.mu.Unlock()
+		panic(stopPanic{f})
+	}
+	x.live[x.home] = &part{txn: tx}
+	for {
+		for x.failed == nil && !x.allLive() {
+			x.cond.Wait()
+		}
+		if x.failed != nil {
+			f := x.failed
+			delete(x.live, x.home)
+			x.mu.Unlock()
+			panic(stopPanic{f})
+		}
+		snap := make(map[int]*part, len(x.involved))
+		for s, h := range x.live {
+			snap[s] = h
+		}
+		x.roundActive = true
+		x.mu.Unlock()
+
+		retry, rec := x.runRound(&crossTx{x: x, home: tx, snap: snap})
+
+		x.mu.Lock()
+		x.roundActive = false
+		x.cond.Broadcast()
+		if rec != nil {
+			// Either our own shard's engine aborted this attempt (the
+			// sandbox must see it and retry the fence) or the body
+			// itself faulted (stop the world, then let the sandbox
+			// see a genuine fault).
+			delete(x.live, x.home)
+			x.mu.Unlock()
+			if !speculative(rec, tx) && !x.sp.retryUnknown {
+				x.sp.fail(&stm.Fault{Age: x.g, Value: rec})
+			}
+			panic(rec)
+		}
+		if retry {
+			continue // a peer died mid-round; wait for its replacement
+		}
+		x.done = true
+		x.cond.Broadcast()
+		x.mu.Unlock()
+		return
+	}
+}
+
+// runRound executes one attempt of the body, separating the home's
+// round-restart signal from panics that must unwind further.
+func (x *xtxn) runRound(ct *crossTx) (retry bool, rec any) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(retrySignal); ok {
+				retry = true
+				return
+			}
+			rec = r
+		}
+	}()
+	x.body(ct, int(x.g))
+	return false, nil
+}
+
+// logWrite records the final value of a write for post-completion
+// replay. Home goroutine only; see wlog.
+func (x *xtxn) logWrite(s int, v *stm.Var, val uint64) {
+	wl := x.wlog[s]
+	if wl == nil {
+		wl = make(map[*stm.Var]uint64)
+		x.wlog[s] = wl
+	}
+	wl[v] = val
+}
+
+// crossTx is the cross-shard Tx view the body executes against: each
+// Read/Write routes to the live transaction handle of the shard
+// owning the variable, so every access runs under that shard's own
+// concurrency control.
+type crossTx struct {
+	x    *xtxn
+	home stm.Tx
+	snap map[int]*part // this round's participants
+}
+
+// Age implements stm.Tx with the global age.
+func (c *crossTx) Age() uint64 { return c.x.g }
+
+func (c *crossTx) route(v *stm.Var) (int, *part) {
+	s := meta.ShardOf(v.ID(), c.x.sp.shards)
+	h := c.snap[s]
+	if h == nil {
+		panic(&AccessError{Age: c.x.g, Shard: s})
+	}
+	return s, h
+}
+
+// Read implements stm.Tx.
+func (c *crossTx) Read(v *stm.Var) uint64 {
+	s, h := c.route(v)
+	if s == c.x.home {
+		return c.home.Read(v) // our own engine: aborts unwind to our sandbox
+	}
+	var out uint64
+	c.peerOp(s, h, func(t stm.Tx) { out = t.Read(v) })
+	return out
+}
+
+// Write implements stm.Tx.
+func (c *crossTx) Write(v *stm.Var, val uint64) {
+	s, h := c.route(v)
+	c.x.logWrite(s, v, val)
+	if s == c.x.home {
+		c.home.Write(v, val)
+		return
+	}
+	c.peerOp(s, h, func(t stm.Tx) { t.Write(v, val) })
+}
+
+// peerOp runs one operation on a peer shard's handle. The operation
+// executes on the home's goroutine, so an abort the peer's engine
+// raises lands here instead of in the peer's sandbox: hand the cause
+// back to the peer (it re-raises under its own sandbox, abandons the
+// attempt and re-executes its fence) and restart the round.
+func (c *crossTx) peerOp(s int, h *part, op func(stm.Tx)) {
+	rec := runProtected(h.txn, op)
+	if rec == nil {
+		return
+	}
+	x := c.x
+	x.mu.Lock()
+	h.dead, h.cause = true, rec
+	delete(x.live, s)
+	x.cond.Broadcast()
+	x.mu.Unlock()
+	panic(retrySignal{})
+}
+
+func runProtected(tx stm.Tx, op func(stm.Tx)) (rec any) {
+	defer func() { rec = recover() }()
+	op(tx)
+	return nil
+}
+
+// checkedTx wraps a shard pipeline's handle for a single-shard
+// submission: it reports the global age and enforces the partition
+// boundary — touching a variable owned by another shard would bypass
+// that shard's engine entirely, so it faults instead.
+type checkedTx struct {
+	tx     stm.Tx
+	shards int
+	shard  int
+	g      uint64
+}
+
+func (c *checkedTx) check(v *stm.Var) {
+	if s := meta.ShardOf(v.ID(), c.shards); s != c.shard {
+		panic(&AccessError{Age: c.g, Shard: s})
+	}
+}
+
+// Read implements stm.Tx.
+func (c *checkedTx) Read(v *stm.Var) uint64 { c.check(v); return c.tx.Read(v) }
+
+// Write implements stm.Tx.
+func (c *checkedTx) Write(v *stm.Var, x uint64) { c.check(v); c.tx.Write(v, x) }
+
+// Age implements stm.Tx with the global age.
+func (c *checkedTx) Age() uint64 { return c.g }
+
+// speculative reports whether a recovered panic is attributable to
+// speculation on tx's shard, mirroring the run-loop sandbox's tests:
+// an engine abort signal, a doomed attempt, or an invalid read set.
+func speculative(rec any, tx stm.Tx) bool {
+	if _, ok := meta.AbortCause(rec); ok {
+		return true
+	}
+	if mt, ok := tx.(meta.Txn); ok && mt.Doomed() {
+		return true
+	}
+	if rv, ok := tx.(meta.Revalidator); ok && !rv.ReadSetValid() {
+		return true
+	}
+	return false
+}

@@ -31,7 +31,10 @@
 //	...
 //	err = p.Close()
 //
-// Both front-ends drive the same execution core; see DESIGN.md.
+// Both front-ends drive the same execution core; see DESIGN.md. To
+// scale past a single commit frontier, stm/shard runs one pipeline
+// per data partition behind the same ordered-Submit surface
+// (transactions then declare their variables via Access).
 //
 // Transaction bodies must access shared state only through tx.Read and
 // tx.Write, and must be deterministic functions of (age, memory): the

@@ -45,6 +45,20 @@ func (t *Ticket) Age() uint64 { return t.age }
 // select across tickets and other events.
 func (t *Ticket) Done() <-chan struct{} { return t.done }
 
+// Err is a non-blocking peek at the ticket's outcome: resolved=false
+// while the transaction is still in flight, otherwise the error Wait
+// would return (nil for a commit). It lets a server poll tickets — or
+// combine Done with an immediate outcome read — without parking a
+// goroutine in Wait.
+func (t *Ticket) Err() (err error, resolved bool) {
+	select {
+	case <-t.done:
+		return t.err, true
+	default:
+		return nil, false
+	}
+}
+
 // Wait blocks until the ticket resolves and returns its outcome: nil
 // once the transaction committed (its effects are visible and every
 // lower age has committed, for ordered algorithms), or the error the
