@@ -27,6 +27,7 @@ import (
 	"github.com/orderedstm/ostm/internal/stamp/ssca2"
 	"github.com/orderedstm/ostm/internal/stamp/vacation"
 	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/shard"
 )
 
 const (
@@ -239,6 +240,140 @@ func BenchmarkFigure7(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%v", app.name, alg), func(b *testing.B) {
 				runApp(b, app.build, alg, workers)
 			})
+		}
+	}
+}
+
+// runSubmitCommit drives one long-lived pipeline with a closed-loop
+// single client for b.N transactions, reporting allocations so
+// regressions on the Submit→commit path show up in `go test -bench`.
+// The body is reused across submissions (closure allocation is the
+// caller's business, not the pipeline's); with descriptor recycling
+// the amortized cost is the Ticket and its channel — 2 allocs/op.
+func runSubmitCommit(b *testing.B, cfg stm.Config) {
+	b.Helper()
+	p, err := stm.NewPipeline(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	vs := stm.NewVars(benchPool)
+	body := func(tx stm.Tx, age int) {
+		i := uint64(age) % benchPool
+		j := (i + 7) % benchPool
+		tx.Write(&vs[j], tx.Read(&vs[i])+1)
+	}
+	// Warm the lazily-allocated engine metadata (reader-slot arrays)
+	// and the descriptor pools so the measured window is steady state.
+	warm, err := p.Submit(func(tx stm.Tx, age int) {
+		for i := range vs {
+			tx.Read(&vs[i])
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := warm.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk, err := p.Submit(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tk.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+}
+
+// BenchmarkSubmitCommit — allocation and latency of the streaming
+// Submit→commit path for every ordered engine (the zero-alloc hot-path
+// target; see DESIGN.md §8). FreshDescriptors variants quantify what
+// recycling saves.
+func BenchmarkSubmitCommit(b *testing.B) {
+	for _, alg := range stm.OrderedAlgorithms() {
+		b.Run(alg.String(), func(b *testing.B) {
+			runSubmitCommit(b, stm.Config{Algorithm: alg, Workers: 2})
+		})
+	}
+	b.Run("OUL/fresh", func(b *testing.B) {
+		runSubmitCommit(b, stm.Config{Algorithm: stm.OUL, Workers: 2, FreshDescriptors: true})
+	})
+	b.Run("OUL/batch32", func(b *testing.B) {
+		p, err := stm.NewPipeline(stm.Config{Algorithm: stm.OUL, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		vs := stm.NewVars(benchPool)
+		body := func(tx stm.Tx, age int) {
+			i := uint64(age) % benchPool
+			tx.Write(&vs[i], tx.Read(&vs[i])+1)
+		}
+		bodies := make([]stm.Body, 32)
+		for i := range bodies {
+			bodies[i] = body
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; {
+			k := len(bodies)
+			if rem := b.N - n; k > rem {
+				k = rem
+			}
+			tks, err := p.SubmitBatch(bodies[:k])
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, tk := range tks {
+				if err := tk.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			n += k
+		}
+	})
+}
+
+// BenchmarkSubmitCommitSharded — the same closed-loop path through the
+// sharded router (partition-local workload, declared access sets).
+func BenchmarkSubmitCommitSharded(b *testing.B) {
+	sp, err := shard.New(shard.Config{Shards: 2, Pipeline: stm.Config{Algorithm: stm.OUL, Workers: 2}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sp.Close()
+	vs := stm.NewVars(benchPool)
+	var byShard [2][]*stm.Var
+	for i := range vs {
+		s := sp.ShardOf(&vs[i])
+		byShard[s] = append(byShard[s], &vs[i])
+	}
+	// One reusable parameter block: the body reads its target through
+	// it, and it is only rewritten after the previous ticket resolved,
+	// so the loop allocates nothing beyond the router's own work.
+	var target *stm.Var
+	body := func(tx stm.Tx, age int) {
+		tx.Write(target, tx.Read(target)+1)
+	}
+	declared := make([]*stm.Var, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := i & 1
+		target = byShard[s][i%len(byShard[s])]
+		declared[0] = target
+		tk, err := sp.Submit(stm.Touches(declared...), body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tk.Wait(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -25,20 +25,30 @@
 //
 // # Descriptor lifetime
 //
-// One descriptor is allocated per attempt and never reused. Stale
-// descriptor pointers left in lock words, reader slots or dependency
-// lists therefore always refer to finalized attempts; Go's garbage
-// collector plays the role of the epoch-based reclamation scheme a
-// C/C++ implementation would need, and ABA on descriptor pointers is
-// structurally impossible.
+// Descriptors are recycled through per-worker freelists
+// (meta.TxnPool); one descriptor serves many attempts, each attempt
+// being one *life* delimited by meta.StatusWord.Renew. The ABA
+// immunity the original one-descriptor-per-attempt scheme provided is
+// restored with generation stamps: OUL's lock words and reader slots
+// hold packed meta.Refs (registry index + publishing generation), so
+// a stale reference from a finished life is detected exactly and a
+// claim CAS can never land on a recycled descriptor's new
+// acquisition. OUL-Steal's owner-chain walks, which read finalized
+// descriptors' undo logs, are protected by pin counts instead: a
+// steal pins the robbed owner (pin, then re-verify its life), and a
+// descriptor is only renewed once its pins drain. OWB keeps pointer
+// lock words — it only claims from nil and withdraws its pointer from
+// every word before finalizing — but its dependency double-check
+// compares packed (generation, status) snapshots so a reader cannot
+// mistake a writer's next life for the one it registered against.
+// See DESIGN.md §8.
 //
 // Engines used to be torn down after every batch, which bounded how
-// long a stale reference could pin a descriptor. A long-lived
-// stm.Pipeline reuses one engine for an unbounded stream, so OUL (the
-// only engine whose reader slots and writer words can retain finalized
-// descriptors indefinitely on cold records) additionally implements
-// meta.Recycler: an epoch sweep clears those references so retained
-// memory tracks the in-flight window, not the stream length. OWB needs
-// no sweep — its commit, abort and cleanup paths already clear every
-// lock word and dependency reference they published.
+// long a stale reference could park in cold metadata. A long-lived
+// stm.Pipeline reuses one engine for an unbounded stream, so OUL
+// additionally implements meta.Recycler: an epoch sweep clears
+// committed writers and dead reader-slot registrations off cold
+// records. OWB needs no sweep — its commit, abort and cleanup paths
+// already clear every lock word and dependency reference they
+// published.
 package core

@@ -165,7 +165,7 @@ func TestOULForwardingVisibleReaders(t *testing.T) {
 	}
 	found := false
 	for i := range arr.Slots {
-		if arr.Slots[i].Load() == t1 {
+		if arr.Slots[i].Load() == t1.ref() {
 			found = true
 		}
 	}
@@ -263,7 +263,7 @@ func TestStealTakesLockAndReturnsOnAbort(t *testing.T) {
 	if v.Load() != 2 {
 		t.Fatal("steal did not write through")
 	}
-	if eng.locks.Of(v).writer.Load() != t1 {
+	if eng.locks.Of(v).writer.Load() != t1.ref() {
 		t.Fatal("lock not owned by the stealer")
 	}
 	if t0.Doomed() {
@@ -272,7 +272,7 @@ func TestStealTakesLockAndReturnsOnAbort(t *testing.T) {
 	// Aborting the stealer hands the lock back to the live original
 	// owner with its value.
 	t1.abort(meta.CauseRAW)
-	if eng.locks.Of(v).writer.Load() != t0 {
+	if eng.locks.Of(v).writer.Load() != t0.ref() {
 		t.Fatal("lock not returned to the original owner")
 	}
 	if v.Load() != 1 {
@@ -304,9 +304,12 @@ func TestStealChainWalkAppliesAbortedOwnersUndo(t *testing.T) {
 	if v.Load() != 100 {
 		t.Fatalf("chain walk restored %d, want 100", v.Load())
 	}
-	w := eng.locks.Of(v).writer.Load()
-	if w != nil && !w.status.Load().Final() {
-		t.Fatal("lock not free after chain rollback")
+	wref := eng.locks.Of(v).writer.Load()
+	if wref.IsTxn() {
+		w := eng.at(wref)
+		if wref.SameLife(w.status.LoadLife()) && !w.status.Load().Final() {
+			t.Fatal("lock not free after chain rollback")
+		}
 	}
 }
 
@@ -418,25 +421,25 @@ func TestOULRecycleScrubsFinalizedDescriptors(t *testing.T) {
 	foundReader := false
 	arr := lk.readers.Peek()
 	for i := range arr.Slots {
-		if arr.Slots[i].Load() == reader {
+		if arr.Slots[i].Load() == reader.ref() {
 			foundReader = true
 		}
 	}
-	if !foundReader || lk.writer.Load() != writer {
+	if !foundReader || lk.writer.Load() != writer.ref() {
 		t.Fatal("test setup: stale descriptors not in place")
 	}
 
 	eng.Recycle()
 
-	if lk.writer.Load() != nil {
+	if lk.writer.Load() != meta.RefNil {
 		t.Fatal("Recycle left the committed writer in the lock word")
 	}
 	foundReader, foundLive := false, false
 	for i := range arr.Slots {
 		switch arr.Slots[i].Load() {
-		case reader:
+		case reader.ref():
 			foundReader = true
-		case live:
+		case live.ref():
 			foundLive = true
 		}
 	}

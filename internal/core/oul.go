@@ -7,18 +7,22 @@ import (
 	"github.com/orderedstm/ostm/internal/meta"
 )
 
-// oulBusy is the BUSY sentinel of Algorithms 2–4: it parks a lock's
-// writer word during a short update so concurrent operations retry.
-// It is compared by pointer identity and never dereferenced.
-var oulBusy = &OULTxn{}
-
 // oulLock is one lock-table record for OUL/OUL-Steal: the single writer
 // reference (which doubles as "the transaction that committed this
 // version" after the writer commits) plus the bounded visible-reader
 // slot array, allocated lazily on first transactional read.
+//
+// Both the writer word and the reader slots hold generation-stamped
+// meta.Refs rather than pointers: descriptors are recycled through
+// per-worker freelists, and a pointer CAS could otherwise claim a word
+// whose descriptor was recycled into a live attempt that legitimately
+// re-acquired the very record (descriptor ABA). A Ref carries the
+// generation of the life that published it, so stale references are
+// detected exactly (Ref.SameLife against the descriptor's packed
+// status word) and value CASes cannot cross a life boundary.
 type oulLock struct {
-	writer  atomic.Pointer[OULTxn]
-	readers meta.LazySlots[OULTxn]
+	writer  meta.RefWord
+	readers meta.LazyRefSlots
 }
 
 // OULEngine implements the Ordered Undo Log algorithm (§6) and, with
@@ -27,6 +31,8 @@ type OULEngine struct {
 	cfg   meta.EngineConfig
 	locks *meta.Table[oulLock]
 	steal bool
+	descs meta.Registry[OULTxn]
+	depot meta.Depot[OULTxn]
 }
 
 // NewOUL returns a fresh OUL engine for one run.
@@ -55,37 +61,138 @@ func (e *OULEngine) Mode() meta.Mode { return meta.ModeCooperative }
 // Stats implements meta.Engine.
 func (e *OULEngine) Stats() *meta.Stats { return e.cfg.Stats }
 
-// NewTxn implements meta.Engine.
-func (e *OULEngine) NewTxn(age uint64) meta.Txn {
-	t := &OULTxn{eng: e, age: age}
-	t.status.Store(meta.StatusActive)
+// alloc registers a brand-new descriptor.
+func (e *OULEngine) alloc(cell *meta.StatsCell) *OULTxn {
+	t := &OULTxn{eng: e, cell: cell}
+	t.idx = e.descs.Add(t)
 	return t
 }
 
-// Recycle implements meta.Recycler: scrub finalized descriptors out of
-// the lock table so a long-lived pipeline does not retain them. Two
-// kinds of references outlive Cleanup: a reader slot keeps pointing at
-// an *aborted* attempt until some later reader reuses the slot (on a
-// cold record that may be never), and a writer word can retain the
-// last committed writer of a record nobody touches again. Both
-// transitions below are ones concurrent transactions already perform
-// themselves — register treats any final occupant as a free slot, and
-// Cleanup does the same committed-writer CAS — so racing with live
-// traffic is safe: a finalized status never un-finalizes, and every
-// clear is a CAS on the exact descriptor observed.
+// at resolves a descriptor reference (any generation) to its
+// descriptor.
+func (e *OULEngine) at(r meta.Ref) *OULTxn { return e.descs.At(r.Idx()) }
+
+// NewTxn implements meta.Engine: a fresh, never-recycled descriptor
+// (tests and non-pooled paths; the run-loop allocates through NewPool).
+func (e *OULEngine) NewTxn(age uint64) meta.Txn {
+	t := e.alloc(e.cfg.Stats.DefaultCell())
+	t.age.Store(age)
+	return t
+}
+
+// NewPool implements meta.PoolEngine: a worker-local freelist backed by
+// the engine-wide depot, with its own stats cell.
+func (e *OULEngine) NewPool() meta.TxnPool {
+	return &oulPool{eng: e, cache: meta.NewCache(&e.depot), cell: e.cfg.Stats.NewCell()}
+}
+
+// oulPool recycles finalized descriptors for one run-loop goroutine.
+// Descriptors still pinned by steal-chain references (see pins) are
+// parked until their pins drain; everything else is renewed in place,
+// reusing the writes/readRefs backing arrays.
+type oulPool struct {
+	eng    *OULEngine
+	cache  *meta.Cache[OULTxn]
+	parked []*OULTxn
+	cell   *meta.StatsCell
+}
+
+// NewTxn implements meta.TxnPool.
+func (p *oulPool) NewTxn(age uint64) meta.Txn {
+	p.sweepParked()
+	for {
+		t := p.cache.Get()
+		if t == nil {
+			t = p.eng.alloc(p.cell)
+			t.age.Store(age)
+			return t
+		}
+		if t.pins.Load() != 0 {
+			// A steal chain still references this life's undo log; it
+			// cannot be renewed until the chain holders are themselves
+			// recycled. Park it and try another.
+			p.parked = append(p.parked, t)
+			continue
+		}
+		// pins == 0 on a final descriptor means no write entry anywhere
+		// references it, so no owner-chain walk can reach it: its undo
+		// log is dead and its outgoing chain references can be dropped.
+		t.unpinChain()
+		t.readRefs = t.readRefs[:0]
+		t.doomed.Store(false)
+		t.aborted.Store(false)
+		t.age.Store(age)
+		t.gen = t.status.Renew()
+		return t
+	}
+}
+
+// Retire implements meta.TxnPool: cache a finalized attempt for reuse.
+// Reader slots still holding this life's registrations are scrubbed
+// (aborted attempts never cleared them; for committed ones Cleanup
+// already did and the CAS is a no-op).
+func (p *oulPool) Retire(x meta.Txn) {
+	t, ok := x.(*OULTxn)
+	if !ok || t.eng != p.eng || !t.status.Load().Final() {
+		return
+	}
+	r := t.ref()
+	for i := range t.readRefs {
+		rr := &t.readRefs[i]
+		rr.arr.Slots[rr.idx].CAS(r, meta.RefNil)
+	}
+	p.cache.Put(t)
+}
+
+// sweepParked moves descriptors whose pins drained back into the
+// cache. The scan is bounded; parked descriptors are rare (aborts that
+// lost stolen locks) and unblock as their chain holders recycle.
+func (p *oulPool) sweepParked() {
+	for i, scanned := 0, 0; i < len(p.parked) && scanned < 2; scanned++ {
+		if p.parked[i].pins.Load() == 0 {
+			t := p.parked[i]
+			last := len(p.parked) - 1
+			p.parked[i] = p.parked[last]
+			p.parked = p.parked[:last]
+			p.cache.Put(t)
+			continue
+		}
+		i++
+	}
+}
+
+// Recycle implements meta.Recycler: scrub references Cleanup cannot
+// reach out of the lock table so cold records do not accumulate them —
+// reader slots left by aborted attempts (stale once the descriptor
+// renews, final before that) and committed writers parked in writer
+// words. Every clear is a transition concurrent transactions already
+// perform themselves (slot reuse treats any stale/final occupant as
+// free; Cleanup does the same committed-writer CAS), and the
+// generation-stamped CAS cannot clear a renewed descriptor's live
+// acquisition. Writer words holding stale references are left to
+// normal traffic: a stale reference there denotes a finished life and
+// is claimed like a committed writer on the next acquisition.
 func (e *OULEngine) Recycle() {
 	for i := 0; i < e.locks.Len(); i++ {
 		lk := e.locks.Entry(i)
-		if w := lk.writer.Load(); w != nil && w != oulBusy && w.status.Load() == meta.StatusCommitted {
-			lk.writer.CompareAndSwap(w, nil)
+		if ref := lk.writer.Load(); ref.IsTxn() {
+			w := e.at(ref)
+			if life := w.status.LoadLife(); ref.SameLife(life) && life.Status() == meta.StatusCommitted {
+				lk.writer.CAS(ref, meta.RefNil)
+			}
 		}
 		arr := lk.readers.Peek()
 		if arr == nil {
 			continue
 		}
 		for j := range arr.Slots {
-			if r := arr.Slots[j].Load(); r != nil && r.status.Load().Final() {
-				arr.Slots[j].CompareAndSwap(r, nil)
+			ref := arr.Slots[j].Load()
+			if !ref.IsTxn() {
+				continue
+			}
+			r := e.at(ref)
+			if life := r.status.LoadLife(); !ref.SameLife(life) || life.Status().Final() {
+				arr.Slots[j].CAS(ref, meta.RefNil)
 			}
 		}
 	}
@@ -94,41 +201,61 @@ func (e *OULEngine) Recycle() {
 // oulWriteEntry is one undo-log record: the variable, its lock record,
 // the value it held just before this transaction's first write to it,
 // and (OUL-Steal) the writer the lock was stolen from, so the lock can
-// be handed back on abort.
+// be handed back on abort. prevRef is the stolen-from life's reference
+// (what hand-back publishes); prevOwner is the resolved descriptor,
+// pinned for the lifetime of this entry so owner-chain walks can read
+// its frozen undo log even after it finalizes.
 type oulWriteEntry struct {
 	v         *meta.Var
 	lock      *oulLock
 	old       uint64
 	prevOwner *OULTxn
+	prevRef   meta.Ref
 }
 
 type oulReadRef struct {
-	arr *meta.SlotArray[OULTxn]
+	arr *meta.RefSlotArray
 	idx int
 }
 
-// OULTxn is one OUL/OUL-Steal transaction attempt.
+// OULTxn is one OUL/OUL-Steal transaction attempt descriptor. With
+// per-worker freelists a descriptor serves many attempts over its
+// lifetime; each attempt is one *life*, delimited by StatusWord.Renew.
 //
-// Lifecycle: Active (live, write-through with encounter-time locks) →
-// Pending (commit-pending after TryCommit) → Committed, with
-// Transient marking an in-progress rollback and Aborted final.
-// Commit is O(1): a status flip releases every lock, because locks
-// point back at the transaction (§6: "setting the transaction status
-// is sufficient to release all the locks ... with a single step").
+// Lifecycle within a life: Active (live, write-through with
+// encounter-time locks) → Pending (commit-pending after TryCommit) →
+// Committed, with Transient marking an in-progress rollback and
+// Aborted final. Commit is O(1): a status flip releases every lock,
+// because locks point back at the transaction (§6: "setting the
+// transaction status is sufficient to release all the locks ... with a
+// single step").
 type OULTxn struct {
-	eng     *OULEngine
-	age     uint64
+	eng  *OULEngine
+	cell *meta.StatsCell // set once at allocation
+	idx  uint32          // registry index (stable across lives)
+	gen  uint64          // current life (mirror of status.Gen; owner-written)
+
+	age     atomic.Uint64 // atomic: stale-ref observers race renewal
 	status  meta.StatusWord
 	doomed  atomic.Bool
 	aborted atomic.Bool // pseudocode tx.aborted: set first thing in rollback
+
+	// pins counts write entries (in other descriptors) whose prevOwner
+	// references this descriptor's current or a past life. While
+	// nonzero, an owner-chain walk may read writes, so the descriptor
+	// must not be renewed and its undo log must stay intact.
+	pins atomic.Int64
 
 	mu       sync.Mutex // guards writes against aborter-performed rollback
 	writes   []oulWriteEntry
 	readRefs []oulReadRef
 }
 
+// ref returns the reference for this descriptor's current life.
+func (t *OULTxn) ref() meta.Ref { return meta.MakeRef(t.idx, t.gen) }
+
 // Age implements meta.Txn.
-func (t *OULTxn) Age() uint64 { return t.age }
+func (t *OULTxn) Age() uint64 { return t.age.Load() }
 
 // Doomed implements meta.Txn.
 func (t *OULTxn) Doomed() bool { return t.doomed.Load() }
@@ -154,7 +281,7 @@ func (t *OULTxn) abort(c meta.Cause) bool {
 	}
 	first := t.doomed.CompareAndSwap(false, true)
 	if first {
-		t.eng.cfg.Stats.Abort(c)
+		t.cell.Abort(c)
 	}
 	for {
 		s := t.status.Load()
@@ -175,6 +302,19 @@ func (t *OULTxn) selfAbort(c meta.Cause) {
 	meta.PanicAbort(c)
 }
 
+// unpinChain releases this descriptor's outgoing steal-chain
+// references. Only called when no walk can enter this descriptor
+// anymore (pins == 0 on a final life, or Cleanup of a committed one —
+// walks only traverse aborted owners).
+func (t *OULTxn) unpinChain() {
+	for i := range t.writes {
+		if po := t.writes[i].prevOwner; po != nil {
+			po.pins.Add(-1)
+		}
+	}
+	t.writes = t.writes[:0]
+}
+
 // rollback restores this transaction's undo log (Algorithm 3 lines
 // 57–75 / Algorithm 4 Rollback). For OUL-Steal, a lock stolen from an
 // aborted lower-age writer triggers an iterative walk down the
@@ -189,12 +329,13 @@ func (t *OULTxn) rollback() {
 	// sees a structurally frozen undo log: appends happen under mu and
 	// are rejected once the transaction is doomed.
 	t.aborted.Store(true)
+	self := t.ref()
 	for i := len(t.writes) - 1; i >= 0; i-- {
 		e := &t.writes[i]
 		if t.lockEntryAfter(i) {
 			continue // this lock is handled at its last entry (aliasing)
 		}
-		if !e.lock.writer.CompareAndSwap(t, oulBusy) {
+		if !e.lock.writer.CAS(self, meta.RefBusy) {
 			// Lock was stolen from us (OUL-Steal) or already handed
 			// over: keep the undo entry; whoever holds it will walk the
 			// owner chain back through us.
@@ -212,45 +353,50 @@ func (t *OULTxn) rollback() {
 		// owners skipped it during their own rollback because the lock
 		// was stolen from them (Algorithm 4's recursive ROLLBACK,
 		// iteratively: ages strictly decrease, so the walk terminates).
-		owner := applyAbortedOwners(e.lock, e.prevOwner)
+		owner, ownerRef := applyAbortedOwners(e.lock, e.prevOwner, e.prevRef)
 		// Abort speculative readers that may have consumed the
 		// rolled-back values (higher age than us).
 		t.killReaders(e.lock, meta.CauseCascade)
 		for {
-			e.lock.writer.Store(owner)
+			e.lock.writer.Store(ownerRef)
 			// Double check: the owner may have aborted between our walk
 			// and the publish, with its own rollback finding the lock
 			// still busy; re-claim and keep unwinding.
 			if owner == nil || !owner.aborted.Load() {
 				break
 			}
-			if !e.lock.writer.CompareAndSwap(owner, oulBusy) {
+			if !e.lock.writer.CAS(ownerRef, meta.RefBusy) {
 				break // someone else already took the record over
 			}
-			owner = applyAbortedOwners(e.lock, owner)
+			owner, ownerRef = applyAbortedOwners(e.lock, owner, ownerRef)
 		}
 	}
 }
 
 // applyAbortedOwners applies the undo images recorded for lk by start
 // and every aborted owner below it, returning the first live/committed
-// owner (or nil). Aborted owners' undo logs are frozen (the aborted
-// flag is set under their descriptor lock), so reading them races with
-// nothing.
-func applyAbortedOwners(lk *oulLock, start *OULTxn) *OULTxn {
-	owner := start
+// owner and the reference to publish for it (RefNil when the chain
+// bottoms out). Aborted owners' undo logs are frozen (the aborted flag
+// is set under their descriptor lock) and pinned by their successors'
+// entries, so reading them races with nothing.
+func applyAbortedOwners(lk *oulLock, start *OULTxn, startRef meta.Ref) (*OULTxn, meta.Ref) {
+	owner, ownerRef := start, startRef
 	for owner != nil && owner.aborted.Load() {
 		var next *OULTxn
+		var nextRef meta.Ref
 		for k := len(owner.writes) - 1; k >= 0; k-- {
 			oe := &owner.writes[k]
 			if oe.lock == lk {
 				oe.v.Store(oe.old)
-				next = oe.prevOwner
+				next, nextRef = oe.prevOwner, oe.prevRef
 			}
 		}
-		owner = next
+		owner, ownerRef = next, nextRef
 	}
-	return owner
+	if owner == nil {
+		ownerRef = meta.RefNil
+	}
+	return owner, ownerRef
 }
 
 // lockEntryAfter reports whether writes[i].lock appears again at a
@@ -265,28 +411,26 @@ func (t *OULTxn) lockEntryAfter(i int) bool {
 	return false
 }
 
-// findUndo returns this transaction's undo entry for v, if any. Called
-// on finalized (aborted) transactions during owner-chain walks; the
-// writes slice is immutable by then.
-func (t *OULTxn) findUndo(v *meta.Var) *oulWriteEntry {
-	for i := range t.writes {
-		if t.writes[i].v == v {
-			return &t.writes[i]
-		}
-	}
-	return nil
-}
-
 // killReaders aborts every visible reader of lk with a higher age
-// (R2→W1 during writes, cascade during rollback).
+// (R2→W1 during writes, cascade during rollback). Stale slot
+// references — registrations from lives that already finalized — are
+// skipped: the attempt they belonged to is gone, and the descriptor's
+// current life never consumed this record through that slot.
 func (t *OULTxn) killReaders(lk *oulLock, c meta.Cause) {
 	arr := lk.readers.Peek()
 	if arr == nil {
 		return
 	}
+	self := t.ref()
+	myAge := t.age.Load()
 	for i := range arr.Slots {
-		r := arr.Slots[i].Load()
-		if r != nil && r != t && r.age > t.age && oulLive(r.status.Load()) {
+		ref := arr.Slots[i].Load()
+		if !ref.IsTxn() || ref == self {
+			continue
+		}
+		r := t.eng.at(ref)
+		life := r.status.LoadLife()
+		if ref.SameLife(life) && oulLive(life.Status()) && r.age.Load() > myAge {
 			r.abort(c)
 		}
 	}
@@ -298,29 +442,37 @@ func (t *OULTxn) killReaders(lk *oulLock, c meta.Cause) {
 // which naturally forwards values written by live lower-age writers.
 func (t *OULTxn) Read(v *meta.Var) uint64 {
 	lk := t.eng.locks.Of(v)
+	self := t.ref()
 	for spin := 0; ; spin++ {
 		t.checkDoom()
-		w := lk.writer.Load()
-		if w == oulBusy {
+		ref := lk.writer.Load()
+		if ref == meta.RefBusy {
 			meta.Pause(spin)
 			continue
 		}
-		if w != nil && w != t {
-			s := w.status.Load()
-			if s == meta.StatusTransient {
-				meta.Pause(spin) // rollback in flight: value unstable
-				continue
+		if ref.IsTxn() && ref != self {
+			w := t.eng.at(ref)
+			life := w.status.LoadLife()
+			if ref.SameLife(life) {
+				s := life.Status()
+				if s == meta.StatusTransient {
+					meta.Pause(spin) // rollback in flight: value unstable
+					continue
+				}
+				if oulLive(s) && w.age.Load() > t.age.Load() {
+					w.abort(meta.CauseRAW) // W2→R1
+					meta.Pause(spin)
+					continue
+				}
 			}
-			if oulLive(s) && w.age > t.age {
-				w.abort(meta.CauseRAW) // W2→R1
-				meta.Pause(spin)
-				continue
-			}
+			// Stale or final: that life is over and the in-place value
+			// is committed state — read through, like any record whose
+			// last writer committed.
 		}
 		if !t.register(lk) {
 			meta.PanicAbort(meta.CauseNone) // doomed while spinning for a slot
 		}
-		if lk.writer.Load() != w { // writer changed while registering
+		if lk.writer.Load() != ref { // writer changed while registering
 			meta.Pause(spin)
 			continue
 		}
@@ -329,22 +481,24 @@ func (t *OULTxn) Read(v *meta.Var) uint64 {
 }
 
 // register claims a visible-reader slot on lk (Algorithm 2 lines 9–17).
-// A slot is free when empty or when its occupant is final. If every
-// slot stays occupied past the spin budget, the reader dooms the
-// highest-age occupant above its own age — the bounded reader array
-// must never deadlock the commit frontier (a lower-age reader blocked
-// by higher-age occupants that cannot commit before it). Returns
-// false only if this transaction is doomed while waiting for a slot.
+// A slot is free when empty or when its occupant reference is stale or
+// final. If every slot stays occupied past the spin budget, the reader
+// dooms the highest-age occupant above its own age — the bounded reader
+// array must never deadlock the commit frontier (a lower-age reader
+// blocked by higher-age occupants that cannot commit before it).
+// Returns false only if this transaction is doomed while waiting for a
+// slot.
 func (t *OULTxn) register(lk *oulLock) bool {
 	arr := lk.readers.Get(t.eng.cfg.MaxReaders)
+	self := t.ref()
 	for spin := 0; ; spin++ {
 		for i := range arr.Slots {
 			cur := arr.Slots[i].Load()
-			if cur == t {
-				return true // already visible on this lock
+			if cur == self {
+				return true // already visible on this lock (this life)
 			}
-			if cur == nil || cur.status.Load().Final() {
-				if arr.Slots[i].CompareAndSwap(cur, t) {
+			if cur == meta.RefNil || t.slotFree(cur) {
+				if arr.Slots[i].CAS(cur, self) {
 					t.readRefs = append(t.readRefs, oulReadRef{arr: arr, idx: i})
 					return true
 				}
@@ -360,16 +514,36 @@ func (t *OULTxn) register(lk *oulLock) bool {
 	}
 }
 
+// slotFree reports whether a reader-slot occupant reference is dead:
+// stale (its life finalized and the descriptor renewed) or final.
+func (t *OULTxn) slotFree(cur meta.Ref) bool {
+	if !cur.IsTxn() {
+		return cur == meta.RefNil
+	}
+	r := t.eng.at(cur)
+	life := r.status.LoadLife()
+	return !cur.SameLife(life) || life.Status().Final()
+}
+
 // evictSlot dooms the highest-age live occupant older than t so a
 // lower-age reader can always register (age-based slot priority).
-func (t *OULTxn) evictSlot(arr *meta.SlotArray[OULTxn]) {
+func (t *OULTxn) evictSlot(arr *meta.RefSlotArray) {
+	self := t.ref()
+	myAge := t.age.Load()
 	var victim *OULTxn
+	var victimAge uint64
 	for i := range arr.Slots {
-		cur := arr.Slots[i].Load()
-		if cur != nil && cur != t && cur.age > t.age && oulLive(cur.status.Load()) {
-			if victim == nil || cur.age > victim.age {
-				victim = cur
-			}
+		ref := arr.Slots[i].Load()
+		if !ref.IsTxn() || ref == self {
+			continue
+		}
+		cur := t.eng.at(ref)
+		life := cur.status.LoadLife()
+		if !ref.SameLife(life) || !oulLive(life.Status()) {
+			continue
+		}
+		if a := cur.age.Load(); a > myAge && (victim == nil || a > victimAge) {
+			victim, victimAge = cur, a
 		}
 	}
 	if victim != nil {
@@ -385,14 +559,15 @@ func (t *OULTxn) evictSlot(arr *meta.SlotArray[OULTxn]) {
 // write through.
 func (t *OULTxn) Write(v *meta.Var, x uint64) {
 	lk := t.eng.locks.Of(v)
+	self := t.ref()
 	for spin := 0; ; spin++ {
 		t.checkDoom()
-		w := lk.writer.Load()
-		if w == oulBusy {
+		ref := lk.writer.Load()
+		if ref == meta.RefBusy {
 			meta.Pause(spin)
 			continue
 		}
-		if w == t {
+		if ref == self {
 			// Already own the lock (possibly writing a second variable
 			// aliased to it).
 			t.mu.Lock()
@@ -400,71 +575,112 @@ func (t *OULTxn) Write(v *meta.Var, x uint64) {
 				t.mu.Unlock()
 				meta.PanicAbort(meta.CauseNone)
 			}
-			t.appendUndo(v, lk, t.inheritPrevOwner(lk))
+			prev, prevRef := t.inheritPrevOwner(lk)
+			t.appendUndo(v, lk, prev, prevRef)
 			t.killReaders(lk, meta.CauseKilledReader)
 			v.Store(x)
 			t.mu.Unlock()
 			return
 		}
 		var stolenFrom *OULTxn
-		if w != nil {
-			s := w.status.Load()
-			if s == meta.StatusTransient {
-				meta.Pause(spin)
-				continue
-			}
-			if oulLive(s) {
-				if w.age > t.age {
-					w.abort(meta.CauseWAW) // W2→W1
+		if ref.IsTxn() {
+			w := t.eng.at(ref)
+			life := w.status.LoadLife()
+			if ref.SameLife(life) {
+				s := life.Status()
+				if s == meta.StatusTransient {
 					meta.Pause(spin)
 					continue
 				}
-				if !t.eng.steal {
-					t.selfAbort(meta.CauseWAW) // W1→W2: plain OUL aborts self
+				if oulLive(s) {
+					if w.age.Load() > t.age.Load() {
+						w.abort(meta.CauseWAW) // W2→W1
+						meta.Pause(spin)
+						continue
+					}
+					if !t.eng.steal {
+						t.selfAbort(meta.CauseWAW) // W1→W2: plain OUL aborts self
+					}
+					stolenFrom = w // W1→W2: OUL-Steal takes the lock over
 				}
-				stolenFrom = w // W1→W2: OUL-Steal takes the lock over
+			}
+			// Stale or final occupant: that life is over; claimable.
+		}
+		if stolenFrom != nil {
+			// Pin the robbed owner's undo log before taking the lock,
+			// then re-verify its life: a pin that lands after the owner
+			// finalized could otherwise race its pool's renewal (the
+			// pool checks pins before renewing, not after). Final or
+			// renewed ⇒ the steal premise is gone; retry from the top.
+			stolenFrom.pins.Add(1)
+			life := stolenFrom.status.LoadLife()
+			if !ref.SameLife(life) || !oulLive(life.Status()) {
+				stolenFrom.pins.Add(-1)
+				meta.Pause(spin)
+				continue
 			}
 		}
-		if !lk.writer.CompareAndSwap(w, oulBusy) {
+		if !lk.writer.CAS(ref, meta.RefBusy) {
+			if stolenFrom != nil {
+				stolenFrom.pins.Add(-1)
+			}
 			meta.Pause(spin)
 			continue
 		}
 		t.mu.Lock()
 		if t.doomed.Load() {
 			t.mu.Unlock()
-			lk.writer.Store(w) // undo the BUSY parking
+			lk.writer.Store(ref) // undo the BUSY parking
+			if stolenFrom != nil {
+				stolenFrom.pins.Add(-1)
+			}
 			meta.PanicAbort(meta.CauseNone)
 		}
-		t.appendUndo(v, lk, stolenFrom)
+		var stolenRef meta.Ref
+		if stolenFrom != nil {
+			stolenRef = ref
+		}
+		t.appendUndo(v, lk, stolenFrom, stolenRef)
 		t.killReaders(lk, meta.CauseKilledReader)
 		v.Store(x)
-		lk.writer.Store(t)
+		lk.writer.Store(self)
 		t.mu.Unlock()
 		return
 	}
 }
 
 // appendUndo records the pre-image of v (once per variable) with the
-// lock's previous owner, if this acquisition stole it.
-func (t *OULTxn) appendUndo(v *meta.Var, lk *oulLock, prev *OULTxn) {
+// lock's previous owner, if this acquisition stole it. The caller has
+// already pinned prev (Write's steal path) or inherits an existing
+// entry's pin-protected owner (inheritPrevOwner pins again, one pin
+// per entry). A duplicate variable entry drops the caller's pin.
+func (t *OULTxn) appendUndo(v *meta.Var, lk *oulLock, prev *OULTxn, prevRef meta.Ref) {
 	for i := range t.writes {
 		if t.writes[i].v == v {
+			if prev != nil {
+				prev.pins.Add(-1)
+			}
 			return
 		}
 	}
-	t.writes = append(t.writes, oulWriteEntry{v: v, lock: lk, old: v.Load(), prevOwner: prev})
+	t.writes = append(t.writes, oulWriteEntry{v: v, lock: lk, old: v.Load(), prevOwner: prev, prevRef: prevRef})
 }
 
 // inheritPrevOwner finds the previous owner recorded when this
 // transaction first acquired lk (a later write to a second variable
-// aliased to lk shares the same hand-back target).
-func (t *OULTxn) inheritPrevOwner(lk *oulLock) *OULTxn {
+// aliased to lk shares the same hand-back target) and takes an
+// additional pin for the new entry. The existing entry's pin keeps the
+// owner from renewing, so the extra pin cannot race a recycle.
+func (t *OULTxn) inheritPrevOwner(lk *oulLock) (*OULTxn, meta.Ref) {
 	for i := range t.writes {
 		if t.writes[i].lock == lk {
-			return t.writes[i].prevOwner
+			if po := t.writes[i].prevOwner; po != nil {
+				po.pins.Add(1)
+			}
+			return t.writes[i].prevOwner, t.writes[i].prevRef
 		}
 	}
-	return nil
+	return nil, meta.RefNil
 }
 
 // TryCommit implements Algorithm 3 lines 50–52: values are already in
@@ -521,15 +737,20 @@ func (t *OULTxn) AbandonAttempt() {
 }
 
 // Cleanup implements meta.Txn: clear reader slots and writer back-
-// references so committed descriptors can be collected (the cleaner
-// role; §6 keeps metadata until the transaction is reachable).
+// references so the descriptor can be recycled without leaving claims
+// behind (the cleaner role; §6 keeps metadata until the transaction is
+// reachable). Only called on committed attempts, whose undo log no
+// owner-chain walk will ever read (walks traverse aborted owners), so
+// the outgoing steal-chain pins can be released here too.
 func (t *OULTxn) Cleanup() {
-	for _, r := range t.readRefs {
-		r.arr.Slots[r.idx].CompareAndSwap(t, nil)
+	self := t.ref()
+	for i := range t.readRefs {
+		rr := &t.readRefs[i]
+		rr.arr.Slots[rr.idx].CAS(self, meta.RefNil)
 	}
 	for i := range t.writes {
-		t.writes[i].lock.writer.CompareAndSwap(t, nil)
+		t.writes[i].lock.writer.CAS(self, meta.RefNil)
 	}
-	t.readRefs = nil
-	t.writes = nil
+	t.readRefs = t.readRefs[:0]
+	t.unpinChain()
 }

@@ -20,6 +20,7 @@ type owbLock struct {
 type OWBEngine struct {
 	cfg   meta.EngineConfig
 	locks *meta.Table[owbLock]
+	depot meta.Depot[OWBTxn]
 }
 
 // NewOWB returns a fresh OWB engine for one run.
@@ -37,11 +38,62 @@ func (e *OWBEngine) Mode() meta.Mode { return meta.ModeCooperative }
 // Stats implements meta.Engine.
 func (e *OWBEngine) Stats() *meta.Stats { return e.cfg.Stats }
 
-// NewTxn implements meta.Engine.
+// NewTxn implements meta.Engine: a fresh, never-recycled descriptor
+// (tests and non-pooled paths; the run-loop allocates through NewPool).
 func (e *OWBEngine) NewTxn(age uint64) meta.Txn {
-	t := &OWBTxn{eng: e, age: age}
-	t.status.Store(meta.StatusActive)
+	t := &OWBTxn{eng: e, cell: e.cfg.Stats.DefaultCell()}
+	t.age.Store(age)
 	return t
+}
+
+// NewPool implements meta.PoolEngine: a worker-local freelist backed by
+// the engine-wide depot, with its own stats cell.
+//
+// OWB needs no generation-stamped lock words: its lock claims CAS only
+// from nil (conflicting holders are aborted and release their own
+// locks), and commit, abort and cleanup all withdraw the descriptor's
+// pointer from every lock word before the attempt finalizes — so a
+// pointer in a word always names the life that published it. The one
+// cross-life hazard is the dependency double-check in Read, which
+// compares packed (generation, status) snapshots instead of bare
+// statuses (see the forwarding path).
+func (e *OWBEngine) NewPool() meta.TxnPool {
+	return &owbPool{eng: e, cache: meta.NewCache(&e.depot), cell: e.cfg.Stats.NewCell()}
+}
+
+// owbPool recycles finalized descriptors for one run-loop goroutine,
+// reusing the reads/writes backing arrays.
+type owbPool struct {
+	eng   *OWBEngine
+	cache *meta.Cache[OWBTxn]
+	cell  *meta.StatsCell
+}
+
+// NewTxn implements meta.TxnPool.
+func (p *owbPool) NewTxn(age uint64) meta.Txn {
+	t := p.cache.Get()
+	if t == nil {
+		t = &OWBTxn{eng: p.eng, cell: p.cell}
+		t.age.Store(age)
+		return t
+	}
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	t.deps.Reset()
+	t.exposed = false
+	t.doomed.Store(false)
+	t.age.Store(age)
+	t.status.Renew()
+	return t
+}
+
+// Retire implements meta.TxnPool.
+func (p *owbPool) Retire(x meta.Txn) {
+	t, ok := x.(*OWBTxn)
+	if !ok || t.eng != p.eng || !t.status.Load().Final() {
+		return
+	}
+	p.cache.Put(t)
 }
 
 type owbReadEntry struct {
@@ -65,7 +117,8 @@ type owbWriteEntry struct {
 // memory, and higher-age readers that consume them register in deps.
 type OWBTxn struct {
 	eng     *OWBEngine
-	age     uint64
+	cell    *meta.StatsCell // set once at allocation
+	age     atomic.Uint64   // atomic: stale observers race pool renewal
 	status  meta.StatusWord
 	doomed  atomic.Bool
 	exposed bool // written only while the descriptor is owned (Transient)
@@ -76,7 +129,7 @@ type OWBTxn struct {
 }
 
 // Age implements meta.Txn.
-func (t *OWBTxn) Age() uint64 { return t.age }
+func (t *OWBTxn) Age() uint64 { return t.age.Load() }
 
 // Doomed implements meta.Txn.
 func (t *OWBTxn) Doomed() bool { return t.doomed.Load() }
@@ -90,7 +143,7 @@ func (t *OWBTxn) checkDoom() {
 // selfAbort finalizes the attempt from its own goroutine and unwinds.
 func (t *OWBTxn) selfAbort(c meta.Cause) {
 	if t.doomed.CompareAndSwap(false, true) {
-		t.eng.cfg.Stats.Abort(c)
+		t.cell.Abort(c)
 	}
 	if t.status.CAS(meta.StatusActive, meta.StatusTransient) {
 		t.finalizeAbort()
@@ -108,7 +161,7 @@ func (t *OWBTxn) abort(c meta.Cause) bool {
 	}
 	first := t.doomed.CompareAndSwap(false, true)
 	if first {
-		t.eng.cfg.Stats.Abort(c)
+		t.cell.Abort(c)
 	}
 	if t.status.CAS(meta.StatusActive, meta.StatusTransient) {
 		t.finalizeAbort()
@@ -164,7 +217,7 @@ func (t *OWBTxn) Read(v *meta.Var) uint64 {
 		ver := lk.version.Load()
 		w := lk.writer.Load()
 		if w != nil && w != t {
-			if w.age > t.age {
+			if w.age.Load() > t.age.Load() {
 				// W2→R1: the speculative writer has a higher age; abort
 				// it and wait for the lock to clear.
 				w.abort(meta.CauseRAW)
@@ -173,7 +226,8 @@ func (t *OWBTxn) Read(v *meta.Var) uint64 {
 			}
 			// W1→R2: wait out the writer's critical section, then
 			// register as a dependent before consuming its value.
-			switch w.status.Load() {
+			wlife := w.status.LoadLife()
+			switch wlife.Status() {
 			case meta.StatusTransient:
 				meta.Pause(spin)
 				continue
@@ -187,14 +241,20 @@ func (t *OWBTxn) Read(v *meta.Var) uint64 {
 				// Double check after registration (Algorithm 1 line 12):
 				// the writer may have aborted while we registered. Wait
 				// out a Transient window (it may be the writer's own
-				// commit); only a final Aborted state kills us.
+				// commit); a final Aborted state kills us, and so does a
+				// generation change — the life we registered against is
+				// over and its outcome (and our dependency node) can no
+				// longer be trusted, so treat it as a cascade.
 				for dspin := 0; ; dspin++ {
-					s := w.status.Load()
-					if s == meta.StatusTransient {
+					l := w.status.LoadLife()
+					if l.Gen() != wlife.Gen() {
+						t.selfAbort(meta.CauseCascade)
+					}
+					if l.Status() == meta.StatusTransient {
 						meta.Pause(dspin)
 						continue
 					}
-					if s == meta.StatusAborted {
+					if l.Status() == meta.StatusAborted {
 						t.selfAbort(meta.CauseCascade)
 					}
 					break
@@ -274,7 +334,7 @@ func (t *OWBTxn) TryCommit() bool {
 		return false
 	}
 	if !t.validateReads() {
-		t.eng.cfg.Stats.Abort(meta.CauseValidation)
+		t.cell.Abort(meta.CauseValidation)
 		t.doomed.Store(true)
 		t.finalizeAbort()
 		return false
@@ -296,7 +356,7 @@ func (t *OWBTxn) TryCommit() bool {
 				break
 			}
 			if w != nil {
-				if t.age < w.age {
+				if t.age.Load() < w.age.Load() {
 					// W2→W1: we have priority; abort the holder and wait
 					// for the lock to clear.
 					w.abort(meta.CauseLockedWrite)
@@ -305,7 +365,7 @@ func (t *OWBTxn) TryCommit() bool {
 				}
 				// W1→W2: a lower-age transaction holds the lock; abort
 				// ourselves (write after write).
-				t.eng.cfg.Stats.Abort(meta.CauseWAW)
+				t.cell.Abort(meta.CauseWAW)
 				t.doomed.Store(true)
 				t.releaseLocks(i)
 				t.finalizeAbort()
@@ -336,7 +396,7 @@ func (t *OWBTxn) TryCommit() bool {
 	for i := range t.reads {
 		e := &t.reads[i]
 		if e.lock.writer.Load() == t && e.lock.version.Load() != e.ver+1 {
-			t.eng.cfg.Stats.Abort(meta.CauseValidation)
+			t.cell.Abort(meta.CauseValidation)
 			t.doomed.Store(true)
 			t.finalizeAbort()
 			return false
@@ -383,7 +443,7 @@ func (t *OWBTxn) Commit() bool {
 		return false
 	}
 	if !t.validateReads() {
-		t.eng.cfg.Stats.Abort(meta.CauseValidation)
+		t.cell.Abort(meta.CauseValidation)
 		t.doomed.Store(true)
 		t.finalizeAbort()
 		return false
@@ -409,7 +469,7 @@ func (t *OWBTxn) awaitFinal() {
 func (t *OWBTxn) AbandonAttempt() {
 	if !t.status.Load().Final() {
 		if t.doomed.CompareAndSwap(false, true) {
-			t.eng.cfg.Stats.Abort(meta.CauseNone)
+			t.cell.Abort(meta.CauseNone)
 		}
 		if t.status.CAS(meta.StatusActive, meta.StatusTransient) {
 			t.finalizeAbort()
@@ -419,9 +479,10 @@ func (t *OWBTxn) AbandonAttempt() {
 }
 
 // Cleanup implements meta.Txn (the cleaner role): drop metadata held by
-// a committed, reachable transaction.
+// a committed, reachable transaction. Backing arrays are kept for the
+// descriptor's next life.
 func (t *OWBTxn) Cleanup() {
-	t.reads = nil
-	t.writes = nil
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
 	t.deps.Reset()
 }

@@ -58,13 +58,17 @@ func (m Mode) String() string {
 	}
 }
 
-// Txn is one transaction *attempt*. The executor requests a fresh Txn
-// from the engine for every attempt (including validator re-executions)
-// so that descriptors are never reused: any stale pointer to an old
-// attempt found in a lock word, reader slot or dependency list refers
-// to a finalized descriptor, which makes ABA impossible and lets the Go
-// GC stand in for the epoch-based reclamation a C++ implementation
-// would need.
+// Txn is one transaction *attempt*. The executor requests a Txn from
+// the engine (or its per-worker TxnPool) for every attempt, including
+// validator re-executions. Engines implementing PoolEngine recycle
+// finalized descriptors across attempts; a recycled descriptor starts
+// a new *life* (StatusWord.Renew), and every shared reference to it —
+// lock words, reader slots, dependency registrations — carries the
+// generation of the life that published it (meta.Ref), so a stale
+// reference is exactly as inert as a pointer to a never-reused
+// finalized descriptor used to be. Engines that do not pool still get
+// one fresh descriptor per attempt with the GC standing in for
+// epoch-based reclamation.
 //
 // Read and Write may signal an abort by panicking via PanicAbort; the
 // executor's sandbox recovers, calls AbandonAttempt, and retries with a

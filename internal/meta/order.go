@@ -18,7 +18,14 @@ import (
 // paths; a condition variable provides sleeping waits so that
 // turn-waiting does not burn the (single) CPU.
 type Order struct {
+	// committed is the hottest word in the system — every reachability
+	// check, frontier poll and ring scan loads it — so it gets its own
+	// cache lines: the leading pad keeps it off whatever precedes the
+	// Order allocation, the trailing pad keeps the halt flag and mutex
+	// (written on the slow path) from sharing its line.
+	_         [64]byte
 	committed atomic.Uint64 // == next age to commit
+	_         [56]byte
 	halted    atomic.Bool   // run stopped; all waits must return
 	haltc     chan struct{} // closed by Halt, for select-based waiters
 

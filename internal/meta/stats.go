@@ -3,56 +3,142 @@ package meta
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
-// Stats aggregates counters for one engine run. All fields are updated
-// with atomics from every worker; View produces a plain-value snapshot.
-type Stats struct {
+// StatsCell is one contention-free slice of a Stats instance: a full
+// counter set padded out to its own cache lines, so two goroutines
+// recording into different cells never bounce a line between cores.
+// The run-loop gives every worker (and the validator) its own cell;
+// attempt descriptors carry the cell of the pool that allocated them,
+// so engine-side events (aborts recorded by whichever goroutine dooms
+// the victim) land on a per-worker line too. Any goroutine may record
+// into any cell — counters are still atomics — sharding is a
+// contention optimization, not an ownership rule.
+type StatsCell struct {
 	starts   atomic.Uint64
 	commits  atomic.Uint64
 	retries  atomic.Uint64
 	quiesces atomic.Uint64
 	aborts   [NumCauses]atomic.Uint64
+	_        [statsCellPad]byte
 }
 
+// statsCellPad rounds the counter block up to a 64-byte cache-line
+// boundary and adds one guard line, so adjacent cells never share a
+// line even with unlucky allocator placement.
+const statsCellPad = (64-(4+int(NumCauses))*8%64)%64 + 64
+
 // Start counts a fresh attempt beginning execution.
-func (s *Stats) Start() { s.starts.Add(1) }
+func (c *StatsCell) Start() { c.starts.Add(1) }
 
 // Commit counts a transaction reaching its final commit.
-func (s *Stats) Commit() { s.commits.Add(1) }
+func (c *StatsCell) Commit() { c.commits.Add(1) }
 
 // Retry counts an attempt being re-executed after an abort.
-func (s *Stats) Retry() { s.retries.Add(1) }
+func (c *StatsCell) Retry() { c.retries.Add(1) }
 
 // Quiesce counts liveness-guard activations (executor gating exposes so
 // the reachable transaction can win).
-func (s *Stats) Quiesce() { s.quiesces.Add(1) }
+func (c *StatsCell) Quiesce() { c.quiesces.Add(1) }
 
 // Abort counts an abort with the given cause.
-func (s *Stats) Abort(c Cause) {
-	if c >= NumCauses {
-		c = CauseNone
+func (c *StatsCell) Abort(cause Cause) {
+	if cause >= NumCauses {
+		cause = CauseNone
 	}
-	s.aborts[c].Add(1)
+	c.aborts[cause].Add(1)
 }
 
-// Rotate drains the counters into a delta view and resets them to
-// zero, starting a new accounting epoch. Long-lived pipelines rotate
-// periodically and fold the deltas into their own totals, so the
-// engine-side counters never grow without bound no matter how long the
-// stream runs. Individual counters are swapped atomically;
-// cross-counter skew with concurrent updates is the same (harmless)
-// skew View has always had.
-func (s *Stats) Rotate() StatsView {
+// view snapshots the cell.
+func (c *StatsCell) view() StatsView {
 	v := StatsView{
-		Starts:   s.starts.Swap(0),
-		Commits:  s.commits.Swap(0),
-		Retries:  s.retries.Swap(0),
-		Quiesces: s.quiesces.Swap(0),
+		Starts:   c.starts.Load(),
+		Commits:  c.commits.Load(),
+		Retries:  c.retries.Load(),
+		Quiesces: c.quiesces.Load(),
 	}
-	for i := range s.aborts {
-		v.Aborts[i] = s.aborts[i].Swap(0)
+	for i := range c.aborts {
+		v.Aborts[i] = c.aborts[i].Load()
+	}
+	return v
+}
+
+// rotate drains the cell into a delta view, resetting it to zero.
+func (c *StatsCell) rotate() StatsView {
+	v := StatsView{
+		Starts:   c.starts.Swap(0),
+		Commits:  c.commits.Swap(0),
+		Retries:  c.retries.Swap(0),
+		Quiesces: c.quiesces.Swap(0),
+	}
+	for i := range c.aborts {
+		v.Aborts[i] = c.aborts[i].Swap(0)
+	}
+	return v
+}
+
+// Stats aggregates counters for one engine run: a default cell (the
+// pre-sharding single-counter behavior, still used by paths without a
+// worker identity) plus any number of per-worker cells handed out by
+// NewCell. View and Rotate fold across every cell.
+type Stats struct {
+	def   StatsCell
+	mu    sync.Mutex
+	cells atomic.Pointer[[]*StatsCell]
+}
+
+// DefaultCell returns the built-in cell (used by engine NewTxn outside
+// any pool, and by anything recording directly on the Stats).
+func (s *Stats) DefaultCell() *StatsCell { return &s.def }
+
+// NewCell registers and returns a fresh padded cell. Called once per
+// run-loop goroutine; the registry is copy-on-write so folding reads
+// never lock.
+func (s *Stats) NewCell() *StatsCell {
+	c := &StatsCell{}
+	s.mu.Lock()
+	var cur []*StatsCell
+	if p := s.cells.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*StatsCell, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = c
+	s.cells.Store(&next)
+	s.mu.Unlock()
+	return c
+}
+
+// Start counts a fresh attempt beginning execution.
+func (s *Stats) Start() { s.def.Start() }
+
+// Commit counts a transaction reaching its final commit.
+func (s *Stats) Commit() { s.def.Commit() }
+
+// Retry counts an attempt being re-executed after an abort.
+func (s *Stats) Retry() { s.def.Retry() }
+
+// Quiesce counts liveness-guard activations.
+func (s *Stats) Quiesce() { s.def.Quiesce() }
+
+// Abort counts an abort with the given cause.
+func (s *Stats) Abort(c Cause) { s.def.Abort(c) }
+
+// Rotate drains the counters of every cell into a delta view and
+// resets them to zero, starting a new accounting epoch. Long-lived
+// pipelines rotate periodically and fold the deltas into their own
+// totals, so the engine-side counters never grow without bound no
+// matter how long the stream runs. Individual counters are swapped
+// atomically; cross-counter skew with concurrent updates is the same
+// (harmless) skew View has always had.
+func (s *Stats) Rotate() StatsView {
+	v := s.def.rotate()
+	if p := s.cells.Load(); p != nil {
+		for _, c := range *p {
+			v = v.Plus(c.rotate())
+		}
 	}
 	return v
 }
@@ -61,14 +147,11 @@ func (s *Stats) Rotate() StatsView {
 // counters are read atomically; cross-counter skew is harmless because
 // snapshots are taken after the run drains).
 func (s *Stats) View() StatsView {
-	v := StatsView{
-		Starts:   s.starts.Load(),
-		Commits:  s.commits.Load(),
-		Retries:  s.retries.Load(),
-		Quiesces: s.quiesces.Load(),
-	}
-	for i := range s.aborts {
-		v.Aborts[i] = s.aborts[i].Load()
+	v := s.def.view()
+	if p := s.cells.Load(); p != nil {
+		for _, c := range *p {
+			v = v.Plus(c.view())
+		}
 	}
 	return v
 }

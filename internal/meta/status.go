@@ -44,18 +44,80 @@ func (s Status) String() string {
 // Final reports whether the status is terminal for the attempt.
 func (s Status) Final() bool { return s == StatusCommitted || s == StatusAborted }
 
-// StatusWord is an atomically updated Status.
-type StatusWord struct{ w atomic.Uint32 }
+// Life is one atomically-read snapshot of a StatusWord: the attempt's
+// current status packed with the descriptor's generation. Descriptor
+// recycling (per-worker freelists) reuses attempt descriptors across
+// lives; the generation is what distinguishes a descriptor's current
+// life from a stale reference created during a previous one. Two Life
+// values with different generations belong to different attempts even
+// though they came from the same descriptor.
+type Life uint64
+
+const lifeStatusBits = 8 // status occupies the low byte; gen the rest
+
+// Status returns the snapshot's lifecycle state.
+func (l Life) Status() Status { return Status(l & (1<<lifeStatusBits - 1)) }
+
+// Gen returns the snapshot's generation (which life of the descriptor
+// this is).
+func (l Life) Gen() uint64 { return uint64(l) >> lifeStatusBits }
+
+func packLife(gen uint64, s Status) uint64 {
+	return gen<<lifeStatusBits | uint64(s)
+}
+
+// StatusWord is an atomically updated (generation, Status) pair. The
+// generation advances exactly once per descriptor life (Renew); every
+// status transition within a life preserves it. Loading the packed
+// Life lets observers holding a generation-stamped reference (meta.Ref)
+// decide whether the descriptor they resolved is still the attempt the
+// reference was created for.
+type StatusWord struct{ w atomic.Uint64 }
 
 // Load returns the current status.
-func (s *StatusWord) Load() Status { return Status(s.w.Load()) }
+func (s *StatusWord) Load() Status { return Life(s.w.Load()).Status() }
 
-// Store unconditionally sets the status.
-func (s *StatusWord) Store(v Status) { s.w.Store(uint32(v)) }
+// LoadLife returns the packed (generation, status) snapshot.
+func (s *StatusWord) LoadLife() Life { return Life(s.w.Load()) }
 
-// CAS atomically replaces old with new and reports success.
+// Gen returns the current generation.
+func (s *StatusWord) Gen() uint64 { return Life(s.w.Load()).Gen() }
+
+// Store sets the status, preserving the generation. Only the goroutine
+// owning the descriptor's current critical section may Store (all
+// engines follow this discipline: unconditional status stores happen
+// with the descriptor claimed); concurrent readers are fine.
+func (s *StatusWord) Store(v Status) {
+	s.w.Store(packLife(Life(s.w.Load()).Gen(), v))
+}
+
+// CAS atomically replaces old with new within the current life and
+// reports success. A concurrent generation change makes it fail, which
+// is exactly right: the transition was aimed at a life that ended.
 func (s *StatusWord) CAS(old, new Status) bool {
-	return s.w.CompareAndSwap(uint32(old), uint32(new))
+	p := s.w.Load()
+	if Life(p).Status() != old {
+		return false
+	}
+	return s.w.CompareAndSwap(p, packLife(Life(p).Gen(), new))
+}
+
+// CASLife replaces the exact packed snapshot old with (old.Gen, new).
+// Observers that must not cross a life boundary between two status
+// reads (OWB's dependency double-check) use it instead of CAS.
+func (s *StatusWord) CASLife(old Life, new Status) bool {
+	return s.w.CompareAndSwap(uint64(old), packLife(old.Gen(), new))
+}
+
+// Renew starts the descriptor's next life: generation+1, status Active.
+// It returns the new generation. Only a pool that has established the
+// descriptor is unreachable for claims (final status, no pins) may call
+// it; stale references resolved concurrently observe the generation
+// mismatch and treat the reference as dead.
+func (s *StatusWord) Renew() uint64 {
+	gen := Life(s.w.Load()).Gen() + 1
+	s.w.Store(packLife(gen, StatusActive))
+	return gen
 }
 
 // Cause identifies why a transaction attempt aborted. The Figure 5

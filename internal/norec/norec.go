@@ -21,6 +21,7 @@ type Engine struct {
 	cfg     meta.EngineConfig
 	seq     atomic.Uint64 // global sequence lock: odd = committer active
 	ordered bool
+	depot   meta.Depot[Txn]
 }
 
 // New returns a fresh unordered NOrec engine for one run.
@@ -68,7 +69,41 @@ func (e *Engine) waitEven() uint64 {
 
 // NewTxn implements meta.Engine.
 func (e *Engine) NewTxn(age uint64) meta.Txn {
-	return &Txn{eng: e, age: age, snap: e.waitEven()}
+	return &Txn{eng: e, cell: e.cfg.Stats.DefaultCell(), age: age, snap: e.waitEven()}
+}
+
+// NewPool implements meta.PoolEngine. NOrec has no shared descriptor
+// references at all (one global sequence lock, value-based
+// validation), so the pool just reuses the reads/writes backing arrays
+// and resamples the snapshot.
+func (e *Engine) NewPool() meta.TxnPool {
+	return &pool{eng: e, cache: meta.NewCache(&e.depot), cell: e.cfg.Stats.NewCell()}
+}
+
+type pool struct {
+	eng   *Engine
+	cache *meta.Cache[Txn]
+	cell  *meta.StatsCell
+}
+
+// NewTxn implements meta.TxnPool.
+func (p *pool) NewTxn(age uint64) meta.Txn {
+	t := p.cache.Get()
+	if t == nil {
+		return &Txn{eng: p.eng, cell: p.cell, age: age, snap: p.eng.waitEven()}
+	}
+	t.age = age
+	t.snap = p.eng.waitEven()
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	return t
+}
+
+// Retire implements meta.TxnPool.
+func (p *pool) Retire(x meta.Txn) {
+	if t, ok := x.(*Txn); ok && t.eng == p.eng {
+		p.cache.Put(t)
+	}
 }
 
 type readEntry struct {
@@ -84,6 +119,7 @@ type writeEntry struct {
 // Txn is one NOrec transaction attempt.
 type Txn struct {
 	eng    *Engine
+	cell   *meta.StatsCell
 	age    uint64
 	snap   uint64
 	reads  []readEntry
@@ -130,7 +166,7 @@ func (t *Txn) Read(v *meta.Var) uint64 {
 	for t.eng.seq.Load() != t.snap {
 		snap, ok := t.revalidate()
 		if !ok {
-			t.eng.cfg.Stats.Abort(meta.CauseValidation)
+			t.cell.Abort(meta.CauseValidation)
 			meta.PanicAbort(meta.CauseValidation)
 		}
 		t.snap = snap
@@ -161,7 +197,7 @@ func (t *Txn) TryCommit() bool {
 		if !t.eng.cfg.Order.WaitTurn(t.age, nil) {
 			// The order halted (the run stopped on a fault): our turn
 			// will never come, so abandon instead of parking forever.
-			t.eng.cfg.Stats.Abort(meta.CauseOrder)
+			t.cell.Abort(meta.CauseOrder)
 			return false
 		}
 	}
@@ -179,7 +215,7 @@ func (t *Txn) commitInner() bool {
 	for !t.eng.seq.CompareAndSwap(t.snap, t.snap+1) {
 		snap, ok := t.revalidate()
 		if !ok {
-			t.eng.cfg.Stats.Abort(meta.CauseValidation)
+			t.cell.Abort(meta.CauseValidation)
 			return false
 		}
 		t.snap = snap
@@ -194,10 +230,10 @@ func (t *Txn) commitInner() bool {
 // Commit implements meta.Txn.
 func (t *Txn) Commit() bool { return true }
 
-// Cleanup implements meta.Txn.
+// Cleanup implements meta.Txn. Backing arrays are kept for reuse.
 func (t *Txn) Cleanup() {
-	t.reads = nil
-	t.writes = nil
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
 }
 
 // AbandonAttempt implements meta.Txn: nothing is shared before commit.

@@ -16,7 +16,6 @@
 package stmlite
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -37,6 +36,7 @@ type Engine struct {
 	subs   chan *submission
 	stopc  chan struct{}
 	wg     sync.WaitGroup
+	depot  meta.Depot[Txn]
 }
 
 // New returns a fresh STMLite engine for one run. The executor must
@@ -79,10 +79,53 @@ func (e *Engine) Stop() {
 func (e *Engine) NewTxn(age uint64) meta.Txn {
 	return &Txn{
 		eng:      e,
+		cell:     e.cfg.Stats.DefaultCell(),
 		age:      age,
 		start:    e.stable.Load(),
 		readSig:  sig.New(e.cfg.SigBits),
 		writeSig: sig.New(e.cfg.SigBits),
+	}
+}
+
+// NewPool implements meta.PoolEngine. The descriptor, its write buffer
+// and the read signature are reused; the *write* signature must stay
+// immutable after submission (the TCM's committed-signature ring and
+// in-flight list retain it), so every attempt gets a fresh one.
+func (e *Engine) NewPool() meta.TxnPool {
+	return &pool{eng: e, cache: meta.NewCache(&e.depot), cell: e.cfg.Stats.NewCell()}
+}
+
+type pool struct {
+	eng   *Engine
+	cache *meta.Cache[Txn]
+	cell  *meta.StatsCell
+}
+
+// NewTxn implements meta.TxnPool.
+func (p *pool) NewTxn(age uint64) meta.Txn {
+	t := p.cache.Get()
+	if t == nil {
+		return &Txn{
+			eng:      p.eng,
+			cell:     p.cell,
+			age:      age,
+			start:    p.eng.stable.Load(),
+			readSig:  sig.New(p.eng.cfg.SigBits),
+			writeSig: sig.New(p.eng.cfg.SigBits),
+		}
+	}
+	t.age = age
+	t.start = p.eng.stable.Load()
+	t.readSig.Reset()
+	t.writeSig = sig.New(p.eng.cfg.SigBits)
+	t.writes = t.writes[:0]
+	return t
+}
+
+// Retire implements meta.TxnPool.
+func (p *pool) Retire(x meta.Txn) {
+	if t, ok := x.(*Txn); ok && t.eng == p.eng {
+		p.cache.Put(t)
 	}
 }
 
@@ -105,6 +148,7 @@ type submission struct {
 // Txn is one STMLite transaction attempt.
 type Txn struct {
 	eng      *Engine
+	cell     *meta.StatsCell
 	age      uint64
 	start    uint64
 	readSig  *sig.Filter
@@ -184,7 +228,7 @@ func (t *Txn) TryCommit() bool {
 		return false
 	}
 	if !<-s.grant {
-		t.eng.cfg.Stats.Abort(meta.CauseValidation)
+		t.cell.Abort(meta.CauseValidation)
 		// The denial names commits whose write-backs may not have
 		// landed yet (start stamps only cover *stable* commits):
 		// re-executing before they land reads the same pre-write-back
@@ -198,7 +242,7 @@ func (t *Txn) TryCommit() bool {
 		// submission through before stable can catch up.
 		granted := t.eng.stamp.Load()
 		for spin := 0; t.eng.stable.Load() < granted && spin < 128; spin++ {
-			runtime.Gosched()
+			meta.Pause(spin + 3) // always yield: the TCM must run (DESIGN.md §1)
 		}
 		return false
 	}
@@ -212,8 +256,8 @@ func (t *Txn) TryCommit() bool {
 // Commit implements meta.Txn.
 func (t *Txn) Commit() bool { return true }
 
-// Cleanup implements meta.Txn.
-func (t *Txn) Cleanup() { t.writes = nil }
+// Cleanup implements meta.Txn. The write buffer is kept for reuse.
+func (t *Txn) Cleanup() { t.writes = t.writes[:0] }
 
 // AbandonAttempt implements meta.Txn: nothing shared before grant.
 func (t *Txn) AbandonAttempt() {}

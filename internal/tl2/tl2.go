@@ -34,6 +34,7 @@ type Engine struct {
 	locks   *meta.Table[tl2Lock]
 	clock   atomic.Uint64
 	ordered bool
+	depot   meta.Depot[Txn]
 }
 
 // New returns a fresh unordered TL2 engine for one run.
@@ -70,7 +71,42 @@ func (e *Engine) Stats() *meta.Stats { return e.cfg.Stats }
 
 // NewTxn implements meta.Engine.
 func (e *Engine) NewTxn(age uint64) meta.Txn {
-	return &Txn{eng: e, age: age, rv: e.clock.Load()}
+	return &Txn{eng: e, cell: e.cfg.Stats.DefaultCell(), age: age, rv: e.clock.Load()}
+}
+
+// NewPool implements meta.PoolEngine. TL2 descriptors are never
+// published to shared metadata (locks are versioned words, not
+// descriptor references), so recycling needs no generation checks:
+// the pool just reuses the reads/writes backing arrays and resamples
+// the read version.
+func (e *Engine) NewPool() meta.TxnPool {
+	return &pool{eng: e, cache: meta.NewCache(&e.depot), cell: e.cfg.Stats.NewCell()}
+}
+
+type pool struct {
+	eng   *Engine
+	cache *meta.Cache[Txn]
+	cell  *meta.StatsCell
+}
+
+// NewTxn implements meta.TxnPool.
+func (p *pool) NewTxn(age uint64) meta.Txn {
+	t := p.cache.Get()
+	if t == nil {
+		return &Txn{eng: p.eng, cell: p.cell, age: age, rv: p.eng.clock.Load()}
+	}
+	t.age = age
+	t.rv = p.eng.clock.Load()
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	return t
+}
+
+// Retire implements meta.TxnPool.
+func (p *pool) Retire(x meta.Txn) {
+	if t, ok := x.(*Txn); ok && t.eng == p.eng {
+		p.cache.Put(t)
+	}
 }
 
 type writeEntry struct {
@@ -81,11 +117,13 @@ type writeEntry struct {
 
 // Txn is one TL2 transaction attempt.
 type Txn struct {
-	eng    *Engine
-	age    uint64
-	rv     uint64 // read version sampled at start
-	reads  []*tl2Lock
-	writes []writeEntry
+	eng      *Engine
+	cell     *meta.StatsCell
+	age      uint64
+	rv       uint64 // read version sampled at start
+	reads    []*tl2Lock
+	writes   []writeEntry
+	acquired []*tl2Lock // commit-time lock scratch, reused across lives
 }
 
 // Age implements meta.Txn.
@@ -117,7 +155,7 @@ func (t *Txn) Read(v *meta.Var) uint64 {
 		}
 		// Stale snapshot (stripe advanced past rv): abort and retry
 		// with a fresh read version.
-		t.eng.cfg.Stats.Abort(meta.CauseValidation)
+		t.cell.Abort(meta.CauseValidation)
 		meta.PanicAbort(meta.CauseValidation)
 	}
 }
@@ -165,7 +203,7 @@ func (t *Txn) TryCommit() bool {
 		if !t.eng.cfg.Order.WaitTurn(t.age, nil) {
 			// The order halted (the run stopped on a fault): our turn
 			// will never come, so abandon instead of parking forever.
-			t.eng.cfg.Stats.Abort(meta.CauseOrder)
+			t.cell.Abort(meta.CauseOrder)
 			return false
 		}
 	}
@@ -182,7 +220,7 @@ func (t *Txn) commitInner() bool {
 		// (every read post-validated against rv).
 		return true
 	}
-	var acquired []*tl2Lock
+	acquired := t.acquired[:0]
 	for i := range t.writes {
 		lk := t.writes[i].lock
 		if t.holds(lk, acquired) {
@@ -199,7 +237,8 @@ func (t *Txn) commitInner() bool {
 		}
 		if !got {
 			t.release(acquired, 0)
-			t.eng.cfg.Stats.Abort(meta.CauseLockedWrite)
+			t.acquired = acquired[:0]
+			t.cell.Abort(meta.CauseLockedWrite)
 			return false
 		}
 		acquired = append(acquired, lk)
@@ -212,7 +251,8 @@ func (t *Txn) commitInner() bool {
 			ver, locked := lk.sample()
 			if ver > t.rv || (locked && !t.holds(lk, acquired)) {
 				t.release(acquired, 0)
-				t.eng.cfg.Stats.Abort(meta.CauseValidation)
+				t.acquired = acquired[:0]
+				t.cell.Abort(meta.CauseValidation)
 				return false
 			}
 		}
@@ -221,6 +261,7 @@ func (t *Txn) commitInner() bool {
 		t.writes[i].v.Store(t.writes[i].val)
 	}
 	t.release(acquired, wv)
+	t.acquired = acquired[:0]
 	return true
 }
 
@@ -239,10 +280,10 @@ func (t *Txn) release(acquired []*tl2Lock, wv uint64) {
 // Commit implements meta.Txn (no separate finalize step for TL2).
 func (t *Txn) Commit() bool { return true }
 
-// Cleanup implements meta.Txn.
+// Cleanup implements meta.Txn. Backing arrays are kept for reuse.
 func (t *Txn) Cleanup() {
-	t.reads = nil
-	t.writes = nil
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
 }
 
 // AbandonAttempt implements meta.Txn: nothing is shared before commit.

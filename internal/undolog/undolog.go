@@ -11,6 +11,14 @@
 // aborts) the writer. Rollback is victim-performed: aborters only set
 // a doom flag and the victim restores its undo log when it next runs,
 // which is the classical design and one reason OUL outperforms it.
+//
+// Owner words and reader slots hold generation-stamped meta.Refs (see
+// internal/meta/ref.go): descriptors are recycled through per-worker
+// freelists, and a stale reference to a previous life must be exactly
+// as inert as a pointer to a finalized descriptor used to be — in
+// particular, an invisible reader that recorded the owner word must
+// fail validation when the same descriptor re-acquires the lock in a
+// later life, which only a generation-stamped comparison can detect.
 package undolog
 
 import (
@@ -19,15 +27,15 @@ import (
 	"github.com/orderedstm/ostm/internal/meta"
 )
 
-// ulLock is one lock-table record: the owning writer (remains set,
-// pointing at a finalized transaction, after commit/abort — the status
-// of the owner disambiguates), a version counter bumped on every
-// release and rollback (invisible readers validate against it), and
-// lazily allocated visible-reader slots.
+// ulLock is one lock-table record: the owning writer's reference (it
+// remains set, naming a finalized life, after commit/abort — staleness
+// or the owner's status disambiguates), a version counter bumped on
+// every release and rollback (invisible readers validate against it),
+// and lazily allocated visible-reader slots.
 type ulLock struct {
-	owner   atomic.Pointer[Txn]
+	owner   meta.RefWord
 	version atomic.Uint64
-	readers meta.LazySlots[Txn]
+	readers meta.LazyRefSlots
 }
 
 // Engine implements meta.Engine for the four UndoLog variants.
@@ -36,6 +44,8 @@ type Engine struct {
 	locks   *meta.Table[ulLock]
 	visible bool
 	ordered bool
+	descs   meta.Registry[Txn]
+	depot   meta.Depot[Txn]
 }
 
 // New returns a fresh UndoLog engine for one run.
@@ -67,11 +77,69 @@ func (e *Engine) Mode() meta.Mode {
 // Stats implements meta.Engine.
 func (e *Engine) Stats() *meta.Stats { return e.cfg.Stats }
 
-// NewTxn implements meta.Engine.
-func (e *Engine) NewTxn(age uint64) meta.Txn {
-	t := &Txn{eng: e, age: age}
-	t.status.Store(meta.StatusActive)
+// alloc registers a brand-new descriptor.
+func (e *Engine) alloc(cell *meta.StatsCell) *Txn {
+	t := &Txn{eng: e, cell: cell}
+	t.idx = e.descs.Add(t)
 	return t
+}
+
+// at resolves a descriptor reference (any generation).
+func (e *Engine) at(r meta.Ref) *Txn { return e.descs.At(r.Idx()) }
+
+// NewTxn implements meta.Engine: a fresh, never-recycled descriptor.
+func (e *Engine) NewTxn(age uint64) meta.Txn {
+	t := e.alloc(e.cfg.Stats.DefaultCell())
+	t.age.Store(age)
+	return t
+}
+
+// NewPool implements meta.PoolEngine.
+func (e *Engine) NewPool() meta.TxnPool {
+	return &pool{eng: e, cache: meta.NewCache(&e.depot), cell: e.cfg.Stats.NewCell()}
+}
+
+// pool recycles finalized descriptors for one run-loop goroutine,
+// reusing the writes/reads/readRefs backing arrays. UndoLog descriptors
+// are never read through after finalization (rollback is
+// victim-performed and undo logs are private), so no pinning is needed.
+type pool struct {
+	eng   *Engine
+	cache *meta.Cache[Txn]
+	cell  *meta.StatsCell
+}
+
+// NewTxn implements meta.TxnPool.
+func (p *pool) NewTxn(age uint64) meta.Txn {
+	t := p.cache.Get()
+	if t == nil {
+		t = p.eng.alloc(p.cell)
+		t.age.Store(age)
+		return t
+	}
+	t.writes = t.writes[:0]
+	t.reads = t.reads[:0]
+	t.readRefs = t.readRefs[:0]
+	t.doomed.Store(false)
+	t.age.Store(age)
+	t.gen = t.status.Renew()
+	return t
+}
+
+// Retire implements meta.TxnPool: scrub this life's reader-slot
+// registrations (Cleanup is not called for blocked/unordered modes)
+// and cache the descriptor.
+func (p *pool) Retire(x meta.Txn) {
+	t, ok := x.(*Txn)
+	if !ok || t.eng != p.eng || !t.status.Load().Final() {
+		return
+	}
+	self := t.ref()
+	for i := range t.readRefs {
+		rr := &t.readRefs[i]
+		rr.arr.Slots[rr.idx].CAS(self, meta.RefNil)
+	}
+	p.cache.Put(t)
 }
 
 type ulWrite struct {
@@ -82,19 +150,24 @@ type ulWrite struct {
 
 type ulRead struct {
 	lock  *ulLock
-	owner *Txn
+	owner meta.Ref
 	ver   uint64
 }
 
 type readRef struct {
-	arr *meta.SlotArray[Txn]
+	arr *meta.RefSlotArray
 	idx int
 }
 
-// Txn is one UndoLog transaction attempt.
+// Txn is one UndoLog transaction attempt descriptor (one life per
+// attempt; see meta.StatusWord).
 type Txn struct {
-	eng    *Engine
-	age    uint64
+	eng  *Engine
+	cell *meta.StatsCell // set once at allocation
+	idx  uint32
+	gen  uint64 // current life (owner-written mirror of status.Gen)
+
+	age    atomic.Uint64   // atomic: stale-ref observers race renewal
 	status meta.StatusWord // Active → Committed | Aborted
 	doomed atomic.Bool
 
@@ -103,8 +176,11 @@ type Txn struct {
 	readRefs []readRef // visible readers
 }
 
+// ref returns the reference for this descriptor's current life.
+func (t *Txn) ref() meta.Ref { return meta.MakeRef(t.idx, t.gen) }
+
 // Age implements meta.Txn.
-func (t *Txn) Age() uint64 { return t.age }
+func (t *Txn) Age() uint64 { return t.age.Load() }
 
 // Doomed implements meta.Txn.
 func (t *Txn) Doomed() bool { return t.doomed.Load() }
@@ -113,7 +189,7 @@ func (t *Txn) Doomed() bool { return t.doomed.Load() }
 // next operation (or wait wake-up). Counts the cause once.
 func (t *Txn) doom(c meta.Cause) {
 	if t.doomed.CompareAndSwap(false, true) {
-		t.eng.cfg.Stats.Abort(c)
+		t.cell.Abort(c)
 	}
 	t.eng.cfg.Order.Kick()
 }
@@ -127,15 +203,24 @@ func (t *Txn) checkDoom() {
 
 func (t *Txn) selfAbort(c meta.Cause) {
 	if t.doomed.CompareAndSwap(false, true) {
-		t.eng.cfg.Stats.Abort(c)
+		t.cell.Abort(c)
 	}
 	t.rollback()
 	meta.PanicAbort(c)
 }
 
-// live reports whether o speculatively owns its locks.
-func live(o *Txn) bool {
-	return o != nil && o.status.Load() == meta.StatusActive
+// holder resolves an owner-word reference to a live same-life owner,
+// or nil when the word is empty, stale (a past life) or final — all of
+// which mean the record is claimable.
+func (e *Engine) holder(r meta.Ref) *Txn {
+	if !r.IsTxn() {
+		return nil
+	}
+	o := e.at(r)
+	if life := o.status.LoadLife(); r.SameLife(life) && life.Status() == meta.StatusActive {
+		return o
+	}
+	return nil
 }
 
 // rollback restores the undo log, bumps versions so invisible readers
@@ -145,9 +230,10 @@ func (t *Txn) rollback() {
 	if t.status.Load().Final() {
 		return
 	}
+	self := t.ref()
 	for i := len(t.writes) - 1; i >= 0; i-- {
 		e := &t.writes[i]
-		if e.lock.owner.Load() == t {
+		if e.lock.owner.Load() == self {
 			e.v.Store(e.old)
 			e.lock.version.Add(1)
 		}
@@ -171,13 +257,14 @@ func (t *Txn) Read(v *meta.Var) uint64 {
 // of times and then backs off by self-aborting, matching §8.
 func (t *Txn) readInvisible(v *meta.Var) uint64 {
 	lk := t.eng.locks.Of(v)
+	self := t.ref()
 	for spin := 0; ; spin++ {
 		t.checkDoom()
-		o := lk.owner.Load()
+		oref := lk.owner.Load()
 		ver := lk.version.Load()
-		if o != nil && o != t && live(o) {
+		if o := t.eng.holder(oref); o != nil && oref != self {
 			if t.eng.ordered {
-				if o.age > t.age {
+				if o.age.Load() > t.age.Load() {
 					o.doom(meta.CauseRAW)
 				}
 				meta.Pause(spin) // lower age: it commits before us; wait
@@ -190,11 +277,11 @@ func (t *Txn) readInvisible(v *meta.Var) uint64 {
 			continue
 		}
 		val := v.Load()
-		if lk.owner.Load() != o || lk.version.Load() != ver {
+		if lk.owner.Load() != oref || lk.version.Load() != ver {
 			meta.Pause(spin)
 			continue // torn snapshot
 		}
-		t.reads = append(t.reads, ulRead{lock: lk, owner: o, ver: ver})
+		t.reads = append(t.reads, ulRead{lock: lk, owner: oref, ver: ver})
 		return val
 	}
 }
@@ -205,12 +292,13 @@ func (t *Txn) readInvisible(v *meta.Var) uint64 {
 // needed.
 func (t *Txn) readVisible(v *meta.Var) uint64 {
 	lk := t.eng.locks.Of(v)
+	self := t.ref()
 	for spin := 0; ; spin++ {
 		t.checkDoom()
-		o := lk.owner.Load()
-		if o != nil && o != t && live(o) {
+		oref := lk.owner.Load()
+		if o := t.eng.holder(oref); o != nil && oref != self {
 			if t.eng.ordered {
-				if o.age > t.age {
+				if o.age.Load() > t.age.Load() {
 					o.doom(meta.CauseRAW)
 				}
 				meta.Pause(spin) // lower-age writer: wait for its commit
@@ -226,7 +314,7 @@ func (t *Txn) readVisible(v *meta.Var) uint64 {
 			t.rollback()
 			meta.PanicAbort(meta.CauseNone)
 		}
-		if lk.owner.Load() != o {
+		if lk.owner.Load() != oref {
 			meta.Pause(spin)
 			continue // writer slipped in while we registered
 		}
@@ -234,21 +322,33 @@ func (t *Txn) readVisible(v *meta.Var) uint64 {
 	}
 }
 
-// register claims a visible-reader slot (free = empty or final
+// slotFree reports whether a reader-slot occupant reference is dead
+// (stale or final).
+func (t *Txn) slotFree(cur meta.Ref) bool {
+	if !cur.IsTxn() {
+		return cur == meta.RefNil
+	}
+	r := t.eng.at(cur)
+	life := r.status.LoadLife()
+	return !cur.SameLife(life) || life.Status().Final()
+}
+
+// register claims a visible-reader slot (free = empty, stale or final
 // occupant). If the array stays full past the spin budget, the reader
 // dooms the highest-age occupant above its own age so the bounded
 // array can never deadlock the commit frontier. Returns false if
 // doomed while waiting for a slot.
 func (t *Txn) register(lk *ulLock) bool {
 	arr := lk.readers.Get(t.eng.cfg.MaxReaders)
+	self := t.ref()
 	for spin := 0; ; spin++ {
 		for i := range arr.Slots {
 			cur := arr.Slots[i].Load()
-			if cur == t {
+			if cur == self {
 				return true
 			}
-			if cur == nil || cur.status.Load().Final() {
-				if arr.Slots[i].CompareAndSwap(cur, t) {
+			if cur == meta.RefNil || t.slotFree(cur) {
+				if arr.Slots[i].CAS(cur, self) {
 					t.readRefs = append(t.readRefs, readRef{arr: arr, idx: i})
 					return true
 				}
@@ -259,12 +359,20 @@ func (t *Txn) register(lk *ulLock) bool {
 		}
 		if spin > 0 && spin%t.eng.cfg.SpinBudget == 0 {
 			var victim *Txn
+			var victimAge uint64
+			myAge := t.age.Load()
 			for i := range arr.Slots {
 				cur := arr.Slots[i].Load()
-				if cur != nil && cur != t && cur.age > t.age && !cur.status.Load().Final() {
-					if victim == nil || cur.age > victim.age {
-						victim = cur
-					}
+				if !cur.IsTxn() || cur == self {
+					continue
+				}
+				r := t.eng.at(cur)
+				life := r.status.LoadLife()
+				if !cur.SameLife(life) || life.Status().Final() {
+					continue
+				}
+				if a := r.age.Load(); a > myAge && (victim == nil || a > victimAge) {
+					victim, victimAge = r, a
 				}
 			}
 			if victim != nil {
@@ -284,18 +392,19 @@ func (t *Txn) register(lk *ulLock) bool {
 // serializes before this write under ACO).
 func (t *Txn) Write(v *meta.Var, x uint64) {
 	lk := t.eng.locks.Of(v)
+	self := t.ref()
 	for spin := 0; ; spin++ {
 		t.checkDoom()
-		o := lk.owner.Load()
-		if o == t {
+		oref := lk.owner.Load()
+		if oref == self {
 			t.appendUndo(v, lk)
 			t.killReaders(lk)
 			v.Store(x)
 			return
 		}
-		if live(o) {
+		if o := t.eng.holder(oref); o != nil {
 			if t.eng.ordered {
-				if o.age > t.age {
+				if o.age.Load() > t.age.Load() {
 					o.doom(meta.CauseWAW)
 				}
 				meta.Pause(spin) // wait for victim rollback / lower-age commit
@@ -307,7 +416,7 @@ func (t *Txn) Write(v *meta.Var, x uint64) {
 			meta.Pause(spin)
 			continue
 		}
-		if !lk.owner.CompareAndSwap(o, t) {
+		if !lk.owner.CAS(oref, self) {
 			meta.Pause(spin)
 			continue
 		}
@@ -328,6 +437,7 @@ func (t *Txn) appendUndo(v *meta.Var, lk *ulLock) {
 }
 
 // killReaders aborts visible readers that conflict with a write to lk.
+// Stale slot registrations (past lives) are skipped.
 func (t *Txn) killReaders(lk *ulLock) {
 	if !t.eng.visible {
 		return
@@ -336,12 +446,19 @@ func (t *Txn) killReaders(lk *ulLock) {
 	if arr == nil {
 		return
 	}
+	self := t.ref()
+	myAge := t.age.Load()
 	for i := range arr.Slots {
-		r := arr.Slots[i].Load()
-		if r == nil || r == t || r.status.Load().Final() {
+		ref := arr.Slots[i].Load()
+		if !ref.IsTxn() || ref == self {
 			continue
 		}
-		if t.eng.ordered && r.age < t.age {
+		r := t.eng.at(ref)
+		life := r.status.LoadLife()
+		if !ref.SameLife(life) || life.Status().Final() {
+			continue
+		}
+		if t.eng.ordered && r.age.Load() < myAge {
 			continue // its read serializes before us under ACO
 		}
 		r.doom(meta.CauseKilledReader)
@@ -368,7 +485,7 @@ func (t *Txn) ReadSetValid() bool {
 // all of that only at the transaction's commit turn.
 func (t *Txn) TryCommit() bool {
 	if t.eng.ordered {
-		if !t.eng.cfg.Order.WaitTurn(t.age, t.Doomed) {
+		if !t.eng.cfg.Order.WaitTurn(t.age.Load(), t.Doomed) {
 			t.rollback()
 			return false
 		}
@@ -378,23 +495,24 @@ func (t *Txn) TryCommit() bool {
 		return false
 	}
 	if !t.eng.visible {
+		self := t.ref()
 		for i := range t.reads {
 			e := &t.reads[i]
-			if e.lock.version.Load() != e.ver || (e.lock.owner.Load() != e.owner && e.lock.owner.Load() != t) {
+			if e.lock.version.Load() != e.ver || (e.lock.owner.Load() != e.owner && e.lock.owner.Load() != self) {
 				if t.eng.ordered {
 					// Age-based contention policy at commit: any live
 					// higher-age writer squatting on our read-set can
 					// never commit before us (the order forbids it), so
 					// it must be doomed or our turn never validates.
+					myAge := t.age.Load()
 					for j := range t.reads {
-						o := t.reads[j].lock.owner.Load()
-						if o != nil && o != t && o.age > t.age &&
-							o.status.Load() == meta.StatusActive {
+						o := t.eng.holder(t.reads[j].lock.owner.Load())
+						if o != nil && o != t && o.age.Load() > myAge {
 							o.doom(meta.CauseRAW)
 						}
 					}
 				}
-				t.eng.cfg.Stats.Abort(meta.CauseValidation)
+				t.cell.Abort(meta.CauseValidation)
 				t.doomed.Store(true)
 				t.rollback()
 				return false
@@ -406,7 +524,7 @@ func (t *Txn) TryCommit() bool {
 	}
 	t.status.Store(meta.StatusCommitted)
 	if t.eng.ordered {
-		t.eng.cfg.Order.Complete(t.age)
+		t.eng.cfg.Order.Complete(t.age.Load())
 	}
 	return true
 }
@@ -414,24 +532,27 @@ func (t *Txn) TryCommit() bool {
 // Commit implements meta.Txn.
 func (t *Txn) Commit() bool { return true }
 
-// Cleanup implements meta.Txn: clear stale back-references.
+// Cleanup implements meta.Txn: clear stale back-references. Backing
+// arrays are kept for the descriptor's next life.
 func (t *Txn) Cleanup() {
-	for _, r := range t.readRefs {
-		r.arr.Slots[r.idx].CompareAndSwap(t, nil)
+	self := t.ref()
+	for i := range t.readRefs {
+		rr := &t.readRefs[i]
+		rr.arr.Slots[rr.idx].CAS(self, meta.RefNil)
 	}
 	for i := range t.writes {
-		t.writes[i].lock.owner.CompareAndSwap(t, nil)
+		t.writes[i].lock.owner.CAS(self, meta.RefNil)
 	}
-	t.readRefs = nil
-	t.reads = nil
-	t.writes = nil
+	t.readRefs = t.readRefs[:0]
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
 }
 
 // AbandonAttempt implements meta.Txn: victim-performed rollback.
 func (t *Txn) AbandonAttempt() {
 	if !t.status.Load().Final() {
 		if t.doomed.CompareAndSwap(false, true) {
-			t.eng.cfg.Stats.Abort(meta.CauseNone)
+			t.cell.Abort(meta.CauseNone)
 		}
 		t.rollback()
 	}

@@ -43,6 +43,12 @@ type Config struct {
 	// for reasons it cannot attribute to staleness, instead of
 	// reporting a Fault (default false).
 	RetryUnknownPanics bool
+	// FreshDescriptors disables descriptor recycling: every attempt
+	// gets a brand-new descriptor even when the engine supports
+	// generation-stamped freelists (default false — recycle). An
+	// escape hatch for debugging and for A/B-ing the allocation
+	// behavior; committed results are identical either way.
+	FreshDescriptors bool
 
 	// The remaining fields only apply to Pipeline (the streaming
 	// front-end); Executor.Run ignores them.

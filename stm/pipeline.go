@@ -38,8 +38,9 @@ import (
 // in every mode; waiters parked on the order are cancelled). Submit
 // and Close report the fault afterwards.
 //
-// Submit may be called from any number of goroutines. Close is
-// idempotent. A Pipeline must be Closed to release its workers.
+// Submit and SubmitBatch may be called from any number of goroutines.
+// Close is idempotent. A Pipeline must be Closed to release its
+// workers.
 type Pipeline struct {
 	cfg   Config
 	eng   meta.Engine
@@ -147,14 +148,63 @@ func (p *Pipeline) Submit(body Body) (*Ticket, error) {
 		}
 		s.cond.Wait() // backpressure: wait for the commit frontier
 	}
-	age := s.submitted
-	t := &Ticket{age: age, done: make(chan struct{})}
-	s.entries[age&s.emask] = pipeEntry{age: age, body: body}
-	s.tickets[age] = t
-	s.submitted++
+	t := s.post(body)
 	s.cond.Broadcast() // wake claim-blocked workers
 	s.mu.Unlock()
 	return t, nil
+}
+
+// SubmitBatch submits the bodies as consecutive ages of the stream,
+// taking the stream lock once for the whole batch instead of once per
+// transaction — the batched producer path for high-throughput feeders
+// (and the shard router, which otherwise serializes every submission
+// through the global sequencer twice). Backpressure applies inside the
+// batch: once Capacity submissions are in flight, the call blocks
+// until the commit frontier advances, exactly as consecutive Submit
+// calls would.
+//
+// It returns one Ticket per accepted body, in order. On a fault or
+// after Close, submission stops at the first rejected body: the
+// returned slice holds the tickets of the bodies accepted before it
+// (they remain valid and resolve normally) and the error reports why
+// the rest were refused.
+func (p *Pipeline) SubmitBatch(bodies []Body) ([]*Ticket, error) {
+	for _, b := range bodies {
+		if b == nil {
+			return nil, errors.New("stm: nil body")
+		}
+	}
+	if len(bodies) == 0 {
+		return nil, nil
+	}
+	out := make([]*Ticket, 0, len(bodies))
+	s := p.s
+	s.mu.Lock()
+	for _, body := range bodies {
+		for {
+			if s.fault != nil {
+				f := s.fault
+				s.mu.Unlock()
+				return out, &Stopped{Fault: f}
+			}
+			if s.closed {
+				s.mu.Unlock()
+				return out, ErrClosed
+			}
+			if s.submitted-(s.base+s.ncommitted) < uint64(s.capacity) {
+				break
+			}
+			// Publish what the batch posted so far before parking:
+			// workers drain those ages, commits advance the frontier,
+			// and the broadcast from committed() wakes us again.
+			s.cond.Broadcast()
+			s.cond.Wait()
+		}
+		out = append(out, s.post(body))
+	}
+	s.cond.Broadcast() // wake claim-blocked workers
+	s.mu.Unlock()
+	return out, nil
 }
 
 // Drain blocks until every transaction submitted before the call has
@@ -292,13 +342,24 @@ func (p *Pipeline) janitor() {
 // pipeEntry is one slot of the submission ring. A slot only needs to
 // survive until its age is claimed (claims are in age order, so a
 // slot is always consumed before the backpressure window lets it be
-// overwritten); tickets live in the age-keyed map instead, because
-// unordered engines — and STMLite's concurrent write-backs — report
-// commits out of age order, which can recycle a slot while an older
-// age's ticket is still unresolved.
+// overwritten).
 type pipeEntry struct {
 	age  uint64
 	body Body
+}
+
+// tslot is one slot of the ticket ring. Unlike submission slots,
+// ticket slots live until the age *commits*, and unordered engines —
+// and STMLite's concurrent write-backs — report commits out of age
+// order, so an age can wrap around to a slot whose older ticket is
+// still unresolved; such tickets overflow into the age-keyed map. For
+// in-order engines the overflow never happens (in-flight ages span
+// less than the capacity-sized ring), so the steady-state path is an
+// age-tagged array slot instead of a map insert+delete per
+// transaction.
+type tslot struct {
+	age uint64
+	t   *Ticket
 }
 
 // stream implements feed for the pipeline: a bounded ring of
@@ -312,7 +373,8 @@ type stream struct {
 
 	entries []pipeEntry
 	emask   uint64
-	tickets map[uint64]*Ticket // in-flight ages; bounded by capacity
+	tslots  []tslot            // ticket ring; same geometry as entries
+	tickets map[uint64]*Ticket // overflow for out-of-order commit skew
 
 	base       uint64 // first age of the stream
 	capacity   int
@@ -337,7 +399,8 @@ func newStream(cfg Config) *stream {
 	s := &stream{
 		entries:   make([]pipeEntry, size),
 		emask:     size - 1,
-		tickets:   make(map[uint64]*Ticket, cfg.Capacity),
+		tslots:    make([]tslot, size),
+		tickets:   make(map[uint64]*Ticket),
 		base:      cfg.FirstAge,
 		capacity:  cfg.Capacity,
 		submitted: cfg.FirstAge,
@@ -346,6 +409,22 @@ func newStream(cfg Config) *stream {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// post assigns the next age to body and registers its ticket. Called
+// with mu held and room available.
+func (s *stream) post(body Body) *Ticket {
+	age := s.submitted
+	t := &Ticket{age: age, done: make(chan struct{})}
+	s.entries[age&s.emask] = pipeEntry{age: age, body: body}
+	sl := &s.tslots[age&s.emask]
+	if sl.t == nil {
+		sl.age, sl.t = age, t
+	} else {
+		s.tickets[age] = t // ring slot still held by an unresolved age
+	}
+	s.submitted++
+	return t
 }
 
 // claim implements feed: hand out submitted ages in order, blocking
@@ -374,7 +453,11 @@ func (s *stream) claim(stop func() bool) (uint64, Body, bool) {
 // at epoch boundaries.
 func (s *stream) committed(age uint64) {
 	s.mu.Lock()
-	if t, ok := s.tickets[age]; ok {
+	if sl := &s.tslots[age&s.emask]; sl.t != nil && sl.age == age {
+		t := sl.t
+		sl.t = nil
+		t.resolve(nil)
+	} else if t, ok := s.tickets[age]; ok {
 		delete(s.tickets, age)
 		t.resolve(nil)
 	}
@@ -408,8 +491,7 @@ func (s *stream) halted(f *Fault) {
 // age with the fault itself, everything else with a *Stopped error.
 // Called with mu held.
 func (s *stream) resolveOutstanding(f *Fault) {
-	for age, t := range s.tickets {
-		delete(s.tickets, age)
+	fail := func(age uint64, t *Ticket) {
 		switch {
 		case f != nil && age == f.Age:
 			t.resolve(f)
@@ -418,6 +500,17 @@ func (s *stream) resolveOutstanding(f *Fault) {
 		default:
 			t.resolve(ErrClosed)
 		}
+	}
+	for i := range s.tslots {
+		if sl := &s.tslots[i]; sl.t != nil {
+			t := sl.t
+			sl.t = nil
+			fail(sl.age, t)
+		}
+	}
+	for age, t := range s.tickets {
+		delete(s.tickets, age)
+		fail(age, t)
 	}
 }
 

@@ -1,7 +1,6 @@
 package stm
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -18,6 +17,12 @@ import (
 // that get too far ahead of the commit frontier — with two batch-era
 // assumptions removed: the loop has no fixed transaction count, and
 // every age carries its own Body.
+//
+// The steady-state path is allocation-free: each loop goroutine owns a
+// wctx bundling a descriptor pool (meta.TxnPool — recycled descriptors
+// with generation stamps) and a padded stats cell, and the commit ring
+// embeds its cells in place (a seq-stamped slot per age instead of a
+// freshly allocated exposedCell per expose).
 
 // feed supplies work to the shared run-loop and observes its progress.
 // batchFeed (executor.go) serves a fixed count of one shared body;
@@ -40,15 +45,39 @@ type feed interface {
 	halted(f *Fault)
 }
 
-// exposedCell holds one exposed transaction in the commit ring; the
-// age tag detects slot reuse. The body rides along so the validator
-// can re-execute a reachable failure without assuming every age runs
-// the same code.
-type exposedCell struct {
-	age  uint64
-	txn  meta.Txn
-	body Body
+// ringSlot holds one exposed transaction in the commit ring, embedded
+// in place. stamp is age+1 while the slot is full (0 empty/consumed);
+// it is the only synchronization between the exposing worker and the
+// validator: the worker writes txn/body before storing the stamp, the
+// validator reads them only after loading a matching stamp, and clears
+// the slot before advancing the commit frontier — the frontier advance
+// is what lets a later age's worker write the slot again, so the
+// plain-field accesses never overlap. The body rides along so the
+// validator can re-execute a reachable failure without assuming every
+// age runs the same code.
+type ringSlot struct {
+	stamp atomic.Uint64
+	txn   meta.Txn
+	body  Body
 }
+
+// wctx is one loop goroutine's execution context: its descriptor
+// source and its stats cell. Pools and cells are not shared across
+// goroutines (that is the point); descriptors themselves circulate
+// freely — the validator retires attempts that workers allocated, and
+// the engine-side depot rebalances the freelists.
+type wctx struct {
+	src  meta.TxnPool
+	cell *meta.StatsCell
+}
+
+// freshSource is the no-recycling descriptor source: one fresh
+// descriptor per attempt (engines without pool support, and the
+// Config.FreshDescriptors escape hatch).
+type freshSource struct{ eng meta.Engine }
+
+func (f freshSource) NewTxn(age uint64) meta.Txn { return f.eng.NewTxn(age) }
+func (f freshSource) Retire(meta.Txn)            {}
 
 // loop is the engine-driving state shared by one batch run or one
 // pipeline. The commit ring covers the in-flight window only, so its
@@ -63,7 +92,8 @@ type loop struct {
 	base    uint64 // first age of the stream (Config.FirstAge; 0 for batch)
 	workers int
 
-	ring    []atomic.Pointer[exposedCell]
+	stopf   func() bool // hoisted l.stop closure (avoids per-call method-value allocs)
+	ring    []ringSlot
 	mask    uint64
 	vtok    atomic.Bool
 	gate    atomic.Bool
@@ -93,6 +123,7 @@ func newLoop(cfg Config, eng meta.Engine, order *meta.Order, stats *meta.Stats, 
 		workers: workers,
 		kick:    make(chan struct{}, 1),
 	}
+	l.stopf = l.stop
 	if l.mode == meta.ModeCooperative {
 		size := uint64(1)
 		for size < 4*span {
@@ -105,13 +136,26 @@ func newLoop(cfg Config, eng meta.Engine, order *meta.Order, stats *meta.Stats, 
 			}
 			size = rounded
 		}
-		l.ring = make([]atomic.Pointer[exposedCell], size)
+		l.ring = make([]ringSlot, size)
 		l.mask = size - 1
 	}
 	return l
 }
 
 func (l *loop) stop() bool { return l.stopped.Load() }
+
+// newCtx builds the per-goroutine execution context: a recycling
+// descriptor pool when the engine supports one (and the configuration
+// does not opt out), plus a fresh stats cell.
+func (l *loop) newCtx() *wctx {
+	w := &wctx{cell: l.stats.NewCell()}
+	if pe, ok := l.eng.(meta.PoolEngine); ok && !l.cfg.FreshDescriptors {
+		w.src = pe.NewPool()
+	} else {
+		w.src = freshSource{eng: l.eng}
+	}
+	return w
+}
 
 // fail records the first fault, stops the loop, and wakes everything
 // that could be waiting: order waiters (including blocked engines
@@ -155,69 +199,74 @@ func (l *loop) spawnWorkers(wg *sync.WaitGroup) {
 // here. Parking then would strand the frontier forever (every later
 // commit needs this one first), so re-poll until the token frees up.
 func (l *loop) validatorLoop(drained func() bool) {
+	w := l.newCtx()
+	spin := 0
 	for !l.stop() && !drained() {
-		l.validate()
+		l.validate(w)
 		if l.stop() || drained() {
 			return
 		}
 		if l.committable() {
-			runtime.Gosched() // token contended; retry, yielding the CPU
+			spin++
+			meta.Pause(spin + 3) // token contended; retry, yielding the CPU
 			continue
 		}
+		spin = 0
 		<-l.kick
 	}
 }
 
 // committable reports whether the age at the commit frontier is
 // exposed in the ring (the validator has work). Exposes store the
-// cell before kicking, so a false result here followed by a park on
-// the kick channel cannot miss work: any later expose leaves either
-// the cell (seen by the next poll) or a kick token (unparking us).
+// stamp after the fields and kick afterwards, so a false result here
+// followed by a park on the kick channel cannot miss work: any later
+// expose leaves either the stamp (seen by the next poll) or a kick
+// token (unparking us).
 func (l *loop) committable() bool {
 	if l.mask == 0 {
 		return false
 	}
 	next := l.order.Committed()
-	cell := l.ring[next&l.mask].Load()
-	return cell != nil && cell.age == next
+	return l.ring[next&l.mask].stamp.Load() == next+1
 }
 
 // worker is Algorithm 5's per-thread loop.
 func (l *loop) worker() {
 	defer l.kickMain() // wake the validator loop on exit
+	w := l.newCtx()
 	window := uint64(l.cfg.Window)
 	for !l.stop() {
-		age, body, ok := l.feed.claim(l.stop)
+		age, body, ok := l.feed.claim(l.stopf)
 		if !ok {
 			return
 		}
 		if l.mode == meta.ModeCooperative && age >= l.base+window {
 			// Throttle: stay within the run-ahead window of the commit
 			// frontier (Algorithm 5 lines 18–24).
-			l.order.WaitReachable(age-window, l.stop)
+			l.order.WaitReachable(age-window, l.stopf)
 		}
-		if !l.runOne(age, body) {
+		if !l.runOne(w, age, body) {
 			return
 		}
 		if l.mode == meta.ModeCooperative {
-			l.validate() // flat combining: opportunistically take the role
+			l.validate(w) // flat combining: opportunistically take the role
 		}
 	}
 }
 
 // runOne drives one age to its exposed (cooperative) or committed
-// (other modes) state, retrying aborted attempts with fresh
+// (other modes) state, retrying aborted attempts with recycled
 // descriptors. Returns false if the loop stopped.
-func (l *loop) runOne(age uint64, body Body) bool {
+func (l *loop) runOne(w *wctx, age uint64, body Body) bool {
 	for attempt := 0; ; attempt++ {
 		if l.stop() {
 			return false
 		}
-		for l.gate.Load() && !l.stop() {
-			runtime.Gosched() // validator quiesce in progress
+		for spin := 0; l.gate.Load() && !l.stop(); spin++ {
+			meta.Pause(spin) // validator quiesce in progress
 		}
 		if attempt > 0 {
-			l.stats.Retry()
+			w.cell.Retry()
 			// Algorithm 5 line 18: a transaction aborted more than
 			// LIMIT times waits for the commit frontier to close in
 			// (first to a small gap, then all the way to
@@ -233,29 +282,33 @@ func (l *loop) runOne(age uint64, body Body) bool {
 				// the commit frontier: grants are in age order anyway,
 				// and retrying far from the frontier just feeds the
 				// signature false-conflict loop.
-				l.order.WaitReachable(age, l.stop)
+				l.order.WaitReachable(age, l.stopf)
 			case attempt >= 6:
-				l.order.WaitReachable(age, l.stop)
+				l.order.WaitReachable(age, l.stopf)
 			case attempt >= 3:
 				gap := uint64(2 * l.workers)
 				if age > l.base+gap {
-					l.order.WaitReachable(age-gap, l.stop)
+					l.order.WaitReachable(age-gap, l.stopf)
 				}
 			}
 		}
-		txn := l.eng.NewTxn(age)
-		if !l.sandbox(txn, body) {
+		txn := w.src.NewTxn(age)
+		if !l.sandbox(w, txn, body) {
 			continue
 		}
 		if !txn.TryCommit() {
+			w.src.Retire(txn)
 			continue
 		}
 		if l.mode == meta.ModeCooperative {
-			l.ring[age&l.mask].Store(&exposedCell{age: age, txn: txn, body: body})
+			slot := &l.ring[age&l.mask]
+			slot.txn, slot.body = txn, body
+			slot.stamp.Store(age + 1)
 			l.kickMain()
 		} else {
-			l.stats.Commit()
+			w.cell.Commit()
 			l.feed.committed(age)
+			w.src.Retire(txn)
 		}
 		return true
 	}
@@ -263,29 +316,37 @@ func (l *loop) runOne(age uint64, body Body) bool {
 
 // sandbox runs the body, containing speculative faults: an abort
 // signal or a doomed/invalid snapshot leads to a retry; anything else
-// is a genuine fault and stops the loop.
-func (l *loop) sandbox(txn meta.Txn, body Body) (ok bool) {
-	l.stats.Start()
+// is a genuine fault and stops the loop. Abandoned attempts are
+// retired into the calling goroutine's pool.
+func (l *loop) sandbox(w *wctx, txn meta.Txn, body Body) (ok bool) {
+	w.cell.Start()
 	defer func() {
 		rec := recover()
 		if rec == nil {
 			return
 		}
 		ok = false
+		// Classify before abandoning: AbandonAttempt dooms the attempt,
+		// so the Doomed probe must see the pre-abandon state.
 		if _, isAbort := meta.AbortCause(rec); isAbort || txn.Doomed() {
 			txn.AbandonAttempt()
+			w.src.Retire(txn)
 			return
 		}
 		if rv, can := txn.(meta.Revalidator); can && !rv.ReadSetValid() {
 			txn.AbandonAttempt()
+			w.src.Retire(txn)
 			return
 		}
 		if l.cfg.RetryUnknownPanics {
 			txn.AbandonAttempt()
+			w.src.Retire(txn)
 			return
 		}
 		txn.AbandonAttempt()
-		l.fail(&Fault{Age: txn.Age(), Value: rec})
+		fault := &Fault{Age: txn.Age(), Value: rec}
+		w.src.Retire(txn)
+		l.fail(fault)
 	}()
 	body(txn, int(txn.Age()))
 	return true
@@ -296,32 +357,37 @@ func (l *loop) sandbox(txn meta.Txn, body Body) (ok bool) {
 // order; a commit-pending transaction that fails its final validation
 // is re-executed inline — it is reachable, so the re-execution wins
 // every conflict and commits.
-func (l *loop) validate() {
+func (l *loop) validate(w *wctx) {
 	if !l.vtok.CompareAndSwap(false, true) {
 		return
 	}
 	defer l.vtok.Store(false)
 	for !l.stop() {
 		next := l.order.Committed()
-		cell := l.ring[next&l.mask].Load()
-		if cell == nil || cell.age != next {
+		slot := &l.ring[next&l.mask]
+		if slot.stamp.Load() != next+1 {
 			return // not exposed yet (or past the end of the stream)
 		}
-		if cell.txn.Commit() {
+		txn, body := slot.txn, slot.body
+		slot.txn, slot.body = nil, nil
+		slot.stamp.Store(0)
+		if txn.Commit() {
 			l.order.Complete(next)
-			l.stats.Commit()
-			cell.txn.Cleanup() // cleaner role
+			w.cell.Commit()
+			txn.Cleanup() // cleaner role
+			w.src.Retire(txn)
 			l.feed.committed(next)
 			continue
 		}
-		l.reexecute(next, cell.body)
+		w.src.Retire(txn) // the exposed attempt aborted; re-drive the age
+		l.reexecute(w, next, body)
 	}
 }
 
 // reexecute drives the reachable transaction at the given age to
 // commit, gating new exposes (quiesce) if higher-age transactions keep
 // invalidating it; see DESIGN.md §5.
-func (l *loop) reexecute(age uint64, body Body) {
+func (l *loop) reexecute(w *wctx, age uint64, body Body) {
 	gated := false
 	defer func() {
 		if gated {
@@ -332,23 +398,25 @@ func (l *loop) reexecute(age uint64, body Body) {
 		if attempt >= l.cfg.QuiesceAfter && !gated {
 			gated = true
 			l.gate.Store(true)
-			l.stats.Quiesce()
+			w.cell.Quiesce()
 		}
-		l.stats.Retry()
-		txn := l.eng.NewTxn(age)
-		if !l.sandbox(txn, body) {
+		w.cell.Retry()
+		txn := w.src.NewTxn(age)
+		if !l.sandbox(w, txn, body) {
 			continue
 		}
 		if !txn.TryCommit() {
+			w.src.Retire(txn)
 			continue
 		}
 		if txn.Commit() {
-			l.ring[age&l.mask].Store(&exposedCell{age: age, txn: txn, body: body})
 			l.order.Complete(age)
-			l.stats.Commit()
+			w.cell.Commit()
 			txn.Cleanup()
+			w.src.Retire(txn)
 			l.feed.committed(age)
 			return
 		}
+		w.src.Retire(txn)
 	}
 }

@@ -27,6 +27,21 @@ func (e *seqEngine) NewTxn(age uint64) meta.Txn {
 	return &seqTxn{age: age, order: e.cfg.Order}
 }
 
+// NewPool implements meta.PoolEngine: the single sequential worker can
+// reuse one descriptor forever (nothing is ever shared or retained).
+func (e *seqEngine) NewPool() meta.TxnPool {
+	return &seqPool{t: &seqTxn{order: e.cfg.Order}}
+}
+
+type seqPool struct{ t *seqTxn }
+
+func (p *seqPool) NewTxn(age uint64) meta.Txn {
+	p.t.age = age
+	return p.t
+}
+
+func (p *seqPool) Retire(meta.Txn) {}
+
 type seqTxn struct {
 	age   uint64
 	order *meta.Order

@@ -155,6 +155,117 @@ func (sp *ShardedPipeline) Submit(access stm.Access, body stm.Body) (*Ticket, er
 	return sp.submitCross(g, involved, body)
 }
 
+// Request pairs a declared access set with a transaction body for
+// batched submission.
+type Request struct {
+	Access stm.Access
+	Body   stm.Body
+}
+
+// SubmitBatch submits the requests as consecutive global ages, taking
+// the router's sequencer lock once for the whole batch. Single-shard
+// runs are forwarded to their shard's Pipeline.SubmitBatch (one
+// per-shard stream lock per run instead of one per transaction);
+// cross-shard requests flush the pending runs of their involved shards
+// first, so every shard still receives its slice of the global age
+// sequence in order — the invariant the determinism argument rests on.
+//
+// It returns one Ticket per request. On a fault or after Close the
+// batch stops early: accepted requests keep their (valid) tickets,
+// refused positions are nil, and the error reports why. Backpressure
+// applies inside the batch exactly as for consecutive Submits.
+func (sp *ShardedPipeline) SubmitBatch(reqs []Request) ([]*Ticket, error) {
+	parts := make([][]int, len(reqs))
+	for i := range reqs {
+		if reqs[i].Body == nil {
+			return nil, errors.New("shard: nil body")
+		}
+		p, err := sp.partitions(reqs[i].Access)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = p
+	}
+	out := make([]*Ticket, len(reqs))
+	pend := make([][]stm.Body, sp.shards) // per-shard run of wrapped bodies
+	pendIdx := make([][]int, sp.shards)   // request index per pending body
+	pendAge := make([][]uint64, sp.shards)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	flush := func(s int) error {
+		if len(pend[s]) == 0 {
+			return nil
+		}
+		lts, err := sp.pipes[s].SubmitBatch(pend[s])
+		for k := range lts {
+			idx := pendIdx[s][k]
+			out[idx] = &Ticket{g: pendAge[s][k], sp: sp, local: lts[k]}
+		}
+		pend[s], pendIdx[s], pendAge[s] = pend[s][:0], pendIdx[s][:0], pendAge[s][:0]
+		return err
+	}
+	flushAll := func() error {
+		var first error
+		for s := 0; s < sp.shards; s++ {
+			if err := flush(s); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	// batchErr rewrites a shard-local refusal into the global
+	// vocabulary without a specific faulting age.
+	batchErr := func(err error) error {
+		if f := sp.fault.Load(); f != nil {
+			return &stm.Stopped{Fault: f}
+		}
+		return err
+	}
+	for i := range reqs {
+		if f := sp.fault.Load(); f != nil {
+			flushAll()
+			return out, &stm.Stopped{Fault: f}
+		}
+		if sp.closed {
+			flushAll()
+			return out, stm.ErrClosed
+		}
+		g := sp.nextG
+		sp.nextG++
+		if len(parts[i]) == 1 {
+			s := parts[i][0]
+			body := reqs[i].Body
+			wrapped := func(tx stm.Tx, _ int) {
+				defer sp.guard(g, tx)
+				body(&checkedTx{tx: tx, shards: sp.shards, shard: s, g: g}, int(g))
+			}
+			pend[s] = append(pend[s], wrapped)
+			pendIdx[s] = append(pendIdx[s], i)
+			pendAge[s] = append(pendAge[s], g)
+			continue
+		}
+		// Cross-shard: its fences must reach every involved shard after
+		// the locals already assigned lower global ages there.
+		for _, s := range parts[i] {
+			if err := flush(s); err != nil {
+				flushAll()
+				return out, batchErr(err)
+			}
+		}
+		sp.ncross++
+		t, err := sp.submitCross(g, parts[i], reqs[i].Body)
+		if err != nil {
+			flushAll()
+			return out, batchErr(err)
+		}
+		out[i] = t
+	}
+	if err := flushAll(); err != nil {
+		return out, batchErr(err)
+	}
+	return out, nil
+}
+
 // partitions resolves an access declaration to the ascending list of
 // involved shards. An empty declaration is ordered on (and confined
 // to) partition 0.
