@@ -47,6 +47,7 @@ import (
 	"github.com/orderedstm/ostm/internal/rng"
 	"github.com/orderedstm/ostm/stm"
 	"github.com/orderedstm/ostm/stm/shard"
+	"github.com/orderedstm/ostm/stm/wal"
 )
 
 // waiter is the common ticket surface of both front-ends.
@@ -65,6 +66,8 @@ type txnState struct {
 	extra    []int // indices folded in as extra reads
 	body     stm.Body
 	vars     []*stm.Var // declared access set (sharded mode)
+	pl       txnPayload // reusable durable payload (wal mode)
+	wire     []byte     // recycled encode buffer (wal mode)
 }
 
 func newTxnState(accounts []stm.Var, ops int) *txnState {
@@ -87,8 +90,9 @@ func newTxnState(accounts []stm.Var, ops int) *txnState {
 // scratch is one client's reusable batch-submission buffers, so the
 // batched path allocates no harness slices per round either.
 type scratch struct {
-	bodies []stm.Body
-	reqs   []shard.Request
+	bodies   []stm.Body
+	reqs     []shard.Request
+	payloads []any
 }
 
 // fillExtra rewrites the extra-read indices: ops-2 neighbors of
@@ -103,6 +107,30 @@ func (st *txnState) fillExtra(fi, ops, n int, idx []int) {
 			st.extra = append(st.extra, idx[(fi+k)%n])
 		}
 	}
+}
+
+// payload rewrites the durable submission payload from the current
+// indices. The struct and its index scratch are reused across rounds
+// (Encode runs synchronously inside SubmitPayload, and the state is
+// only rewritten after the previous submission resolved), so durable
+// submission allocates just the wire bytes and the decoded body.
+func (st *txnState) payload() *txnPayload {
+	st.pl.op, st.pl.from, st.pl.to = opTransfer, uint32(st.from), uint32(st.to)
+	st.pl.extra = st.pl.extra[:0]
+	for _, e := range st.extra {
+		st.pl.extra = append(st.pl.extra, uint32(e))
+	}
+	return &st.pl
+}
+
+// encodeWire frames the current indices into the state's recycled
+// buffer for SubmitEncoded: the pipeline releases the bytes when the
+// ticket resolves, and this closed-loop client reuses a state only
+// after its previous submission resolved, so the durable submit path
+// allocates nothing beyond the decoded body.
+func (st *txnState) encodeWire() []byte {
+	st.wire = appendTransfer(st.wire[:0], *st.payload())
+	return st.wire
 }
 
 // declare rewrites the access declaration from the current indices.
@@ -130,6 +158,10 @@ func main() {
 		fresh    = flag.Bool("fresh", false, "disable descriptor recycling (one fresh descriptor per attempt)")
 		shardsF  = flag.Int("shards", 0, "partitions for sharded execution (0 = unsharded stm.Pipeline)")
 		crossF   = flag.Float64("cross", 0, "fraction of transactions spanning two shards (sharded mode)")
+		walDir   = flag.String("wal", "", "write-ahead log directory (durable mode; empty = no WAL)")
+		syncF    = flag.String("sync", "none", "WAL sync policy: none | N (fsync every N commits) | duration (fsync interval)")
+		waitDur  = flag.Bool("waitdurable", false, "resolve tickets only once their age is durable (requires -wal)")
+		recoverF = flag.Bool("recover", false, "recover the -wal log: truncate torn tail, replay, verify against the sequential oracle, report")
 		jsonF    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		memEvery = flag.Int("memevery", 8, "heap samples across the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -140,8 +172,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *recoverF {
+		if *walDir == "" {
+			fatal(fmt.Errorf("-recover requires -wal"))
+		}
+		runRecovery(*walDir, alg, *shardsF, *workers, *pool, *jsonF)
+		return
+	}
+	if *waitDur && *walDir == "" {
+		fatal(fmt.Errorf("-waitdurable requires -wal"))
+	}
 	if *batch < 1 {
 		*batch = 1
+	}
+	if *walDir != "" && *batch > 1 && *shardsF > 0 {
+		fatal(fmt.Errorf("-batch > 1 with -wal is unsupported in sharded mode"))
 	}
 	pcfg := stm.Config{
 		Algorithm:        alg,
@@ -155,6 +200,25 @@ func main() {
 	accounts := stm.NewVars(*pool)
 	for i := range accounts {
 		accounts[i].Store(1000)
+	}
+
+	// Durable mode: create the log up front; the selected front-end
+	// appends each committed age's payload and the run reports the
+	// durability columns below.
+	var walw *wal.Writer
+	if *walDir != "" {
+		opts, err := parseSyncPolicy(*syncF)
+		if err != nil {
+			fatal(err)
+		}
+		if *waitDur && opts.SyncEveryN == 0 && opts.SyncInterval == 0 {
+			// Policy "none" has no background sync points, so tickets
+			// deferred to durability would wait forever.
+			fatal(fmt.Errorf("-waitdurable requires a sync policy (-sync N or -sync duration, not none)"))
+		}
+		if walw, err = wal.Create(*walDir, 0, opts); err != nil {
+			fatal(err)
+		}
 	}
 
 	// prepare rewrites one txnState for the next submission; submitOne
@@ -173,6 +237,11 @@ func main() {
 	var effCapacity, effWindow int
 
 	if *shardsF == 0 {
+		if walw != nil {
+			pcfg.WAL = walw
+			pcfg.Codec = benchCodec{accounts: accounts}
+			pcfg.WaitDurable = *waitDur
+		}
 		p, err := stm.NewPipeline(pcfg)
 		if err != nil {
 			fatal(err)
@@ -181,13 +250,23 @@ func main() {
 			st.from, st.to = r.Intn(*pool), r.Intn(*pool)
 			st.fillExtra(st.from, *ops, *pool, nil)
 		}
-		submitOne = func(st *txnState) (waiter, error) { return p.Submit(st.body) }
+		if walw != nil {
+			submitOne = func(st *txnState) (waiter, error) { return p.SubmitEncoded(st.encodeWire()) }
+		} else {
+			submitOne = func(st *txnState) (waiter, error) { return p.Submit(st.body) }
+		}
 		warmup = func() {
-			tk, err := p.Submit(func(tx stm.Tx, _ int) {
-				for i := range accounts {
-					tx.Read(&accounts[i])
-				}
-			})
+			var tk *stm.Ticket
+			var err error
+			if walw != nil {
+				tk, err = p.SubmitPayload(txnPayload{op: opWarmAll})
+			} else {
+				tk, err = p.Submit(func(tx stm.Tx, _ int) {
+					for i := range accounts {
+						tx.Read(&accounts[i])
+					}
+				})
+			}
 			if err == nil {
 				err = tk.Wait()
 			}
@@ -196,11 +275,21 @@ func main() {
 			}
 		}
 		submitMany = func(sts []*txnState, ws []waiter, sc *scratch) ([]waiter, error) {
-			sc.bodies = sc.bodies[:0]
-			for _, st := range sts {
-				sc.bodies = append(sc.bodies, st.body)
+			var tks []*stm.Ticket
+			var err error
+			if walw != nil {
+				sc.payloads = sc.payloads[:0]
+				for _, st := range sts {
+					sc.payloads = append(sc.payloads, st.payload())
+				}
+				tks, err = p.SubmitPayloadBatch(sc.payloads)
+			} else {
+				sc.bodies = sc.bodies[:0]
+				for _, st := range sts {
+					sc.bodies = append(sc.bodies, st.body)
+				}
+				tks, err = p.SubmitBatch(sc.bodies)
 			}
-			tks, err := p.SubmitBatch(sc.bodies)
 			for _, tk := range tks {
 				ws = append(ws, tk)
 			}
@@ -217,15 +306,23 @@ func main() {
 		crossCount = func() uint64 { return 0 }
 		effCapacity, effWindow = p.Config().Capacity, p.Config().Window
 	} else {
-		sp, err := shard.New(shard.Config{Shards: *shardsF, Pipeline: pcfg})
-		if err != nil {
-			fatal(err)
-		}
-		// Partition-local account layout: bucket indices by owning shard.
+		// Partition-local account layout: bucket indices by owning
+		// shard (the stable mapping, computable before the router
+		// exists — the durable codec needs it at construction).
 		buckets := make([][]int, *shardsF)
 		for i := range accounts {
-			s := sp.ShardOf(&accounts[i])
+			s := shard.Of(&accounts[i], *shardsF)
 			buckets[s] = append(buckets[s], i)
+		}
+		scfg := shard.Config{Shards: *shardsF, Pipeline: pcfg}
+		if walw != nil {
+			scfg.WAL = walw
+			scfg.Codec = shardCodec{accounts: accounts, buckets: buckets}
+			scfg.WaitDurable = *waitDur
+		}
+		sp, err := shard.New(scfg)
+		if err != nil {
+			fatal(err)
 		}
 		for s, b := range buckets {
 			if len(b) < 2 {
@@ -251,21 +348,33 @@ func main() {
 			st.from, st.to = bk[fi], bk[r.Intn(len(bk))]
 			st.fillExtra(fi, *ops, len(bk), bk)
 		}
-		submitOne = func(st *txnState) (waiter, error) {
-			return sp.Submit(st.declare(), st.body)
+		if walw != nil {
+			submitOne = func(st *txnState) (waiter, error) {
+				return sp.SubmitEncoded(st.encodeWire())
+			}
+		} else {
+			submitOne = func(st *txnState) (waiter, error) {
+				return sp.Submit(st.declare(), st.body)
+			}
 		}
 		warmup = func() {
 			for s := range buckets {
-				bk := buckets[s]
-				vs := make([]*stm.Var, len(bk))
-				for i, idx := range bk {
-					vs[i] = &accounts[idx]
-				}
-				tk, err := sp.Submit(stm.Touches(vs...), func(tx stm.Tx, _ int) {
-					for _, v := range vs {
-						tx.Read(v)
+				var tk *shard.Ticket
+				var err error
+				if walw != nil {
+					tk, err = sp.SubmitPayload(txnPayload{op: opWarmShard, shard: uint16(s)})
+				} else {
+					bk := buckets[s]
+					vs := make([]*stm.Var, len(bk))
+					for i, idx := range bk {
+						vs[i] = &accounts[idx]
 					}
-				})
+					tk, err = sp.Submit(stm.Touches(vs...), func(tx stm.Tx, _ int) {
+						for _, v := range vs {
+							tx.Read(v)
+						}
+					})
+				}
 				if err == nil {
 					err = tk.Wait()
 				}
@@ -443,6 +552,17 @@ func main() {
 	if err := closeSvc(); err != nil {
 		fatal(err)
 	}
+	var durableTxns, fsyncs, walBytes uint64
+	var syncPolicy string
+	if walw != nil {
+		durableTxns = walw.Durable() // frontier == durable age count (warmup included)
+		fsyncs = walw.Fsyncs()
+		walBytes = walw.Bytes()
+		syncPolicy = walw.Policy()
+		if err := walw.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	sampleHeap(true)
 
 	all := make([]time.Duration, 0, *txns)
@@ -479,6 +599,11 @@ func main() {
 		BytesPerTx:  float64(m1.TotalAlloc-m0.TotalAlloc) / ntx,
 		GCPausesUS:  float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e3,
 		NumGC:       m1.NumGC - m0.NumGC,
+		WAL:         syncPolicy,
+		WaitDurable: *waitDur,
+		DurableTxns: durableTxns,
+		Fsyncs:      fsyncs,
+		WALBytes:    walBytes,
 		PerShard:    perShard(),
 		HeapBytes:   heapSamples,
 	}
@@ -512,6 +637,10 @@ func main() {
 	fmt.Printf("  aborts=%d retries=%d epochs=%d\n", rep.Aborts, rep.Retries, rep.Epochs)
 	fmt.Printf("  allocs/tx=%.2f bytes/tx=%.1f gc=%d pauses=%.0fµs\n",
 		rep.AllocsPerTx, rep.BytesPerTx, rep.NumGC, rep.GCPausesUS)
+	if rep.WAL != "" {
+		fmt.Printf("  wal: sync=%s waitdurable=%v durable=%d fsyncs=%d bytes=%d\n",
+			rep.WAL, rep.WaitDurable, rep.DurableTxns, rep.Fsyncs, rep.WALBytes)
+	}
 	for _, s := range rep.PerShard {
 		fmt.Printf("    shard %d: commits=%d aborts=%d retries=%d\n", s.Shard, s.Commits, s.Aborts, s.Retries)
 	}
@@ -555,6 +684,11 @@ type report struct {
 	BytesPerTx  float64            `json:"bytes_per_tx"`
 	GCPausesUS  float64            `json:"gc_pauses_us"`
 	NumGC       uint32             `json:"num_gc"`
+	WAL         string             `json:"wal,omitempty"` // sync policy when logging
+	WaitDurable bool               `json:"wait_durable,omitempty"`
+	DurableTxns uint64             `json:"durable_txns,omitempty"`
+	Fsyncs      uint64             `json:"fsyncs,omitempty"`
+	WALBytes    uint64             `json:"wal_bytes,omitempty"`
 	PerShard    []shardStats       `json:"per_shard,omitempty"`
 	HeapBytes   []uint64           `json:"heap_bytes"`
 }

@@ -176,6 +176,12 @@ func PanicAbort(c Cause) {
 	panic(abortSignal{cause: c})
 }
 
+// AbortSignal returns the panic payload PanicAbort would throw, for
+// coordinators that must hand an abort to another goroutine to
+// re-raise under its own sandbox (the cross-shard rendezvous killing a
+// round's surviving participants).
+func AbortSignal(c Cause) any { return abortSignal{cause: c} }
+
 // AbortCause reports whether a recovered panic value is an abort signal
 // and, if so, its cause.
 func AbortCause(r any) (Cause, bool) {

@@ -70,6 +70,32 @@ type Config struct {
 	// submits its next command with that slot as FirstAge instead of
 	// renumbering from zero.
 	FirstAge uint64
+
+	// WAL attaches a write-ahead log (stm/wal.Writer, or any
+	// DurableLog): as the commit frontier advances, the pipeline
+	// appends each committed age's encoded input payload to the log in
+	// age order. A WAL-backed pipeline only accepts submissions that
+	// carry a payload (SubmitPayload/SubmitEncoded); see Codec. When
+	// recovering, set FirstAge to the recovery's First() and replay
+	// the surviving records through SubmitEncoded before submitting
+	// new work — re-appends of recovered ages are no-ops.
+	WAL DurableLog
+	// Codec encodes durable submission payloads and decodes them back
+	// into bodies, both live and at recovery. Required when WAL is
+	// set.
+	Codec Codec
+	// WaitDurable defers ticket resolution until the transaction's age
+	// is durable (on stable storage), not merely committed in memory.
+	// With a sync policy of "none" that only happens at an explicit
+	// log Sync or at Close. Requires WAL.
+	WaitDurable bool
+	// OnCommit, when non-nil, is called for every age that reaches its
+	// final commit, in commit-report order (age order for every
+	// order-enforcing algorithm). It runs on the commit path with
+	// pipeline-internal locks held: it must be fast and must not call
+	// back into the pipeline. The sharded router uses it to track the
+	// global commit frontier across shards.
+	OnCommit func(age uint64)
 }
 
 func (c Config) withDefaults() Config {

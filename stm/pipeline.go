@@ -65,6 +65,18 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if cfg.Algorithm < Sequential || cfg.Algorithm >= numAlgorithms {
 		return nil, fmt.Errorf("stm: unknown algorithm %d", int(cfg.Algorithm))
 	}
+	if cfg.WAL != nil && !cfg.Algorithm.Ordered() {
+		// The log stores inputs keyed by age and recovery replays them
+		// in age order; an unordered engine serialized the original run
+		// in commit order, so replay could not reproduce its state.
+		return nil, fmt.Errorf("stm: %v does not enforce the predefined commit order; durable recovery requires an ordered algorithm", cfg.Algorithm)
+	}
+	if cfg.WAL != nil && cfg.Codec == nil {
+		return nil, errors.New("stm: Config.WAL requires Config.Codec (durable submissions are decoded payloads)")
+	}
+	if cfg.WaitDurable && cfg.WAL == nil {
+		return nil, errors.New("stm: Config.WaitDurable requires Config.WAL")
+	}
 	cfg = cfg.withDefaults()
 	stats := &meta.Stats{}
 	order := meta.NewOrderAt(cfg.FirstAge)
@@ -103,6 +115,11 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		jkick: make(chan struct{}, 1),
 	}
 	s.epochKick = p.jkick
+	if s.dur != nil {
+		// The log reports durability progress straight into the
+		// stream, which resolves WaitDurable tickets there.
+		s.dur.log.Notify(s.durableTo)
+	}
 	if svc, ok := eng.(meta.Service); ok {
 		svc.Start()
 	}
@@ -126,8 +143,55 @@ func (p *Pipeline) Config() Config { return p.cfg }
 // assigns the next age, blocks while Capacity submissions are already
 // in flight, and returns a Ticket resolving when that age commits.
 // After Close it returns ErrClosed; after a fault it returns the
-// *Stopped error.
+// *Stopped error. On a pipeline configured with a WAL, Submit returns
+// ErrPayloadRequired — use SubmitPayload or SubmitEncoded so the log
+// receives a replayable input.
 func (p *Pipeline) Submit(body Body) (*Ticket, error) {
+	if p.s.dur != nil {
+		return nil, ErrPayloadRequired
+	}
+	return p.submit(body, nil)
+}
+
+// SubmitPayload encodes payload through the configured Codec, decodes
+// it back into the body that will run (live execution and recovery
+// replay share the decoded path by construction), and submits it.
+// The encoded form is what the WAL stores once the age commits.
+func (p *Pipeline) SubmitPayload(payload any) (*Ticket, error) {
+	if p.cfg.Codec == nil {
+		return nil, errors.New("stm: SubmitPayload requires Config.Codec")
+	}
+	data, err := p.cfg.Codec.Encode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("stm: encode payload: %w", err)
+	}
+	return p.SubmitEncoded(data)
+}
+
+// SubmitEncoded submits a payload already in its wire form — the
+// recovery-replay entry point (wal.Recovery.Replay hands surviving
+// records here), also usable by feeders that hold pre-encoded inputs.
+//
+// The pipeline retains data only until the transaction commits (the
+// log copies it as the commit frontier passes); once the submission's
+// ticket has resolved, the caller may reuse the backing array. A
+// closed-loop producer can therefore run the durable submit path with
+// a recycled encode buffer instead of a fresh slice per transaction.
+func (p *Pipeline) SubmitEncoded(data []byte) (*Ticket, error) {
+	if p.cfg.Codec == nil {
+		return nil, errors.New("stm: SubmitEncoded requires Config.Codec")
+	}
+	body, err := p.cfg.Codec.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("stm: decode payload: %w", err)
+	}
+	return p.submit(body, data)
+}
+
+// submit is the shared submission core: backpressure, age assignment,
+// ticket registration, and (for durable pipelines) payload retention
+// until the commit frontier hands the age to the WAL.
+func (p *Pipeline) submit(body Body, payload []byte) (*Ticket, error) {
 	if body == nil {
 		return nil, errors.New("stm: nil body")
 	}
@@ -148,7 +212,7 @@ func (p *Pipeline) Submit(body Body) (*Ticket, error) {
 		}
 		s.cond.Wait() // backpressure: wait for the commit frontier
 	}
-	t := s.post(body)
+	t := s.post(body, payload)
 	s.cond.Broadcast() // wake claim-blocked workers
 	s.mu.Unlock()
 	return t, nil
@@ -169,6 +233,39 @@ func (p *Pipeline) Submit(body Body) (*Ticket, error) {
 // (they remain valid and resolve normally) and the error reports why
 // the rest were refused.
 func (p *Pipeline) SubmitBatch(bodies []Body) ([]*Ticket, error) {
+	if p.s.dur != nil {
+		return nil, ErrPayloadRequired
+	}
+	return p.submitBatch(bodies, nil)
+}
+
+// SubmitPayloadBatch is SubmitBatch for durable pipelines: each
+// payload is encoded, decoded into its body, and the batch submitted
+// as consecutive ages under one stream lock, with the same
+// partial-acceptance semantics as SubmitBatch.
+func (p *Pipeline) SubmitPayloadBatch(payloads []any) ([]*Ticket, error) {
+	if p.cfg.Codec == nil {
+		return nil, errors.New("stm: SubmitPayloadBatch requires Config.Codec")
+	}
+	bodies := make([]Body, len(payloads))
+	datas := make([][]byte, len(payloads))
+	for i, pl := range payloads {
+		data, err := p.cfg.Codec.Encode(pl)
+		if err != nil {
+			return nil, fmt.Errorf("stm: encode payload %d: %w", i, err)
+		}
+		body, err := p.cfg.Codec.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("stm: decode payload %d: %w", i, err)
+		}
+		bodies[i], datas[i] = body, data
+	}
+	return p.submitBatch(bodies, datas)
+}
+
+// submitBatch is the shared batched core; payloads is nil for
+// non-durable pipelines, else parallel to bodies.
+func (p *Pipeline) submitBatch(bodies []Body, payloads [][]byte) ([]*Ticket, error) {
 	for _, b := range bodies {
 		if b == nil {
 			return nil, errors.New("stm: nil body")
@@ -180,7 +277,7 @@ func (p *Pipeline) SubmitBatch(bodies []Body) ([]*Ticket, error) {
 	out := make([]*Ticket, 0, len(bodies))
 	s := p.s
 	s.mu.Lock()
-	for _, body := range bodies {
+	for i, body := range bodies {
 		for {
 			if s.fault != nil {
 				f := s.fault
@@ -200,7 +297,11 @@ func (p *Pipeline) SubmitBatch(bodies []Body) ([]*Ticket, error) {
 			s.cond.Broadcast()
 			s.cond.Wait()
 		}
-		out = append(out, s.post(body))
+		var data []byte
+		if payloads != nil {
+			data = payloads[i]
+		}
+		out = append(out, s.post(body, data))
 	}
 	s.cond.Broadcast() // wake claim-blocked workers
 	s.mu.Unlock()
@@ -243,6 +344,21 @@ func (p *Pipeline) Close() error {
 		}
 		close(p.jkick)
 		<-p.jdone
+		if d := p.s.dur; d != nil {
+			// Make the tail durable: everything the drain committed has
+			// been appended; one final sync closes the durability gap
+			// and (via the observer) resolves the WaitDurable tickets
+			// still deferred. The log stays open — its owner closes it.
+			err := d.log.Sync()
+			p.s.mu.Lock()
+			if err == nil {
+				err = d.err // an append failed earlier; the prefix is frozen
+			}
+			p.s.mu.Unlock()
+			if err != nil {
+				p.closeErr = &DurabilityError{Err: err}
+			}
+		}
 		p.s.settle()
 		if f := p.l.fault.Load(); f != nil {
 			p.closeErr = f
@@ -317,6 +433,16 @@ func (p *Pipeline) InFlight() int {
 	return int(s.submitted - (s.base + s.ncommitted))
 }
 
+// Durable returns the durability frontier: every age below it is on
+// stable storage and will survive a crash. Without a WAL it returns
+// zero.
+func (p *Pipeline) Durable() uint64 {
+	if p.s.dur == nil {
+		return 0
+	}
+	return p.s.dur.log.Durable()
+}
+
 // Epochs returns how many recycling epochs have completed.
 func (p *Pipeline) Epochs() uint64 {
 	s := p.s
@@ -362,6 +488,15 @@ type tslot struct {
 	t   *Ticket
 }
 
+// pslot is one slot of the durable payload ring; full distinguishes
+// an occupied slot from a consumed one (payloads may legitimately be
+// empty).
+type pslot struct {
+	age  uint64
+	p    []byte
+	full bool
+}
+
 // stream implements feed for the pipeline: a bounded ring of
 // submissions between the producer side (Submit/Drain/Close) and the
 // run-loop's workers. All state is guarded by mu; the single cond
@@ -389,6 +524,36 @@ type stream struct {
 	epochs     uint64
 	totals     meta.StatsView
 	epochKick  chan<- struct{}
+
+	onCommit func(age uint64) // Config.OnCommit, nil when unset
+	dur      *durState        // durability state, nil without a WAL
+}
+
+// durState is the stream's durability bookkeeping: payload retention
+// between submit and commit, the contiguous log frontier, and the
+// tickets deferred past commit by WaitDurable. All fields are guarded
+// by the stream mutex.
+type durState struct {
+	log  DurableLog
+	wait bool   // Config.WaitDurable
+	next uint64 // next age to hand to the log (contiguous frontier)
+	// pring retains each in-flight age's encoded payload until that
+	// age commits. Like the ticket ring, slots are age-tagged with a
+	// map escape: commit-order skew (unordered engines, STMLite's
+	// concurrent write-backs) lets backpressure admit age+size while
+	// an older age's payload still occupies the slot, so post evicts
+	// the occupant into overflow instead of clobbering it. In-order
+	// engines never overflow.
+	pring    []pslot
+	overflow map[uint64][]byte
+	// pend holds payloads of ages committed out of frontier order
+	// (only engines with commit-order skew put anything here; the
+	// log still receives a strictly contiguous sequence).
+	pend map[uint64][]byte
+	// waiting holds committed tickets whose age is not yet durable
+	// (WaitDurable); resolved by durableTo as sync points land.
+	waiting map[uint64]*Ticket
+	err     error // first log failure; the durable prefix is frozen
 }
 
 func newStream(cfg Config) *stream {
@@ -406,17 +571,39 @@ func newStream(cfg Config) *stream {
 		submitted: cfg.FirstAge,
 		claimed:   cfg.FirstAge,
 		epochAges: uint64(cfg.EpochAges),
+		onCommit:  cfg.OnCommit,
+	}
+	if cfg.WAL != nil {
+		s.dur = &durState{
+			log:      cfg.WAL,
+			wait:     cfg.WaitDurable,
+			next:     cfg.FirstAge,
+			pring:    make([]pslot, size),
+			overflow: make(map[uint64][]byte),
+			pend:     make(map[uint64][]byte),
+			waiting:  make(map[uint64]*Ticket),
+		}
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
 
-// post assigns the next age to body and registers its ticket. Called
-// with mu held and room available.
-func (s *stream) post(body Body) *Ticket {
+// post assigns the next age to body and registers its ticket (and,
+// on durable pipelines, retains the encoded payload until commit).
+// Called with mu held and room available.
+func (s *stream) post(body Body, payload []byte) *Ticket {
 	age := s.submitted
 	t := &Ticket{age: age, done: make(chan struct{})}
 	s.entries[age&s.emask] = pipeEntry{age: age, body: body}
+	if d := s.dur; d != nil {
+		sl := &d.pring[age&s.emask]
+		if sl.full {
+			// Commit-order skew: the previous tenant has not committed
+			// yet; keep its payload reachable by age.
+			d.overflow[sl.age] = sl.p
+		}
+		sl.age, sl.p, sl.full = age, payload, true
+	}
 	sl := &s.tslots[age&s.emask]
 	if sl.t == nil {
 		sl.age, sl.t = age, t
@@ -448,17 +635,47 @@ func (s *stream) claim(stop func() bool) (uint64, Body, bool) {
 	}
 }
 
-// committed implements feed: resolve the age's ticket, advance the
-// commit count (which releases backpressure), and signal the janitor
-// at epoch boundaries.
+// committed implements feed: hand the age to the durability layer,
+// resolve its ticket (immediately, or once durable under
+// WaitDurable), advance the commit count (which releases
+// backpressure), and signal the janitor at epoch boundaries.
 func (s *stream) committed(age uint64) {
 	s.mu.Lock()
+	var t *Ticket
 	if sl := &s.tslots[age&s.emask]; sl.t != nil && sl.age == age {
-		t := sl.t
+		t = sl.t
 		sl.t = nil
-		t.resolve(nil)
-	} else if t, ok := s.tickets[age]; ok {
+	} else if tk, ok := s.tickets[age]; ok {
 		delete(s.tickets, age)
+		t = tk
+	}
+	if s.onCommit != nil {
+		s.onCommit(age)
+	}
+	if d := s.dur; d != nil {
+		s.logAge(age)
+		// Only WaitDurable couples ticket resolution to the log: a
+		// plain durable pipeline acknowledges at commit — even after a
+		// log failure the transaction did commit, so its ticket stays
+		// nil (exactly as the sharded router behaves) and the failure
+		// reaches the caller through WaitDurable tickets and Close.
+		// (t is always nil after a fault: halted's sweep resolved
+		// every registered ticket under this same mutex.)
+		if t != nil && d.wait {
+			switch {
+			case d.err != nil:
+				// The log is dead: the transaction committed in
+				// memory, but the durability promise Wait is waiting
+				// on cannot be kept.
+				t.resolve(&DurabilityError{Err: d.err})
+				t = nil
+			case age >= d.log.Durable():
+				d.waiting[age] = t // resolved by durableTo at a sync point
+				t = nil
+			}
+		}
+	}
+	if t != nil {
 		t.resolve(nil)
 	}
 	s.ncommitted++
@@ -471,6 +688,76 @@ func (s *stream) committed(age uint64) {
 		}
 	}
 	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// logAge is the commit-frontier hook: it consumes the age's retained
+// payload and extends the write-ahead log's strictly contiguous
+// record sequence. Ordered engines report commits in age order, so
+// the append happens right here; an out-of-order commit (unordered
+// engines only) parks its payload until the frontier reaches it. An
+// age above a permanent gap — a racing commit that landed past a
+// fault — parks forever, which is exactly the prefix property the
+// log guarantees. Called with mu held; Append only buffers (group
+// commit happens in the log's syncer), so the commit path never waits
+// on storage.
+func (s *stream) logAge(age uint64) {
+	d := s.dur
+	var p []byte
+	if sl := &d.pring[age&s.emask]; sl.full && sl.age == age {
+		p = sl.p
+		sl.p, sl.full = nil, false
+	} else {
+		p = d.overflow[age]
+		delete(d.overflow, age)
+	}
+	if d.err != nil {
+		return
+	}
+	if age != d.next {
+		// Parked past this age's ticket resolution, which releases the
+		// caller's buffer (the SubmitEncoded contract) — so park a
+		// copy, not the caller's bytes. Only commit-order skew
+		// (STMLite's concurrent write-backs) ever pays this.
+		d.pend[age] = append([]byte(nil), p...)
+		return
+	}
+	for {
+		if err := d.log.Append(d.next, p); err != nil {
+			d.err = err
+			return
+		}
+		d.next++
+		var ok bool
+		p, ok = d.pend[d.next]
+		if !ok {
+			return
+		}
+		delete(d.pend, d.next)
+	}
+}
+
+// durableTo is the log's durability observer (registered via Notify):
+// every age below next is now on stable storage, so WaitDurable
+// tickets up to there resolve. A log failure resolves every deferred
+// ticket with the durability error instead — their transactions
+// committed in memory, but the promise Wait was waiting on is broken.
+func (s *stream) durableTo(next uint64, err error) {
+	s.mu.Lock()
+	d := s.dur
+	if err != nil && d.err == nil {
+		d.err = err
+	}
+	for age, t := range d.waiting {
+		switch {
+		case d.err != nil:
+			delete(d.waiting, age)
+			t.resolve(&DurabilityError{Err: d.err})
+		case age < next:
+			delete(d.waiting, age)
+			t.resolve(nil)
+		}
+	}
 	s.mu.Unlock()
 }
 
@@ -533,10 +820,27 @@ func (s *stream) close() {
 
 // settle resolves any ticket still unresolved at teardown (only
 // possible on the fault path, where halted already ran; this is a
-// backstop so no Wait can hang after Close returns).
+// backstop so no Wait can hang after Close returns). On durable
+// pipelines it also clears WaitDurable tickets that survived the
+// closing sync: ages stranded above a fault's gap in the committed
+// order can never become durable (the log's prefix property), and a
+// failed log can keep no promises at all.
 func (s *stream) settle() {
 	s.mu.Lock()
 	s.resolveOutstanding(s.fault)
+	if d := s.dur; d != nil {
+		for age, t := range d.waiting {
+			delete(d.waiting, age)
+			switch {
+			case d.err != nil:
+				t.resolve(&DurabilityError{Err: d.err})
+			case s.fault != nil:
+				t.resolve(&Stopped{Fault: s.fault})
+			default:
+				t.resolve(ErrClosed)
+			}
+		}
+	}
 	s.mu.Unlock()
 }
 

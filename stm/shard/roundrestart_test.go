@@ -1,0 +1,95 @@
+package shard_test
+
+import (
+	"testing"
+
+	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/shard"
+)
+
+// TestCrossRoundRestartDeterminism is the regression test for the
+// round-restart compounding bug: when a cross-shard round restarted
+// after a participant's attempt died (frequent under Ordered-TL2,
+// whose fence attempts carry stale read versions), the surviving
+// participants' handles still held the dead round's writes, and the
+// re-run body read its own previous writes — debiting an account
+// twice while crediting the peer once. The fix (xtxn.killRound)
+// restarts every participant on virgin descriptors.
+//
+// The workload needs single-shard traffic interleaved on the *peer*
+// shard (so fences rendezvous under concurrent speculation) and at
+// least two workers; Ordered-TL2 reproduced the divergence on nearly
+// every run before the fix.
+func TestCrossRoundRestartDeterminism(t *testing.T) {
+	for _, alg := range stm.OrderedAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			const n, shards = 400, 2
+			accounts := newDurAccounts()
+			sp, err := shard.New(shard.Config{
+				Shards:   shards,
+				Pipeline: stm.Config{Algorithm: alg, Workers: 2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			buckets := bucketsOf(sp, accounts)
+			payloads := make([]xfer, n)
+			for i := range payloads {
+				if i%4 == 0 {
+					payloads[i] = xfer{
+						from: uint32(buckets[0][i%len(buckets[0])]),
+						to:   uint32(buckets[1][i%len(buckets[1])]),
+					}
+				} else {
+					payloads[i] = xferFor(uint64(i))
+				}
+			}
+			codec := xferCodec{accounts: accounts}
+			tks := make([]*shard.Ticket, n)
+			for i := range payloads {
+				data, err := codec.Encode(payloads[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				access, body, err := codec.Decode(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tk, err := sp.Submit(access, body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tks[i] = tk
+			}
+			for _, tk := range tks {
+				if err := tk.Wait(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sp.Close(); err != nil {
+				t.Fatal(err)
+			}
+			live := stateOf(accounts)
+
+			balances := make([]uint64, durAccounts)
+			for i := range balances {
+				balances[i] = 1000
+			}
+			for g, x := range payloads {
+				amt := uint64(g%5) + 1
+				if balances[x.from] >= amt && x.from != x.to {
+					balances[x.from] -= amt
+					balances[x.to] += amt
+				}
+			}
+			for i := range live {
+				if live[i] != balances[i] {
+					t.Errorf("account %d (shard %d): live=%d model=%d",
+						i, sp.ShardOf(&accounts[i]), live[i], balances[i])
+				}
+			}
+		})
+	}
+}

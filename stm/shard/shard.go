@@ -57,8 +57,29 @@ type Config struct {
 	// sequences always start at zero. TableBits left zero defaults to
 	// a per-shard table shrunk by log2(Shards) — each engine sees only
 	// its slice of the variable space, so the aggregate lock-table
-	// footprint matches a single unsharded engine.
+	// footprint matches a single unsharded engine. Pipeline.WAL,
+	// Pipeline.Codec, Pipeline.WaitDurable and Pipeline.OnCommit must
+	// be unset: sharded durability is configured at the router (the
+	// fields below), which logs global ages through one WAL.
 	Pipeline stm.Config
+
+	// WAL attaches one global-age write-ahead log at the router: as
+	// the *global* commit frontier advances (an age is done once every
+	// involved shard committed its slice), the encoded payload of each
+	// age is appended in global-age order. A WAL-backed router only
+	// accepts submissions through SubmitPayload/SubmitEncoded.
+	// Recovery replays the surviving records through SubmitEncoded of
+	// a fresh router with the same Shards count — routing is
+	// deterministic in (declaration, Shards), so every shard rebuilds
+	// exactly its local sequence, cross-shard fences included.
+	WAL stm.DurableLog
+	// Codec encodes durable submission payloads and decodes them back
+	// into (access, body) pairs. Required when WAL is set.
+	Codec Codec
+	// WaitDurable defers ticket resolution until the transaction's
+	// global age is durable, not merely committed on its shards.
+	// Requires WAL.
+	WaitDurable bool
 }
 
 // ShardedPipeline is the sharded streaming front-end. Submit may be
@@ -69,11 +90,14 @@ type ShardedPipeline struct {
 	shards       int
 	pipes        []*stm.Pipeline
 	retryUnknown bool
+	codec        Codec
+	dr           *durRouter // router-level durability, nil without a WAL
 
-	mu     sync.Mutex // router: serializes age assignment and routing
-	nextG  uint64
-	closed bool
-	ncross uint64
+	mu        sync.Mutex // router: serializes age assignment and routing
+	nextG     uint64
+	localNext []uint64 // next local age each shard will assign
+	closed    bool
+	ncross    uint64
 
 	fault atomic.Pointer[stm.Fault] // first global fault
 
@@ -96,6 +120,15 @@ func New(cfg Config) (*ShardedPipeline, error) {
 	if !cfg.Pipeline.Algorithm.Ordered() {
 		return nil, fmt.Errorf("shard: %v does not enforce the predefined commit order; sharded determinism requires an ordered algorithm", cfg.Pipeline.Algorithm)
 	}
+	if cfg.Pipeline.WAL != nil || cfg.Pipeline.Codec != nil || cfg.Pipeline.WaitDurable || cfg.Pipeline.OnCommit != nil {
+		return nil, errors.New("shard: configure durability on shard.Config (router-level), not on the per-shard Pipeline config")
+	}
+	if cfg.WAL != nil && cfg.Codec == nil {
+		return nil, errors.New("shard: Config.WAL requires Config.Codec")
+	}
+	if cfg.WaitDurable && cfg.WAL == nil {
+		return nil, errors.New("shard: Config.WaitDurable requires Config.WAL")
+	}
 	pcfg := cfg.Pipeline
 	first := pcfg.FirstAge
 	pcfg.FirstAge = 0
@@ -105,13 +138,26 @@ func New(cfg Config) (*ShardedPipeline, error) {
 	sp := &ShardedPipeline{
 		shards:       cfg.Shards,
 		retryUnknown: pcfg.RetryUnknownPanics,
+		codec:        cfg.Codec,
 		nextG:        first,
+		localNext:    make([]uint64, cfg.Shards),
 		firstAge:     first,
 		xlive:        make(map[uint64]*xtxn),
 	}
 	sp.xcond = sync.NewCond(&sp.xmu)
+	if cfg.WAL != nil {
+		sp.dr = newDurRouter(sp, cfg.WAL, cfg.WaitDurable, first, cfg.Shards)
+		cfg.WAL.Notify(sp.dr.durableTo)
+	}
 	for s := 0; s < cfg.Shards; s++ {
-		p, err := stm.NewPipeline(pcfg)
+		scfg := pcfg
+		if sp.dr != nil {
+			// The per-shard commit-frontier hook feeds the router's
+			// global frontier tracker.
+			s := s
+			scfg.OnCommit = func(la uint64) { sp.dr.localCommit(s, la) }
+		}
+		p, err := stm.NewPipeline(scfg)
 		if err != nil {
 			for _, q := range sp.pipes {
 				q.Close()
@@ -129,8 +175,64 @@ func New(cfg Config) (*ShardedPipeline, error) {
 // next global age, routes the transaction to the involved shards, and
 // returns a Ticket resolving when it commits everywhere it ran.
 // After Close it returns stm.ErrClosed; after a fault, the
-// *stm.Stopped error.
+// *stm.Stopped error. On a router configured with a WAL, Submit
+// returns stm.ErrPayloadRequired — use SubmitPayload or SubmitEncoded
+// so the log receives a replayable input.
 func (sp *ShardedPipeline) Submit(access stm.Access, body stm.Body) (*Ticket, error) {
+	if sp.dr != nil {
+		return nil, stm.ErrPayloadRequired
+	}
+	return sp.route(access, body, nil)
+}
+
+// SubmitPayload encodes payload through the configured Codec, decodes
+// it back into the (access, body) pair that will run, and submits it.
+// The encoded form is what the router's WAL stores once the global
+// age commits on every involved shard.
+func (sp *ShardedPipeline) SubmitPayload(payload any) (*Ticket, error) {
+	if sp.codec == nil {
+		return nil, errors.New("shard: SubmitPayload requires Config.Codec")
+	}
+	data, err := sp.codec.Encode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("shard: encode payload: %w", err)
+	}
+	return sp.submitEncodedOwned(data)
+}
+
+// SubmitEncoded submits a payload already in its wire form — the
+// recovery-replay entry point (wal.Recovery.Replay hands surviving
+// records here). Replay requires the same Shards count the log was
+// written under; routing is then deterministic and every shard
+// rebuilds exactly its original local sequence.
+//
+// Unlike the unsharded Pipeline, the router may retain the payload
+// past this submission's ticket resolution (the global-age log
+// appends only when every lower global age completed, which can lag
+// a single shard's commit), so data is copied here and the caller may
+// reuse its buffer immediately. Recovery replay pays that one copy
+// per record — bounded by the log size, and only on the rare restart
+// path.
+func (sp *ShardedPipeline) SubmitEncoded(data []byte) (*Ticket, error) {
+	return sp.submitEncodedOwned(append([]byte(nil), data...))
+}
+
+// submitEncodedOwned is SubmitEncoded for payload bytes the router
+// may keep (freshly encoded, or recovery records).
+func (sp *ShardedPipeline) submitEncodedOwned(data []byte) (*Ticket, error) {
+	if sp.dr == nil {
+		return nil, errors.New("shard: SubmitEncoded requires Config.WAL")
+	}
+	access, body, err := sp.codec.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("shard: decode payload: %w", err)
+	}
+	return sp.route(access, body, data)
+}
+
+// route is the shared submission core; data is nil on non-durable
+// routers, else the encoded payload the WAL will store.
+func (sp *ShardedPipeline) route(access stm.Access, body stm.Body, data []byte) (*Ticket, error) {
 	if body == nil {
 		return nil, errors.New("shard: nil body")
 	}
@@ -149,10 +251,10 @@ func (sp *ShardedPipeline) Submit(access stm.Access, body stm.Body) (*Ticket, er
 	g := sp.nextG
 	sp.nextG++
 	if len(involved) == 1 {
-		return sp.submitLocal(g, involved[0], body)
+		return sp.submitLocal(g, involved[0], body, data)
 	}
 	sp.ncross++
-	return sp.submitCross(g, involved, body)
+	return sp.submitCross(g, involved, body, data)
 }
 
 // Request pairs a declared access set with a transaction body for
@@ -175,6 +277,9 @@ type Request struct {
 // refused positions are nil, and the error reports why. Backpressure
 // applies inside the batch exactly as for consecutive Submits.
 func (sp *ShardedPipeline) SubmitBatch(reqs []Request) ([]*Ticket, error) {
+	if sp.dr != nil {
+		return nil, stm.ErrPayloadRequired
+	}
 	parts := make([][]int, len(reqs))
 	for i := range reqs {
 		if reqs[i].Body == nil {
@@ -197,6 +302,7 @@ func (sp *ShardedPipeline) SubmitBatch(reqs []Request) ([]*Ticket, error) {
 			return nil
 		}
 		lts, err := sp.pipes[s].SubmitBatch(pend[s])
+		sp.localNext[s] += uint64(len(lts))
 		for k := range lts {
 			idx := pendIdx[s][k]
 			out[idx] = &Ticket{g: pendAge[s][k], sp: sp, local: lts[k]}
@@ -253,7 +359,7 @@ func (sp *ShardedPipeline) SubmitBatch(reqs []Request) ([]*Ticket, error) {
 			}
 		}
 		sp.ncross++
-		t, err := sp.submitCross(g, parts[i], reqs[i].Body)
+		t, err := sp.submitCross(g, parts[i], reqs[i].Body, nil)
 		if err != nil {
 			flushAll()
 			return out, batchErr(err)
@@ -302,15 +408,36 @@ func (sp *ShardedPipeline) partitions(a stm.Access) ([]int, error) {
 // shard's local age sequence. Called with sp.mu held; the per-shard
 // Submit may block on that shard's backpressure, which paces the
 // whole router — the global sequencer is intentionally the one
-// serialization point.
-func (sp *ShardedPipeline) submitLocal(g uint64, s int, body stm.Body) (*Ticket, error) {
+// serialization point. On durable routers the global age and its
+// local mapping are registered *before* the shard sees the
+// submission, so the commit hook can never observe an unmapped age.
+func (sp *ShardedPipeline) submitLocal(g uint64, s int, body stm.Body, data []byte) (*Ticket, error) {
 	wrapped := func(tx stm.Tx, _ int) {
 		defer sp.guard(g, tx)
 		body(&checkedTx{tx: tx, shards: sp.shards, shard: s, g: g}, int(g))
 	}
+	var rt *Ticket
+	if sp.dr != nil {
+		rt = sp.dr.add(g, data, 1)
+		sp.dr.mapLocal(s, sp.localNext[s], g)
+	}
 	lt, err := sp.pipes[s].Submit(wrapped)
 	if err != nil {
+		if sp.dr != nil {
+			sp.dr.unmapLocal(s, sp.localNext[s])
+			sp.dr.drop(g)
+		}
 		return nil, sp.translate(g, err)
+	}
+	sp.localNext[s]++
+	if rt != nil {
+		// WaitDurable: the router resolves rt at durability (or via
+		// sweepFail/settle), and lt is dropped — safe because every
+		// shard fault reaches sp.fail before resolving local tickets
+		// (body faults unwind through sp.guard, fence faults through
+		// fenceBody), so lt's own resolution carries no information
+		// the router does not already have.
+		return rt, nil
 	}
 	return &Ticket{g: g, sp: sp, local: lt}, nil
 }
@@ -330,16 +457,33 @@ func (sp *ShardedPipeline) guard(g uint64, tx stm.Tx) {
 }
 
 // submitCross registers the coordination state and fences every
-// involved shard. Called with sp.mu held.
-func (sp *ShardedPipeline) submitCross(g uint64, involved []int, body stm.Body) (*Ticket, error) {
+// involved shard. Called with sp.mu held. On durable routers every
+// fence's local age is mapped to g before it is submitted; the
+// global age completes (and its payload reaches the WAL) once all
+// fences committed — which is exactly "committed on every involved
+// shard".
+func (sp *ShardedPipeline) submitCross(g uint64, involved []int, body stm.Body, data []byte) (*Ticket, error) {
 	x := newXtxn(sp, g, involved, body)
-	t := &Ticket{g: g, sp: sp, done: make(chan struct{})}
+	var t *Ticket
+	routerOwned := false
+	if sp.dr != nil {
+		if rt := sp.dr.add(g, data, len(involved)); rt != nil {
+			t = rt // WaitDurable: the router resolves it at durability
+			routerOwned = true
+		}
+	}
+	if t == nil {
+		t = &Ticket{g: g, sp: sp, done: make(chan struct{})}
+	}
 	sp.xmu.Lock()
 	sp.xlive[g] = x
 	sp.xout++
 	sp.xmu.Unlock()
 	fences := make([]*stm.Ticket, 0, len(involved))
 	for _, s := range involved {
+		if sp.dr != nil {
+			sp.dr.mapLocal(s, sp.localNext[s], g)
+		}
 		ft, err := sp.pipes[s].Submit(sp.fenceBody(x, s))
 		if err != nil {
 			// A shard refused the fence, which only happens when the
@@ -350,14 +494,30 @@ func (sp *ShardedPipeline) submitCross(g uint64, involved []int, body stm.Body) 
 			// it, nobody else will ever fail this xtxn, and a fence
 			// already parked in the rendezvous would strand its worker
 			// and deadlock Close.
+			if sp.dr != nil {
+				sp.dr.unmapLocal(s, sp.localNext[s])
+			}
 			if f := sp.fault.Load(); f != nil {
 				x.fail(f)
 			}
-			t.err = err
-			close(t.done)
+			terr := sp.translate(g, err)
+			if routerOwned {
+				sp.dr.resolveErr(g, terr)
+			} else {
+				t.err = err
+				close(t.done)
+			}
+			if sp.dr != nil {
+				// Mirror submitLocal's cleanup: the refused age can
+				// never complete, so stop tracking it (fences already
+				// in flight find no entry, which localCommit tolerates;
+				// the frontier stays frozen below the fault either way).
+				sp.dr.drop(g)
+			}
 			sp.xfinish(g)
-			return nil, sp.translate(g, err)
+			return nil, terr
 		}
+		sp.localNext[s]++
 		fences = append(fences, ft)
 	}
 	sp.xwg.Add(1)
@@ -369,8 +529,17 @@ func (sp *ShardedPipeline) submitCross(g uint64, involved []int, body stm.Body) 
 				err = e
 			}
 		}
-		t.err = err
-		close(t.done)
+		if routerOwned {
+			// The router resolves the ticket at durability; the
+			// aggregator only surfaces fence failures (a fault on any
+			// involved shard).
+			if err != nil {
+				sp.dr.resolveErr(g, sp.translate(g, err))
+			}
+		} else {
+			t.err = err
+			close(t.done)
+		}
 		sp.xfinish(g)
 	}()
 	return t, nil
@@ -404,6 +573,9 @@ func (sp *ShardedPipeline) fail(f *stm.Fault) {
 	sp.xmu.Unlock()
 	for _, x := range xs {
 		x.fail(f)
+	}
+	if sp.dr != nil {
+		sp.dr.sweepFail(f)
 	}
 }
 
@@ -463,6 +635,20 @@ func (sp *ShardedPipeline) Close() error {
 			}
 		}
 		sp.xwg.Wait()
+		if sp.dr != nil {
+			// Make the tail durable; the sync's observer resolves the
+			// WaitDurable tickets still parked, and settle clears
+			// anything stranded above a fault's gap. The log stays
+			// open — its owner closes it.
+			err := sp.dr.log.Sync()
+			if err == nil {
+				err = sp.dr.lastErr()
+			}
+			if err != nil && first == nil {
+				first = &stm.DurabilityError{Err: err}
+			}
+			sp.dr.settle(sp.fault.Load())
+		}
 		sp.closeErr = first
 		if f := sp.fault.Load(); f != nil {
 			sp.closeErr = f
@@ -508,6 +694,16 @@ func (sp *ShardedPipeline) CrossShard() uint64 {
 
 // Fault returns the global fault that stopped the system, or nil.
 func (sp *ShardedPipeline) Fault() *stm.Fault { return sp.fault.Load() }
+
+// Durable returns the global durability frontier: every global age
+// below it is on stable storage and survives a crash of the whole
+// sharded system. Without a WAL it returns zero.
+func (sp *ShardedPipeline) Durable() uint64 {
+	if sp.dr == nil {
+		return 0
+	}
+	return sp.dr.log.Durable()
+}
 
 // Stats returns engine counters aggregated across every shard
 // (commits, aborts, retries and quiesces summed). Note that each

@@ -138,6 +138,26 @@ func (x *xtxn) allLive() bool {
 	return true
 }
 
+// killRound aborts every surviving participant of a round that must
+// restart, and clears the round's write log. A restart may only run
+// over virgin attempts: a surviving handle still buffers (write-back
+// engines) or has applied (write-through engines) the aborted round's
+// writes, and re-running the body over that read-your-own-writes state
+// would compound them — the restarted round would read a balance the
+// dead round already debited and debit it again. Each killed
+// participant re-raises the abort under its own sandbox, abandons the
+// attempt, and re-arrives with a fresh descriptor; determinism over
+// the frozen prefix then makes the fresh round exact. Called with x.mu
+// held, with no round active.
+func (x *xtxn) killRound() {
+	for s, h := range x.live {
+		h.dead, h.cause = true, meta.AbortSignal(meta.CauseValidation)
+		delete(x.live, s)
+	}
+	x.wlog = make(map[int]map[*stm.Var]uint64, len(x.involved))
+	x.cond.Broadcast()
+}
+
 // fenceBody builds the body submitted to shard s for this
 // transaction. The local age the pipeline assigns arrives as the
 // body's age parameter.
@@ -220,10 +240,11 @@ func (x *xtxn) runPeer(tx stm.Tx, s int) {
 }
 
 // runHome waits for every involved shard to arrive, then executes the
-// user body against the cross-shard view, restarting the round
-// whenever a participant's attempt dies underneath it. Determinism
-// makes restarts exact: every round reads the same frozen prefix and
-// therefore issues the same writes.
+// user body against the cross-shard view. A round that dies — a peer
+// or the home's own attempt aborted underneath it — is killed whole
+// (killRound) and every fence re-executes on a fresh descriptor;
+// determinism makes the restarted round exact: it reads the same
+// frozen prefix and therefore issues the same writes.
 func (x *xtxn) runHome(tx stm.Tx) {
 	x.mu.Lock()
 	if x.done {
@@ -242,48 +263,59 @@ func (x *xtxn) runHome(tx stm.Tx) {
 		panic(stopPanic{f})
 	}
 	x.live[x.home] = &part{txn: tx}
-	for {
-		for x.failed == nil && !x.allLive() {
-			x.cond.Wait()
-		}
-		if x.failed != nil {
-			f := x.failed
-			delete(x.live, x.home)
-			x.mu.Unlock()
-			panic(stopPanic{f})
-		}
-		snap := make(map[int]*part, len(x.involved))
-		for s, h := range x.live {
-			snap[s] = h
-		}
-		x.roundActive = true
-		x.mu.Unlock()
-
-		retry, rec := x.runRound(&crossTx{x: x, home: tx, snap: snap})
-
-		x.mu.Lock()
-		x.roundActive = false
-		x.cond.Broadcast()
-		if rec != nil {
-			// Either our own shard's engine aborted this attempt (the
-			// sandbox must see it and retry the fence) or the body
-			// itself faulted (stop the world, then let the sandbox
-			// see a genuine fault).
-			delete(x.live, x.home)
-			x.mu.Unlock()
-			if !speculative(rec, tx) && !x.sp.retryUnknown {
-				x.sp.fail(&stm.Fault{Age: x.g, Value: rec})
-			}
-			panic(rec)
-		}
-		if retry {
-			continue // a peer died mid-round; wait for its replacement
-		}
-		x.done = true
-		x.cond.Broadcast()
-		x.mu.Unlock()
-		return
+	for x.failed == nil && !x.allLive() {
+		x.cond.Wait()
 	}
+	if x.failed != nil {
+		f := x.failed
+		delete(x.live, x.home)
+		x.mu.Unlock()
+		panic(stopPanic{f})
+	}
+	snap := make(map[int]*part, len(x.involved))
+	for s, h := range x.live {
+		snap[s] = h
+	}
+	x.roundActive = true
+	x.mu.Unlock()
+
+	retry, rec := x.runRound(&crossTx{x: x, home: tx, snap: snap})
+
+	x.mu.Lock()
+	x.roundActive = false
+	x.cond.Broadcast()
+	if rec != nil {
+		// Either our own shard's engine aborted this attempt (the
+		// sandbox must see it and retry the fence) or the body
+		// itself faulted (stop the world, then let the sandbox
+		// see a genuine fault). A speculative abort restarts the
+		// round, so the surviving peers must restart fresh too —
+		// their handles carry this round's writes (see killRound).
+		genuine := !speculative(rec, tx) && !x.sp.retryUnknown
+		if !genuine {
+			x.killRound()
+		}
+		delete(x.live, x.home)
+		x.mu.Unlock()
+		if genuine {
+			x.sp.fail(&stm.Fault{Age: x.g, Value: rec})
+		}
+		panic(rec)
+	}
+	if retry {
+		// A peer died mid-round. Our own attempt — and every
+		// surviving peer's — already absorbed this round's writes,
+		// so nobody may carry them into the restart: kill the
+		// round and abandon our attempt; the re-executed fences
+		// re-rendezvous on virgin descriptors.
+		x.killRound()
+		delete(x.live, x.home)
+		x.mu.Unlock()
+		meta.PanicAbort(meta.CauseValidation)
+	}
+	x.done = true
+	x.cond.Broadcast()
+	x.mu.Unlock()
 }
 
 // runRound executes one attempt of the body, separating the home's

@@ -34,7 +34,11 @@
 // Both front-ends drive the same execution core; see DESIGN.md. To
 // scale past a single commit frontier, stm/shard runs one pipeline
 // per data partition behind the same ordered-Submit surface
-// (transactions then declare their variables via Access).
+// (transactions then declare their variables via Access). To survive
+// a crash, attach a write-ahead log (stm/wal) with Config.WAL and a
+// Codec: the pipeline logs each committed age's input payload in
+// order, and recovery deterministically replays the surviving prefix
+// (SubmitPayload/SubmitEncoded, wal.Recover).
 //
 // Transaction bodies must access shared state only through tx.Read and
 // tx.Write, and must be deterministic functions of (age, memory): the

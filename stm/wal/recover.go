@@ -1,0 +1,242 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Record is one recovered log entry: the encoded input payload of the
+// transaction committed at Age.
+type Record struct {
+	Age     uint64
+	Payload []byte
+}
+
+// Recovery is the result of scanning a log directory: the surviving
+// contiguous prefix of the committed order, with any torn tail already
+// truncated from disk. Replay feeds the prefix to a deterministic
+// engine; Writer reopens the log for appends where the prefix ends.
+type Recovery struct {
+	dir       string
+	first     uint64
+	next      uint64
+	recs      []Record
+	lastPath  string // surviving tail segment; "" when the directory held none
+	lastSize  int64
+	truncated bool
+}
+
+// Recover scans the log in dir, truncates any torn tail, and returns
+// the surviving prefix.
+//
+// The torn-tail rule: records are read in age order across segments;
+// the first record that is short (the crash landed mid-write), fails
+// its CRC, or carries an unexpected age marks the cut. The segment is
+// truncated at that record's start and every later segment is
+// deleted. Everything before the cut is durable, contiguous, and —
+// replayed in order — reproduces exactly the sequential-execution
+// state of the durable prefix.
+//
+// Recovering an empty or missing directory yields an empty prefix
+// starting at age 0 (Writer will then create the log fresh).
+func Recover(dir string) (*Recovery, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Recovery{dir: dir}
+	if len(segs) == 0 {
+		return r, nil
+	}
+	r.first = segs[0].age
+	expect := r.first
+	for i, seg := range segs {
+		if seg.age != expect {
+			// A gap (lost segment) or overlap: nothing at or past this
+			// file can extend the contiguous prefix.
+			if err := removeSegments(dir, segs[i:]); err != nil {
+				return nil, err
+			}
+			r.truncated = true
+			break
+		}
+		n, torn, err := r.readSegment(seg, &expect)
+		if err != nil {
+			return nil, err
+		}
+		r.lastPath, r.lastSize = seg.path, n
+		if torn {
+			if err := removeSegments(dir, segs[i+1:]); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	r.next = expect
+	if r.truncated {
+		if err := syncDir(dir); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// readSegment reads one segment's records into r.recs, advancing
+// *expect per good record. It returns the number of valid bytes and
+// whether the segment was torn (in which case it has been truncated
+// on disk at the last good record).
+func (r *Recovery) readSegment(seg segment, expect *uint64) (int64, bool, error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, false, err
+	}
+	size := st.Size()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var offset int64
+	for {
+		age, payload, err := readRecord(br, size-offset)
+		if err == io.EOF {
+			return offset, false, nil
+		}
+		if err != nil || age != *expect {
+			// Torn or corrupt tail: cut at the last good record.
+			if terr := os.Truncate(seg.path, offset); terr != nil {
+				return 0, false, terr
+			}
+			r.truncated = true
+			return offset, true, nil
+		}
+		r.recs = append(r.recs, Record{Age: age, Payload: payload})
+		*expect = age + 1
+		offset += recordSize(payload)
+	}
+}
+
+// First returns the age of the log's first record (the age recovery
+// replay must start from; stm.Config.FirstAge for the replaying
+// pipeline).
+func (r *Recovery) First() uint64 { return r.first }
+
+// Next returns the age one past the last surviving record — where the
+// reopened Writer will append, and the frontier a recovered pipeline
+// resumes at.
+func (r *Recovery) Next() uint64 { return r.next }
+
+// Count returns how many records survived.
+func (r *Recovery) Count() int { return len(r.recs) }
+
+// Truncated reports whether the scan found (and cut) a torn tail.
+func (r *Recovery) Truncated() bool { return r.truncated }
+
+// Records returns the surviving prefix in age order. The slice is the
+// recovery's backing store; treat it as read-only.
+func (r *Recovery) Records() []Record { return r.recs }
+
+// Replay is the recovery driver: it hands every surviving payload, in
+// age order, to submit — typically Pipeline.SubmitEncoded of a fresh
+// pipeline configured with FirstAge = First() — and stops at the
+// first error. Replaying through a pipeline attached to this log's
+// reopened Writer is safe: re-appends of recovered ages are no-ops.
+func (r *Recovery) Replay(submit func(age uint64, payload []byte) error) error {
+	for _, rec := range r.recs {
+		if err := submit(rec.Age, rec.Payload); err != nil {
+			return fmt.Errorf("wal: replay age %d: %w", rec.Age, err)
+		}
+	}
+	return nil
+}
+
+// Writer reopens the log for appending at Next. The surviving tail
+// segment is extended in place while it has room; otherwise a fresh
+// segment starts at Next.
+func (r *Recovery) Writer(opts Options) (*Writer, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := newWriter(r.dir, opts)
+	w.next.Store(r.next)
+	w.durable.Store(r.next)
+	w.nbytes.Store(totalBytes(r.recs))
+	if r.lastPath != "" && r.lastSize < opts.SegmentBytes {
+		f, err := os.OpenFile(r.lastPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		w.f = f
+		w.segSize = r.lastSize
+	} else if err := w.openSegment(r.next); err != nil {
+		return nil, err
+	}
+	if err := syncDir(r.dir); err != nil {
+		w.f.Close()
+		return nil, err
+	}
+	w.startSyncer()
+	return w, nil
+}
+
+func totalBytes(recs []Record) uint64 {
+	var n uint64
+	for _, rec := range recs {
+		n += uint64(recordSize(rec.Payload))
+	}
+	return n
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	age  uint64
+	path string
+}
+
+// listSegments returns the directory's segments sorted by first age.
+// Files that do not match the segment naming scheme are ignored.
+func listSegments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		var age uint64
+		if n, err := fmt.Sscanf(e.Name(), "%016x.wal", &age); n != 1 || err != nil {
+			continue
+		}
+		if fmt.Sprintf("%016x.wal", age) != e.Name() {
+			continue
+		}
+		segs = append(segs, segment{age: age, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].age < segs[j].age })
+	return segs, nil
+}
+
+// removeSegments deletes the given segment files (the torn-tail rule's
+// "drop everything past the cut").
+func removeSegments(dir string, segs []segment) error {
+	for _, s := range segs {
+		if err := os.Remove(s.path); err != nil {
+			return err
+		}
+	}
+	if len(segs) > 0 {
+		return syncDir(dir)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+// Package wal is the durability subsystem of the ordered-commit
+// pipeline: a segmented append-only log of committed transaction
+// inputs, a group-commit syncer, and a crash-recovery driver.
+//
+// The predefined commit order makes durability almost free to specify.
+// Because every execution commits transactions in exactly the
+// predefined age order, and bodies are deterministic functions of
+// (age, memory), the sequence of committed input payloads *is* the
+// state: replaying any prefix of the log through any order-enforcing
+// engine reproduces, bit for bit, the memory a sequential execution of
+// that prefix would leave. The log therefore stores inputs — the
+// encoded submission payloads handed to stm.Codec — never memory
+// snapshots, the same property queue-oriented deterministic systems
+// (QueCC, Calvin) and replicated state machines build on.
+//
+// # Log structure
+//
+// A log is a directory of segment files named by the age of their
+// first record (`%016x.wal`). Records are CRC-framed:
+//
+//	u32 payload length | u32 CRC-32C | u64 age | payload
+//
+// Ages are contiguous across the whole log: segment N+1 starts at the
+// age one past segment N's last record. The Writer appends records
+// strictly in age order and rolls to a new segment once the current
+// one exceeds Options.SegmentBytes.
+//
+// # Group commit
+//
+// Append only copies the record into the current segment's buffer; an
+// fsync makes everything appended so far durable at once. The sync
+// policy decides when that happens: after every N appends
+// (Options.SyncEveryN), at least every interval while dirty
+// (Options.SyncInterval), or only on explicit Sync/Close (neither set
+// — policy "none", the right choice when a layer above already
+// decides durability points, and for measuring the pure logging
+// overhead). Durability is tracked as a frontier: every age below
+// Writer.Durable is on stable storage.
+//
+// # Torn tails and recovery
+//
+// A crash can leave a torn tail: a partially written final record, or
+// garbage past the last fsync. Recover scans the segments in age
+// order and stops at the first record that is short, fails its CRC,
+// or carries an unexpected age; the log is truncated at that record's
+// start and any later segments are deleted. Everything before the cut
+// is a consistent prefix of the committed order — exactly the durable
+// state. Replay then feeds the surviving payloads, in age order, to a
+// submit function (typically Pipeline.SubmitEncoded), and the writer
+// reopened from the recovery accepts new appends where the prefix
+// ends. Re-appends of already-recovered ages are ignored, so a replay
+// that flows through a WAL-attached pipeline is idempotent.
+package wal
+
+import (
+	"strconv"
+	"time"
+)
+
+// Options parameterizes a Writer.
+type Options struct {
+	// SyncEveryN forces an fsync after every N appended records
+	// (group commit: one fsync covers the whole batch). Zero disables
+	// count-based syncing. To keep a stalled stream's tail from
+	// waiting forever for the batch to fill, a count-only policy also
+	// flushes dirty records after a short idle delay (a few ms).
+	SyncEveryN int
+	// SyncInterval bounds how long an appended record may stay
+	// un-synced: a background syncer fsyncs whenever the log has been
+	// dirty for this long. Zero disables time-based syncing.
+	SyncInterval time.Duration
+	// SegmentBytes caps a segment file's size; the writer rolls to a
+	// fresh segment before the record that would exceed it (default
+	// 64 MiB). The finished segment is fsynced and closed at the next
+	// sync point, off the append path.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// policy returns the human-readable sync policy name ("none",
+// "every=N", "interval=D", or both joined by "+").
+func (o Options) policy() string {
+	switch {
+	case o.SyncEveryN > 0 && o.SyncInterval > 0:
+		return "every=" + strconv.Itoa(o.SyncEveryN) + "+interval=" + o.SyncInterval.String()
+	case o.SyncEveryN > 0:
+		return "every=" + strconv.Itoa(o.SyncEveryN)
+	case o.SyncInterval > 0:
+		return "interval=" + o.SyncInterval.String()
+	default:
+		return "none"
+	}
+}

@@ -1,0 +1,430 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrClosed is returned by Append and Sync after Close.
+var ErrClosed = errors.New("wal: writer closed")
+
+// flushChunk bounds how much appended data may sit in the in-process
+// buffer before it is written through to the OS (without fsync), so a
+// sync-policy-"none" stream does not accumulate its whole history in
+// memory.
+const flushChunk = 1 << 20
+
+// Writer appends the committed-order record stream to a segmented log.
+// It implements stm.DurableLog.
+//
+// Append is cheap — it frames the record into an in-process buffer —
+// and strictly age-ordered: the first append must be the log's first
+// age (Create's firstAge, or Recovery.Next after a restart), and each
+// append the age after the previous one. An append below the expected
+// age is a no-op success: the record is already in the log, which is
+// what makes recovery replay through a WAL-attached pipeline
+// idempotent.
+//
+// Durability advances only at fsync points, chosen by Options (group
+// commit) or forced by Sync. All methods are safe for concurrent use;
+// appends may proceed while an fsync is in flight, which is where
+// group commit's throughput comes from.
+type Writer struct {
+	opts Options
+	dir  string
+
+	mu       sync.Mutex
+	f        *os.File
+	buf      []byte     // framed records not yet written to f
+	segSize  int64      // bytes already written to f (excludes buf)
+	sinceN   int        // appends since the last count-based sync kick
+	retired  []*os.File // full segments awaiting their fsync+close
+	dirDirty bool       // a segment was created since the last dir sync
+	err      error
+	notify   func(next uint64, err error)
+	closed   bool
+
+	// syncMu serializes sync points. Lock order: syncMu may take mu
+	// (Sync snapshots under it); mu never waits on syncMu — a segment
+	// roll only parks the finished file on the retired list, leaving
+	// all storage waits (fsync, close, directory sync) to the next
+	// sync point, off the commit path.
+	syncMu sync.Mutex
+
+	next    atomic.Uint64 // next age to append
+	durable atomic.Uint64 // every age below it is on stable storage
+	fsyncs  atomic.Uint64
+	nbytes  atomic.Uint64 // framed bytes appended over the log's life
+
+	kick     chan struct{}
+	done     chan struct{}
+	loopDone chan struct{} // nil when no background syncer runs
+}
+
+// Create initializes a fresh log in dir whose first record will carry
+// firstAge, and returns its Writer. The directory is created if
+// missing and must not already contain segments (recover an existing
+// log with Recover instead). The first — empty — segment is created
+// eagerly so the log's starting age survives a crash that happens
+// before the first append.
+func Create(dir string, firstAge uint64, opts Options) (*Writer, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		return nil, fmt.Errorf("wal: %s already holds a log (first segment %016x); use Recover", dir, segs[0].age)
+	}
+	w := newWriter(dir, opts)
+	w.next.Store(firstAge)
+	w.durable.Store(firstAge)
+	if err := w.openSegment(firstAge); err != nil {
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		w.f.Close()
+		return nil, err
+	}
+	w.startSyncer()
+	return w, nil
+}
+
+func newWriter(dir string, opts Options) *Writer {
+	return &Writer{
+		opts: opts,
+		dir:  dir,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+}
+
+// startSyncer launches the group-commit syncer when the policy needs
+// one (count- or time-based syncing). Policy "none" has no background
+// work: durability points are wherever the caller puts Sync.
+func (w *Writer) startSyncer() {
+	if w.opts.SyncEveryN <= 0 && w.opts.SyncInterval <= 0 {
+		return
+	}
+	w.loopDone = make(chan struct{})
+	go w.syncLoop()
+}
+
+// Policy returns the writer's sync policy in human-readable form.
+func (w *Writer) Policy() string { return w.opts.policy() }
+
+// Next returns the next age the writer expects to append.
+func (w *Writer) Next() uint64 { return w.next.Load() }
+
+// Durable returns the durability frontier: every age below it is on
+// stable storage. It implements stm.DurableLog.
+func (w *Writer) Durable() uint64 { return w.durable.Load() }
+
+// Fsyncs returns how many fsyncs the writer has issued.
+func (w *Writer) Fsyncs() uint64 { return w.fsyncs.Load() }
+
+// Bytes returns the total framed bytes appended over the log's life,
+// including recovered history when the writer was reopened.
+func (w *Writer) Bytes() uint64 { return w.nbytes.Load() }
+
+// Notify registers the durability observer: fn is called after every
+// fsync with the new durability frontier, and with a non-nil error if
+// the log fails. It is called without writer locks held; at most one
+// observer is supported (the pipeline). It implements stm.DurableLog.
+func (w *Writer) Notify(fn func(next uint64, err error)) {
+	w.mu.Lock()
+	w.notify = fn
+	w.mu.Unlock()
+}
+
+// Append frames the record for age into the log. Ages must arrive in
+// order; an age already in the log is ignored (see type doc). The
+// record is buffered — not durable — until the next sync point.
+func (w *Writer) Append(age uint64, payload []byte) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	next := w.next.Load()
+	if age < next {
+		w.mu.Unlock()
+		return nil // already logged (recovery replay)
+	}
+	if age != next {
+		w.mu.Unlock()
+		return fmt.Errorf("wal: append age %d out of order (expected %d)", age, next)
+	}
+	need := recordSize(payload)
+	if filled := w.segSize + int64(len(w.buf)); filled > 0 && filled+need > w.opts.SegmentBytes {
+		if err := w.rollLocked(); err != nil {
+			w.failLocked(err)
+			w.mu.Unlock()
+			return err
+		}
+	}
+	w.buf = appendRecord(w.buf, age, payload)
+	w.next.Store(age + 1)
+	w.nbytes.Add(uint64(need))
+	var kicked bool
+	if n := w.opts.SyncEveryN; n > 0 {
+		if w.sinceN++; w.sinceN >= n {
+			w.sinceN = 0
+			kicked = true
+		}
+	}
+	if len(w.buf) >= flushChunk {
+		if err := w.flushLocked(); err != nil {
+			w.failLocked(err)
+			w.mu.Unlock()
+			return err
+		}
+	}
+	w.mu.Unlock()
+	if kicked {
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Sync makes every appended record durable: it flushes the buffer,
+// fsyncs (then closes) any segments retired by rolls, fsyncs the
+// current segment and — when a segment was created since the last
+// sync point — the directory, advancing the durability frontier and
+// notifying the observer. Safe to call from any goroutine, including
+// concurrently with Append.
+func (w *Writer) Sync() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	if w.err != nil {
+		// The log is already dead; still fire the observer so tickets
+		// parked awaiting durability before the failure learn about it
+		// instead of hanging until Close.
+		err := w.err
+		fn := w.notify
+		w.mu.Unlock()
+		if fn != nil {
+			fn(w.durable.Load(), err)
+		}
+		return err
+	}
+	if w.f == nil {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	fn := w.notify
+	if err := w.flushLocked(); err != nil {
+		w.failLocked(err)
+		w.mu.Unlock()
+		if fn != nil {
+			fn(w.durable.Load(), err)
+		}
+		return err
+	}
+	target := w.next.Load()
+	ret := w.retired
+	w.retired = nil
+	f := w.f
+	dirty := w.dirDirty
+	w.dirDirty = false
+	w.mu.Unlock()
+
+	// All of target's records were flushed above, so they live in the
+	// retired segments plus f (f may be rolled onto the retired list
+	// concurrently, but it stays open until a sync drains it, so the
+	// fsync below still covers it; the next sync closes it).
+	var err error
+	for _, rf := range ret {
+		if err == nil {
+			if err = rf.Sync(); err == nil {
+				w.fsyncs.Add(1)
+			}
+		}
+		if cerr := rf.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
+	if err == nil && target > w.durable.Load() {
+		if err = f.Sync(); err == nil {
+			w.fsyncs.Add(1)
+		}
+	}
+	if err == nil && dirty {
+		// Segment files must be reachable from the directory before
+		// their records count as durable — a dir-sync failure must
+		// hold the frontier back, not be shrugged off.
+		err = syncDir(w.dir)
+	}
+	if err == nil && target > w.durable.Load() {
+		w.durable.Store(target)
+	}
+	if err != nil {
+		w.mu.Lock()
+		w.failLocked(err)
+		w.mu.Unlock()
+	}
+	if fn != nil {
+		fn(w.durable.Load(), err)
+	}
+	return err
+}
+
+// Close stops the syncer, makes the tail durable, and closes the
+// current segment. The writer rejects appends afterwards.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.closed = true
+	w.mu.Unlock()
+	if w.loopDone != nil {
+		close(w.done)
+		<-w.loopDone
+	}
+	err := w.Sync()
+	w.mu.Lock()
+	for _, rf := range w.retired { // only non-empty if the sync failed
+		rf.Close()
+	}
+	w.retired = nil
+	if w.f != nil {
+		if cerr := w.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	w.mu.Unlock()
+	return err
+}
+
+// idleFlush bounds how long a partial batch may strand the tail when
+// only count-based syncing is configured: a count policy alone would
+// leave the last N-1 appends — and any WaitDurable ticket parked on
+// them — waiting for traffic that may never come.
+const idleFlush = 2 * time.Millisecond
+
+// syncLoop is the group-commit syncer: it turns count kicks and
+// interval ticks into fsyncs, each covering every record appended
+// since the last one.
+func (w *Writer) syncLoop() {
+	defer close(w.loopDone)
+	interval := w.opts.SyncInterval
+	if interval <= 0 && w.opts.SyncEveryN > 0 {
+		interval = idleFlush
+	}
+	var tick <-chan time.Time
+	if interval > 0 {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-w.kick:
+		case <-tick:
+			if w.next.Load() == w.durable.Load() {
+				continue // nothing dirty
+			}
+		}
+		w.Sync() // errors latch into w.err and reach the observer
+	}
+}
+
+// flushLocked writes the buffer through to the OS (no fsync). Caller
+// holds mu.
+func (w *Writer) flushLocked() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	n, err := w.f.Write(w.buf)
+	w.segSize += int64(n)
+	if err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// rollLocked finishes the current segment and opens a fresh one named
+// by the next age. Caller holds mu. The finished segment is only
+// flushed and parked on the retired list — its fsync and close happen
+// at the next sync point, so a roll on the commit path never waits on
+// stable storage.
+func (w *Writer) rollLocked() error {
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	w.retired = append(w.retired, w.f)
+	w.f = nil
+	if err := w.openSegment(w.next.Load()); err != nil {
+		return err
+	}
+	w.dirDirty = true
+	return nil
+}
+
+// failLocked latches the first error; the log is dead afterwards.
+// Caller holds mu.
+func (w *Writer) failLocked(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// openSegment creates the segment file whose first record will carry
+// age. Caller holds mu (or is the constructor).
+func (w *Writer) openSegment(age uint64) error {
+	f, err := os.OpenFile(segmentPath(w.dir, age), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.segSize = 0
+	return nil
+}
+
+// segmentPath names segments by the age of their first record.
+func segmentPath(dir string, age uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x.wal", age))
+}
+
+// syncDir fsyncs the directory so segment creation/removal survives a
+// crash. A filesystem that does not support directory fsync reports
+// EINVAL, which is benign (there is nothing stronger to ask of it);
+// any other failure is a genuine I/O error the caller must treat as a
+// failed sync point.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil && errors.Is(err, syscall.EINVAL) {
+		return nil
+	}
+	return err
+}
