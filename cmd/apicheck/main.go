@@ -1,0 +1,295 @@
+// Command apicheck guards the public API surface: it extracts every
+// exported declaration of the library's public packages into a
+// canonical text form and diffs it against the committed baseline
+// (.github/api-baseline.txt). Removing or changing a baseline line is
+// a breaking API change and fails the check (exit 1); additions are
+// compatible but still fail (exit 2) until the baseline is
+// regenerated and committed alongside them, so the baseline always
+// equals the shipped surface.
+//
+// It deliberately uses only the standard library's go/ast parser (no
+// golang.org/x/exp/apidiff dependency), so the CI job — and a
+// developer running it locally — needs nothing beyond the toolchain:
+//
+//	go run ./cmd/apicheck            # check against the baseline
+//	go run ./cmd/apicheck -write     # regenerate the baseline
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// packages lists the public surface; internal/ is exempt by
+// construction.
+var packages = []string{".", "stm", "stm/shard", "stm/wal"}
+
+const baselinePath = ".github/api-baseline.txt"
+
+func main() {
+	write := flag.Bool("write", false, "regenerate the baseline instead of checking against it")
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	current, err := surface(*root)
+	if err != nil {
+		fatal(err)
+	}
+	basefile := filepath.Join(*root, baselinePath)
+	if *write {
+		if err := os.WriteFile(basefile, []byte(strings.Join(current, "\n")+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("apicheck: wrote %d declarations to %s\n", len(current), baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(basefile)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run `go run ./cmd/apicheck -write` to create the baseline)", err))
+	}
+	baseline := nonEmptyLines(string(raw))
+	curSet := toSet(current)
+	baseSet := toSet(baseline)
+
+	var removed, added []string
+	for _, l := range baseline {
+		if !curSet[l] {
+			removed = append(removed, l)
+		}
+	}
+	for _, l := range current {
+		if !baseSet[l] {
+			added = append(added, l)
+		}
+	}
+	for _, l := range added {
+		fmt.Printf("apicheck: new API: %s\n", l)
+	}
+	if len(added) > 0 {
+		fmt.Printf("apicheck: %d addition(s); regenerate the baseline with `go run ./cmd/apicheck -write` and commit it\n", len(added))
+	}
+	if len(removed) > 0 {
+		for _, l := range removed {
+			fmt.Printf("apicheck: BREAKING: removed or changed: %s\n", l)
+		}
+		fmt.Printf("apicheck: %d breaking change(s) against %s\n", len(removed), baselinePath)
+		os.Exit(1)
+	}
+	if len(added) > 0 {
+		// Additions are compatible but must be captured, or the next
+		// PR could silently drop them again.
+		os.Exit(2)
+	}
+	fmt.Printf("apicheck: OK (%d declarations)\n", len(current))
+}
+
+// surface renders every exported declaration of the public packages,
+// one canonical line each, sorted.
+func surface(root string) ([]string, error) {
+	var out []string
+	for _, pkg := range packages {
+		lines, err := packageSurface(root, pkg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lines...)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func packageSurface(root, pkg string) ([]string, error) {
+	dir := filepath.Join(root, pkg)
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.Name, "_test") || p.Name == "main" {
+			continue
+		}
+		prefix := pkg
+		if pkg == "." {
+			prefix = p.Name
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				out = append(out, declLines(fset, prefix, decl)...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// declLines renders the exported pieces of one top-level declaration.
+func declLines(fset *token.FileSet, pkg string, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return nil
+		}
+		fn := &ast.FuncDecl{Recv: d.Recv, Name: d.Name, Type: d.Type}
+		return []string{pkg + ": " + render(fset, fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				out = append(out, typeLines(fset, pkg, s)...)
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if !name.IsExported() {
+						continue
+					}
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					line := fmt.Sprintf("%s: %s %s", pkg, kind, name.Name)
+					if s.Type != nil {
+						line += " " + render(fset, s.Type)
+					} else if d.Tok == token.CONST && len(s.Values) == 0 {
+						line += " (iota)"
+					}
+					out = append(out, line)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// typeLines renders an exported type: one line for the type's shape
+// plus one line per exported struct field or interface method, so a
+// removed field/method shows up as a removed line.
+func typeLines(fset *token.FileSet, pkg string, s *ast.TypeSpec) []string {
+	name := s.Name.Name
+	tp := ""
+	if s.TypeParams != nil {
+		tp = "[" + fieldList(fset, s.TypeParams) + "]"
+	}
+	var out []string
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		out = append(out, fmt.Sprintf("%s: type %s%s struct", pkg, name, tp))
+		for _, f := range t.Fields.List {
+			ft := render(fset, f.Type)
+			if len(f.Names) == 0 {
+				out = append(out, fmt.Sprintf("%s: field %s%s.%s (embedded)", pkg, name, tp, ft))
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					out = append(out, fmt.Sprintf("%s: field %s%s.%s %s", pkg, name, tp, fn.Name, ft))
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		out = append(out, fmt.Sprintf("%s: type %s%s interface", pkg, name, tp))
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				out = append(out, fmt.Sprintf("%s: ifacemethod %s%s.%s (embedded)", pkg, name, tp, render(fset, m.Type)))
+				continue
+			}
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					out = append(out, fmt.Sprintf("%s: ifacemethod %s%s.%s%s", pkg, name, tp, mn.Name, render(fset, m.Type)))
+				}
+			}
+		}
+	default:
+		kind := "type"
+		if s.Assign != token.NoPos {
+			kind = "type alias"
+		}
+		out = append(out, fmt.Sprintf("%s: %s %s%s = %s", pkg, kind, name, tp, render(fset, s.Type)))
+	}
+	return out
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func fieldList(fset *token.FileSet, fl *ast.FieldList) string {
+	var parts []string
+	for _, f := range fl.List {
+		var names []string
+		for _, n := range f.Names {
+			names = append(names, n.Name)
+		}
+		parts = append(parts, strings.Join(names, ", ")+" "+render(fset, f.Type))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// render prints an AST node on one line.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func toSet(ls []string) map[string]bool {
+	m := make(map[string]bool, len(ls))
+	for _, l := range ls {
+		m[l] = true
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apicheck:", err)
+	os.Exit(1)
+}

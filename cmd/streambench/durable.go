@@ -144,6 +144,58 @@ func transferBody(accounts []stm.Var, data []byte) (stm.Body, error) {
 	}, nil
 }
 
+// typedBenchCodec builds the -typed -wal bridge: the same wire format
+// as benchCodec (so -recover drives either run's log), decoded into
+// typed transfer Funcs over the TVar pool whose results the latched
+// tickets report.
+func typedBenchCodec(tacc []stm.TVar[uint64]) *stm.TypedCodec[*txnPayload, uint64] {
+	return stm.CodecOf(
+		func(p *txnPayload) ([]byte, error) { return encodePayload(*p) },
+		func(data []byte) (*txnPayload, error) {
+			p, err := decodePayload(data)
+			if err != nil {
+				return nil, err
+			}
+			if p.op == opTransfer {
+				if int(p.from) >= len(tacc) || int(p.to) >= len(tacc) {
+					return nil, fmt.Errorf("streambench: transfer %d→%d outside pool %d", p.from, p.to, len(tacc))
+				}
+				for _, e := range p.extra {
+					if int(e) >= len(tacc) {
+						return nil, fmt.Errorf("streambench: extra read %d outside pool %d", e, len(tacc))
+					}
+				}
+			}
+			return &p, nil
+		},
+		func(p *txnPayload) stm.Func[uint64] {
+			if p.op != opTransfer { // warm ops: read-only, state-neutral
+				return func(tx stm.Tx, _ int) uint64 {
+					for i := range tacc {
+						stm.ReadT(tx, &tacc[i])
+					}
+					return 0
+				}
+			}
+			from, to, extra := p.from, p.to, p.extra
+			return func(tx stm.Tx, _ int) uint64 {
+				b := stm.ReadT(tx, &tacc[from])
+				for _, e := range extra {
+					b += stm.ReadT(tx, &tacc[e])
+				}
+				amt := b % 7
+				cur := stm.ReadT(tx, &tacc[from])
+				if cur >= amt {
+					stm.WriteT(tx, &tacc[from], cur-amt)
+					stm.WriteT(tx, &tacc[to], stm.ReadT(tx, &tacc[to])+amt)
+					return cur - amt
+				}
+				return cur
+			}
+		},
+	)
+}
+
 // benchCodec is the unsharded stm.Codec over the account pool.
 type benchCodec struct{ accounts []stm.Var }
 

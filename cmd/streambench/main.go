@@ -68,6 +68,13 @@ type txnState struct {
 	vars     []*stm.Var // declared access set (sharded mode)
 	pl       txnPayload // reusable durable payload (wal mode)
 	wire     []byte     // recycled encode buffer (wal mode)
+
+	// Typed mode (-typed): the same transfer over TVar[uint64]
+	// accounts as a value-returning Func; handles are the cached
+	// per-account word handles for access declarations.
+	tacc    []stm.TVar[uint64]
+	handles []*stm.Var
+	fnT     stm.Func[uint64]
 }
 
 func newTxnState(accounts []stm.Var, ops int) *txnState {
@@ -83,6 +90,29 @@ func newTxnState(accounts []stm.Var, ops int) *txnState {
 			tx.Write(&st.accounts[st.from], cur-amt)
 			tx.Write(&st.accounts[st.to], tx.Read(&st.accounts[st.to])+amt)
 		}
+	}
+	return st
+}
+
+// newTypedTxnState mirrors newTxnState over the typed pool: one
+// reusable Func per state, returning the sender's post-transfer
+// balance (the typed path must carry a real result to exercise the
+// value latch, not just run).
+func newTypedTxnState(tacc []stm.TVar[uint64], handles []*stm.Var, ops int) *txnState {
+	st := &txnState{tacc: tacc, handles: handles, extra: make([]int, 0, ops), vars: make([]*stm.Var, 0, ops+2)}
+	st.fnT = func(tx stm.Tx, age int) uint64 {
+		b := stm.ReadT(tx, &st.tacc[st.from])
+		for _, i := range st.extra {
+			b += stm.ReadT(tx, &st.tacc[i])
+		}
+		amt := b % 7
+		cur := stm.ReadT(tx, &st.tacc[st.from])
+		if cur >= amt {
+			stm.WriteT(tx, &st.tacc[st.from], cur-amt)
+			stm.WriteT(tx, &st.tacc[st.to], stm.ReadT(tx, &st.tacc[st.to])+amt)
+			return cur - amt
+		}
+		return cur
 	}
 	return st
 }
@@ -143,9 +173,19 @@ func (st *txnState) declare() stm.Access {
 	return stm.Touches(st.vars...)
 }
 
+// declareTyped is declare over the typed pool's cached word handles.
+func (st *txnState) declareTyped() stm.Access {
+	st.vars = st.vars[:0]
+	st.vars = append(st.vars, st.handles[st.from], st.handles[st.to])
+	for _, i := range st.extra {
+		st.vars = append(st.vars, st.handles[i])
+	}
+	return stm.Touches(st.vars...)
+}
+
 func main() {
 	var (
-		algF     = flag.String("alg", "OUL", "algorithm (paper-style name, see stm.ParseAlgorithm)")
+		alg      = stm.OUL
 		workers  = flag.Int("workers", 8, "engine worker goroutines (per shard when -shards > 0)")
 		clients  = flag.Int("clients", 16, "closed-loop client goroutines")
 		txns     = flag.Int("txns", 100000, "total transactions to stream")
@@ -155,6 +195,7 @@ func main() {
 		window   = flag.Int("window", 0, "run-ahead window (0 = default)")
 		epoch    = flag.Int("epoch", 1<<14, "commits per recycling epoch")
 		batch    = flag.Int("batch", 1, "transactions submitted per client round (>1 uses SubmitBatch)")
+		typed    = flag.Bool("typed", false, "drive the typed API (TVar[uint64] + SubmitFunc / SubmitPayloadT) instead of the word API")
 		fresh    = flag.Bool("fresh", false, "disable descriptor recycling (one fresh descriptor per attempt)")
 		shardsF  = flag.Int("shards", 0, "partitions for sharded execution (0 = unsharded stm.Pipeline)")
 		crossF   = flag.Float64("cross", 0, "fraction of transactions spanning two shards (sharded mode)")
@@ -167,11 +208,11 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
+	// Algorithm implements encoding.TextMarshaler/TextUnmarshaler, so
+	// the flag package parses paper-style names directly — no
+	// hand-rolled switch.
+	flag.TextVar(&alg, "alg", stm.OUL, "algorithm (paper-style name, e.g. OUL, OWB, Ordered-TL2)")
 	flag.Parse()
-	alg, err := stm.ParseAlgorithm(*algF)
-	if err != nil {
-		fatal(err)
-	}
 	if *recoverF {
 		if *walDir == "" {
 			fatal(fmt.Errorf("-recover requires -wal"))
@@ -188,6 +229,12 @@ func main() {
 	if *walDir != "" && *batch > 1 && *shardsF > 0 {
 		fatal(fmt.Errorf("-batch > 1 with -wal is unsupported in sharded mode"))
 	}
+	if *typed && *batch > 1 {
+		fatal(fmt.Errorf("-typed has no batched submission path; use -batch 1"))
+	}
+	if *typed && *walDir != "" && *shardsF > 0 {
+		fatal(fmt.Errorf("-typed with -wal is unsupported in sharded mode"))
+	}
 	pcfg := stm.Config{
 		Algorithm:        alg,
 		Workers:          *workers,
@@ -200,6 +247,18 @@ func main() {
 	accounts := stm.NewVars(*pool)
 	for i := range accounts {
 		accounts[i].Store(1000)
+	}
+	// Typed mode state: a TVar pool with the same layout and initial
+	// balances, plus cached word handles for sharded declarations.
+	var tAccounts []stm.TVar[uint64]
+	var tHandles []*stm.Var
+	if *typed {
+		tAccounts = stm.NewTVars[uint64](*pool)
+		tHandles = make([]*stm.Var, *pool)
+		for i := range tAccounts {
+			tAccounts[i].Store(1000)
+			tHandles[i] = tAccounts[i].Vars()[0]
+		}
 	}
 
 	// Durable mode: create the log up front; the selected front-end
@@ -239,7 +298,11 @@ func main() {
 	if *shardsF == 0 {
 		if walw != nil {
 			pcfg.WAL = walw
-			pcfg.Codec = benchCodec{accounts: accounts}
+			if *typed {
+				pcfg.Codec = typedBenchCodec(tAccounts)
+			} else {
+				pcfg.Codec = benchCodec{accounts: accounts}
+			}
 			pcfg.WaitDurable = *waitDur
 		}
 		p, err := stm.NewPipeline(pcfg)
@@ -250,17 +313,34 @@ func main() {
 			st.from, st.to = r.Intn(*pool), r.Intn(*pool)
 			st.fillExtra(st.from, *ops, *pool, nil)
 		}
-		if walw != nil {
+		switch {
+		case *typed && walw != nil:
+			submitOne = func(st *txnState) (waiter, error) {
+				return stm.SubmitPayloadT[*txnPayload, uint64](p, st.payload())
+			}
+		case *typed:
+			submitOne = func(st *txnState) (waiter, error) { return stm.SubmitFunc(p, st.fnT) }
+		case walw != nil:
 			submitOne = func(st *txnState) (waiter, error) { return p.SubmitEncoded(st.encodeWire()) }
-		} else {
+		default:
 			submitOne = func(st *txnState) (waiter, error) { return p.Submit(st.body) }
 		}
 		warmup = func() {
-			var tk *stm.Ticket
+			var tk waiter
 			var err error
-			if walw != nil {
+			switch {
+			case *typed && walw != nil:
+				tk, err = stm.SubmitPayloadT[*txnPayload, uint64](p, &txnPayload{op: opWarmAll})
+			case *typed:
+				tk, err = stm.SubmitFunc(p, func(tx stm.Tx, _ int) uint64 {
+					for i := range tAccounts {
+						stm.ReadT(tx, &tAccounts[i])
+					}
+					return 0
+				})
+			case walw != nil:
 				tk, err = p.SubmitPayload(txnPayload{op: opWarmAll})
-			} else {
+			default:
 				tk, err = p.Submit(func(tx stm.Tx, _ int) {
 					for i := range accounts {
 						tx.Read(&accounts[i])
@@ -308,10 +388,15 @@ func main() {
 	} else {
 		// Partition-local account layout: bucket indices by owning
 		// shard (the stable mapping, computable before the router
-		// exists — the durable codec needs it at construction).
+		// exists — the durable codec needs it at construction). Typed
+		// mode buckets by the TVar pool's word handles instead.
 		buckets := make([][]int, *shardsF)
 		for i := range accounts {
-			s := shard.Of(&accounts[i], *shardsF)
+			h := &accounts[i]
+			if *typed {
+				h = tHandles[i]
+			}
+			s := shard.Of(h, *shardsF)
 			buckets[s] = append(buckets[s], i)
 		}
 		scfg := shard.Config{Shards: *shardsF, Pipeline: pcfg}
@@ -348,22 +433,40 @@ func main() {
 			st.from, st.to = bk[fi], bk[r.Intn(len(bk))]
 			st.fillExtra(fi, *ops, len(bk), bk)
 		}
-		if walw != nil {
+		switch {
+		case *typed:
+			submitOne = func(st *txnState) (waiter, error) {
+				return shard.SubmitFunc(sp, st.declareTyped(), st.fnT)
+			}
+		case walw != nil:
 			submitOne = func(st *txnState) (waiter, error) {
 				return sp.SubmitEncoded(st.encodeWire())
 			}
-		} else {
+		default:
 			submitOne = func(st *txnState) (waiter, error) {
 				return sp.Submit(st.declare(), st.body)
 			}
 		}
 		warmup = func() {
 			for s := range buckets {
-				var tk *shard.Ticket
+				var tk waiter
 				var err error
-				if walw != nil {
+				switch {
+				case *typed:
+					bk := buckets[s]
+					vs := make([]*stm.Var, len(bk))
+					for i, idx := range bk {
+						vs[i] = tHandles[idx]
+					}
+					tk, err = shard.SubmitFunc(sp, stm.Touches(vs...), func(tx stm.Tx, _ int) uint64 {
+						for _, idx := range bk {
+							stm.ReadT(tx, &tAccounts[idx])
+						}
+						return 0
+					})
+				case walw != nil:
 					tk, err = sp.SubmitPayload(txnPayload{op: opWarmShard, shard: uint16(s)})
-				} else {
+				default:
 					bk := buckets[s]
 					vs := make([]*stm.Var, len(bk))
 					for i, idx := range bk {
@@ -492,7 +595,11 @@ func main() {
 			r := rng.New(uint64(c)*0x9E3779B97F4A7C15 + 1)
 			states := make([]*txnState, *batch)
 			for i := range states {
-				states[i] = newTxnState(accounts, *ops)
+				if *typed {
+					states[i] = newTypedTxnState(tAccounts, tHandles, *ops)
+				} else {
+					states[i] = newTxnState(accounts, *ops)
+				}
 			}
 			ws := make([]waiter, 0, *batch)
 			sc := &scratch{
@@ -583,6 +690,7 @@ func main() {
 		Clients:     *clients,
 		Shards:      *shardsF,
 		Batch:       *batch,
+		Typed:       *typed,
 		Fresh:       *fresh,
 		Txns:        int(ncommitted),
 		CrossTxns:   crossCount(),
@@ -625,11 +733,15 @@ func main() {
 		}
 		return
 	}
+	api := "word"
+	if rep.Typed {
+		api = "typed"
+	}
 	if rep.Shards > 0 {
-		fmt.Printf("%s  shards=%d workers=%d/shard clients=%d batch=%d cross=%d\n",
-			rep.Algorithm, rep.Shards, rep.Workers, rep.Clients, rep.Batch, rep.CrossTxns)
+		fmt.Printf("%s  shards=%d workers=%d/shard clients=%d batch=%d cross=%d api=%s\n",
+			rep.Algorithm, rep.Shards, rep.Workers, rep.Clients, rep.Batch, rep.CrossTxns, api)
 	} else {
-		fmt.Printf("%s  workers=%d clients=%d batch=%d\n", rep.Algorithm, rep.Workers, rep.Clients, rep.Batch)
+		fmt.Printf("%s  workers=%d clients=%d batch=%d api=%s\n", rep.Algorithm, rep.Workers, rep.Clients, rep.Batch, api)
 	}
 	fmt.Printf("  %d txns in %.3fs  →  %.0f tx/s\n", rep.Txns, rep.ElapsedS, rep.TxPerSec)
 	fmt.Printf("  commit latency  p50=%.1fµs  p95=%.1fµs  p99=%.1fµs  max=%.1fµs\n",
@@ -668,6 +780,7 @@ type report struct {
 	Clients     int                `json:"clients"`
 	Shards      int                `json:"shards"`
 	Batch       int                `json:"batch"`
+	Typed       bool               `json:"typed,omitempty"`
 	Fresh       bool               `json:"fresh,omitempty"`
 	Txns        int                `json:"txns"`
 	CrossTxns   uint64             `json:"cross_txns"`

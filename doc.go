@@ -6,8 +6,12 @@
 // The public API lives in package stm: ordered software transactional
 // memory (OWB, OUL, OUL-Steal and the paper's baselines) behind two
 // front-ends — Executor for one-shot batches and Pipeline, a
-// long-lived Submit/Future streaming service. The benchmarks in
-// bench_test.go and the cmd tools regenerate the paper's evaluation.
+// long-lived Submit/Future streaming service — with a typed layer on
+// top (v2): generic TVar[T] variables, value-returning transactions
+// whose TicketOf[R] futures latch the committed result, context-aware
+// submission and waits, and typed durable codecs that replay through
+// the write-ahead log. The benchmarks in bench_test.go and the cmd
+// tools regenerate the paper's evaluation.
 //
 // See README.md for a quickstart and package map, DESIGN.md for the
 // system inventory and deliberate departures from the paper's

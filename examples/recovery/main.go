@@ -1,14 +1,19 @@
-// Command recovery demonstrates the durable ordered-commit pipeline
-// surviving a real crash: the program re-executes itself as a child
-// process that streams bank transfers into a WAL-backed pipeline and
-// is killed mid-stream (os.Exit — no flushing, no goodbye), then the
-// parent recovers the log, truncates the torn tail, replays the
-// surviving prefix through a fresh pipeline, and verifies the rebuilt
-// state against an independent sequential fold of the same records.
+// Command recovery demonstrates the *typed* durable ordered-commit
+// pipeline surviving a real crash: the program re-executes itself as
+// a child process that streams typed bank-transfer requests into a
+// WAL-backed pipeline (stm.CodecOf + SubmitPayloadT — each
+// acknowledged request carries a typed reply, the sender's new
+// balance) and is killed mid-stream (os.Exit — no flushing, no
+// goodbye). The parent then recovers the log, truncates the torn
+// tail, replays the surviving prefix through SubmitEncodedT of a
+// fresh pipeline — re-deriving the same typed replies — and verifies
+// the rebuilt state against an independent sequential fold of the
+// same records.
 //
 // The point being demonstrated: with a predefined commit order and
 // deterministic bodies, the log of committed inputs IS the state —
-// recovery is nothing but replay.
+// recovery is nothing but replay, and even the typed results come
+// back.
 //
 //	go run ./examples/recovery
 package main
@@ -29,53 +34,63 @@ const (
 	balance  = 1_000
 )
 
-// payload is one transfer command: the durable input from which the
-// transaction body is decoded, both live and at recovery.
-type payload struct{ from, to uint32 }
+// request is one transfer command: the typed durable input from which
+// the transaction is decoded, both live and at recovery.
+type request struct{ from, to uint32 }
 
-// codec is the application's stm.Codec: 8-byte wire form, decoded
-// into a deterministic transfer body over the shared account pool.
-type codec struct{ pool []stm.Var }
-
-func (c codec) Encode(p any) ([]byte, error) {
-	t := p.(payload)
-	var b [8]byte
-	binary.LittleEndian.PutUint32(b[0:4], t.from)
-	binary.LittleEndian.PutUint32(b[4:8], t.to)
-	return b[:], nil
+// codec builds the application's typed codec: an 8-byte wire form,
+// decoded into a deterministic transfer whose typed result is the
+// sender's post-transfer balance.
+func codec(pool []stm.TVar[uint64]) *stm.TypedCodec[request, uint64] {
+	return stm.CodecOf(
+		func(r request) ([]byte, error) {
+			var b [8]byte
+			binary.LittleEndian.PutUint32(b[0:4], r.from)
+			binary.LittleEndian.PutUint32(b[4:8], r.to)
+			return b[:], nil
+		},
+		func(data []byte) (request, error) {
+			if len(data) != 8 {
+				return request{}, fmt.Errorf("bad payload length %d", len(data))
+			}
+			r := request{
+				from: binary.LittleEndian.Uint32(data[0:4]),
+				to:   binary.LittleEndian.Uint32(data[4:8]),
+			}
+			if int(r.from) >= len(pool) || int(r.to) >= len(pool) {
+				return request{}, fmt.Errorf("transfer %d→%d out of range", r.from, r.to)
+			}
+			return r, nil
+		},
+		func(r request) stm.Func[uint64] {
+			return func(tx stm.Tx, age int) uint64 {
+				amt := uint64(age%5) + 1
+				b := stm.ReadT(tx, &pool[r.from])
+				if b >= amt && r.from != r.to {
+					stm.WriteT(tx, &pool[r.from], b-amt)
+					stm.WriteT(tx, &pool[r.to], stm.ReadT(tx, &pool[r.to])+amt)
+					return b - amt
+				}
+				return b
+			}
+		},
+	)
 }
 
-func (c codec) Decode(data []byte) (stm.Body, error) {
-	if len(data) != 8 {
-		return nil, fmt.Errorf("bad payload length %d", len(data))
-	}
-	from := binary.LittleEndian.Uint32(data[0:4])
-	to := binary.LittleEndian.Uint32(data[4:8])
-	pool := c.pool
-	return func(tx stm.Tx, age int) {
-		amt := uint64(age%5) + 1
-		b := tx.Read(&pool[from])
-		if b >= amt && from != to {
-			tx.Write(&pool[from], b-amt)
-			tx.Write(&pool[to], tx.Read(&pool[to])+amt)
-		}
-	}, nil
-}
-
-func newPool() []stm.Var {
-	pool := stm.NewVars(accounts)
+func newPool() []stm.TVar[uint64] {
+	pool := stm.NewTVars[uint64](accounts)
 	for i := range pool {
 		pool[i].Store(balance)
 	}
 	return pool
 }
 
-func transferFor(age uint64) payload {
-	return payload{from: uint32(age * 7 % accounts), to: uint32((age*13 + 1) % accounts)}
+func transferFor(age uint64) request {
+	return request{from: uint32(age * 7 % accounts), to: uint32((age*13 + 1) % accounts)}
 }
 
-// child streams transfers through a durable pipeline and dies without
-// warning partway through.
+// child streams typed transfers through a durable pipeline and dies
+// without warning partway through.
 func child(dir string) {
 	pool := newPool()
 	w, err := wal.Create(dir, 0, wal.Options{SyncEveryN: 32})
@@ -84,21 +99,23 @@ func child(dir string) {
 		Algorithm:   stm.OUL,
 		Workers:     4,
 		WAL:         w,
-		Codec:       codec{pool: pool},
+		Codec:       codec(pool),
 		WaitDurable: true, // tickets resolve only once their age is on disk
 	})
 	check(err)
 	for age := uint64(0); ; age++ {
-		tk, err := p.SubmitPayload(transferFor(age))
+		tk, err := stm.SubmitPayloadT[request, uint64](p, transferFor(age))
 		check(err)
 		if age == 3_000 {
-			// An acknowledged transfer is durable: wait for this one,
-			// then crash. No Close, no Sync — whatever the group
-			// commits already flushed is all that survives, and the
-			// acknowledged prefix is guaranteed to be part of it.
-			check(tk.Wait())
-			fmt.Printf("  child: age %d acknowledged durable (frontier %d) — crashing now\n",
-				age, p.Durable())
+			// An acknowledged transfer is durable — and its typed reply
+			// is the committed one. Report it, then crash: no Close, no
+			// Sync; whatever the group commits already flushed is all
+			// that survives, and the acknowledged prefix is guaranteed
+			// to be part of it.
+			reply, err := tk.Value()
+			check(err)
+			fmt.Printf("  child: age %d acknowledged durable (reply=%d, frontier %d) — crashing now\n",
+				age, reply, p.Durable())
 			os.Exit(0)
 		}
 	}
@@ -113,7 +130,7 @@ func main() {
 	check(err)
 	defer os.RemoveAll(dir)
 
-	fmt.Println("phase 1: run a durable pipeline in a child process and kill it mid-stream")
+	fmt.Println("phase 1: run a typed durable pipeline in a child process and kill it mid-stream")
 	cmd := exec.Command(os.Args[0], "-child", dir)
 	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
 	check(cmd.Run())
@@ -124,7 +141,7 @@ func main() {
 	fmt.Printf("  recovered %d records (ages %d..%d), torn tail truncated: %v\n",
 		rec.Count(), rec.First(), rec.Next(), rec.Truncated())
 
-	fmt.Println("phase 3: replay the prefix through a fresh pipeline (recovery ≡ replay)")
+	fmt.Println("phase 3: replay the prefix through SubmitEncodedT (recovery ≡ replay, typed results included)")
 	pool := newPool()
 	w, err := rec.Writer(wal.Options{SyncEveryN: 32})
 	check(err)
@@ -133,29 +150,42 @@ func main() {
 		Algorithm: stm.OUL,
 		Workers:   4,
 		WAL:       w, // re-appends of recovered ages are no-ops
-		Codec:     codec{pool: pool},
+		Codec:     codec(pool),
 		FirstAge:  rec.First(),
 	})
 	check(err)
+	replies := make([]uint64, 0, rec.Count())
+	tks := make([]*stm.TicketOf[uint64], 0, rec.Count())
 	check(rec.Replay(func(age uint64, data []byte) error {
-		_, err := p.SubmitEncoded(data)
+		tk, err := stm.SubmitEncodedT[request, uint64](p, data)
+		if err == nil {
+			tks = append(tks, tk)
+		}
 		return err
 	}))
-	check(p.Drain())
+	for _, tk := range tks {
+		v, err := tk.Value()
+		check(err)
+		replies = append(replies, v)
+	}
 	fmt.Printf("  replayed in %v; pipeline resumes at age %d\n", time.Since(start), rec.Next())
 
-	fmt.Println("phase 4: verify against a sequential fold of the recovered inputs")
+	fmt.Println("phase 4: verify state AND typed replies against a sequential fold of the recovered inputs")
 	model := make([]uint64, accounts)
 	for i := range model {
 		model[i] = balance
 	}
-	for _, r := range rec.Records() {
+	for i, r := range rec.Records() {
 		from := binary.LittleEndian.Uint32(r.Payload[0:4])
 		to := binary.LittleEndian.Uint32(r.Payload[4:8])
 		amt := r.Age%5 + 1
 		if model[from] >= amt && from != to {
 			model[from] -= amt
 			model[to] += amt
+		}
+		if replies[i] != model[from] {
+			fmt.Printf("  MISMATCH reply at age %d: replayed %d, model %d\n", r.Age, replies[i], model[from])
+			os.Exit(1)
 		}
 	}
 	var total uint64
@@ -167,13 +197,15 @@ func main() {
 			total += got
 		}
 	}
-	fmt.Printf("  all %d accounts match the sequential model (total conserved: %d)\n", accounts, total)
+	fmt.Printf("  all %d accounts and %d typed replies match the sequential model (total conserved: %d)\n",
+		accounts, len(replies), total)
 
-	fmt.Println("phase 5: the recovered pipeline keeps serving — submit new work")
-	tk, err := p.SubmitPayload(transferFor(rec.Next()))
+	fmt.Println("phase 5: the recovered pipeline keeps serving — submit new typed work")
+	tk, err := stm.SubmitPayloadT[request, uint64](p, transferFor(rec.Next()))
 	check(err)
-	check(tk.Wait())
-	fmt.Printf("  new transfer committed at age %d; log now holds %d ages\n", tk.Age(), w.Next())
+	reply, err := tk.Value()
+	check(err)
+	fmt.Printf("  new transfer committed at age %d (reply=%d); log now holds %d ages\n", tk.Age(), reply, w.Next())
 	check(p.Close())
 	check(w.Close())
 }

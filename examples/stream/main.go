@@ -1,19 +1,25 @@
-// Stream: the state-machine-replication use case as a *live* pipeline.
-// Where examples/replica applies a prerecorded command log as one
-// batch, this replica receives commands one at a time from a consensus
-// layer (simulated as a goroutine emitting slot-ordered commands on a
-// channel) and feeds them straight into an stm.Pipeline: Submit
-// assigns each command its consensus slot as the age, a pool of
-// workers applies them speculatively in parallel, and each command's
-// Ticket resolves exactly when its slot commits — so the replica can
-// acknowledge clients in slot order while execution runs ahead.
+// Stream: the state-machine-replication use case as a *live* typed
+// pipeline. Where examples/replica applies a prerecorded command log
+// as one batch, this replica receives commands one at a time from a
+// consensus layer (simulated as a goroutine emitting slot-ordered
+// commands on a channel) and feeds them straight into an
+// stm.Pipeline through the typed API: SubmitFunc assigns each command
+// its consensus slot as the age, a pool of workers applies them
+// speculatively in parallel, and each command's TicketOf resolves
+// exactly when its slot commits — carrying the command's typed reply
+// (the value the client would be answered with), which is the
+// committing attempt's result and never a speculative one. The
+// acknowledgement loop waits with a context deadline (WaitCtx), as a
+// real server would.
 //
-// At the end the speculative replica's store is compared against a
-// sequential apply of the same log: byte-identical, per the predefined
-// commit order guarantee.
+// At the end the speculative replica's store and every reply are
+// compared against a sequential apply of the same log: byte-identical,
+// per the predefined commit order guarantee.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sync"
@@ -47,18 +53,24 @@ func genCommand(h *uint64) command {
 	}
 }
 
-// apply builds the transaction body for one command over a store.
-func apply(c command, store []stm.Var) stm.Body {
-	return func(tx stm.Tx, _ int) {
+// apply builds the typed transaction for one command over a store;
+// the returned value is the command's reply (the key's new value).
+func apply(c command, store []stm.TVar[uint64]) stm.Func[uint64] {
+	return func(tx stm.Tx, _ int) uint64 {
 		switch c.op {
 		case 'P':
-			tx.Write(&store[c.k1], c.arg)
+			stm.WriteT(tx, &store[c.k1], c.arg)
+			return c.arg
 		case 'I':
-			tx.Write(&store[c.k1], tx.Read(&store[c.k1])+c.arg)
-		case 'M':
-			v := tx.Read(&store[c.k1])
-			tx.Write(&store[c.k1], 0)
-			tx.Write(&store[c.k2], tx.Read(&store[c.k2])+v)
+			nv := stm.ReadT(tx, &store[c.k1]) + c.arg
+			stm.WriteT(tx, &store[c.k1], nv)
+			return nv
+		default: // 'M'
+			v := stm.ReadT(tx, &store[c.k1])
+			stm.WriteT(tx, &store[c.k1], 0)
+			nv := stm.ReadT(tx, &store[c.k2]) + v
+			stm.WriteT(tx, &store[c.k2], nv)
+			return nv
 		}
 	}
 }
@@ -75,25 +87,33 @@ func main() {
 		close(consensus)
 	}()
 
-	store := stm.NewVars(keys)
+	store := stm.NewTVars[uint64](keys)
 	p, err := stm.NewPipeline(stm.Config{Algorithm: stm.OUL, Workers: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The acknowledgement path: a goroutine awaits each ticket in slot
-	// order, as a replica would acknowledge clients.
+	// order with a deadline, as a replica answering clients would. A
+	// deadline miss abandons only the wait — the slot still commits,
+	// so the replica retries the wait rather than losing the slot.
 	var ack sync.WaitGroup
-	tickets := make(chan *stm.Ticket, 256)
-	var acked uint64
+	tickets := make(chan *stm.TicketOf[uint64], 256)
+	replies := make([]uint64, 0, slots)
 	ack.Add(1)
 	go func() {
 		defer ack.Done()
 		for tk := range tickets {
-			if err := tk.Wait(); err != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			v, err := tk.ValueCtx(ctx)
+			cancel()
+			if errors.Is(err, stm.ErrCanceled) {
+				v, err = tk.Value() // deadline missed; the slot is still ours
+			}
+			if err != nil {
 				log.Fatalf("slot %d failed: %v", tk.Age(), err)
 			}
-			acked++
+			replies = append(replies, v)
 		}
 	}()
 
@@ -103,7 +123,7 @@ func main() {
 	start := time.Now()
 	for c := range consensus {
 		cmds = append(cmds, c)
-		tk, err := p.Submit(apply(c, store))
+		tk, err := stm.SubmitFunc(p, apply(c, store))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -116,18 +136,30 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("replica applied %d slots in %v (%.0f cmds/s, %d aborts, %d epochs)\n",
-		acked, elapsed.Round(time.Millisecond),
+		len(replies), elapsed.Round(time.Millisecond),
 		stm.Throughput(p.Committed(), elapsed), p.Stats().TotalAborts(), p.Epochs())
 
-	// Cross-check against a sequential leader applying the same log.
-	leader := stm.NewVars(keys)
-	ex, err := stm.NewExecutor(stm.Config{Algorithm: stm.Sequential})
+	// Cross-check against a sequential leader applying the same log:
+	// final store AND every reply must match.
+	leader := stm.NewTVars[uint64](keys)
+	seq, err := stm.NewPipeline(stm.Config{Algorithm: stm.Sequential})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := ex.Run(len(cmds), func(tx stm.Tx, slot int) {
-		apply(cmds[slot], leader)(tx, slot)
-	}); err != nil {
+	for slot, c := range cmds {
+		tk, err := stm.SubmitFunc(seq, apply(c, leader))
+		if err != nil {
+			log.Fatal(err)
+		}
+		want, err := tk.Value()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want != replies[slot] {
+			log.Fatalf("reply divergence at slot %d: replica %d, leader %d", slot, replies[slot], want)
+		}
+	}
+	if err := seq.Close(); err != nil {
 		log.Fatal(err)
 	}
 	for i := range leader {
@@ -136,5 +168,5 @@ func main() {
 				i, store[i].Load(), leader[i].Load())
 		}
 	}
-	fmt.Println("replica state is byte-identical to the sequential leader")
+	fmt.Println("replica state and every typed reply are identical to the sequential leader")
 }

@@ -40,6 +40,15 @@ func NewVars(n int) []Var {
 	return vs
 }
 
+// InitVar assigns v a fresh identity and initial value — for Vars
+// embedded inside larger structures (the typed layer's inline words)
+// rather than allocated by NewVar/NewVars. It must run before the
+// Var's first use; re-initializing a live Var is a bug.
+func InitVar(v *Var, x uint64) {
+	v.id = varIDs.Add(1)
+	v.val.Store(x)
+}
+
 // ID returns the variable's unique identity (used for lock striping and
 // signature hashing).
 func (v *Var) ID() uint64 { return v.id }

@@ -56,8 +56,8 @@ type option struct {
 type App struct {
 	cfg     Config
 	options []option
-	prices  []stm.Var // per-option result slots
-	portSum stm.Var   // shared portfolio total (contention point)
+	prices  []stm.TVar[float64] // per-option result slots
+	portSum *stm.TVar[float64]  // shared portfolio total (contention point)
 }
 
 // New generates the portfolio.
@@ -67,7 +67,8 @@ func New(cfg Config) *App {
 	a := &App{
 		cfg:     cfg,
 		options: make([]option, cfg.Options),
-		prices:  stm.NewVars(cfg.Options),
+		prices:  stm.NewTVars[float64](cfg.Options),
+		portSum: stm.NewTVar[float64](0),
 	}
 	for i := range a.options {
 		a.options[i] = option{
@@ -123,13 +124,13 @@ func (a *App) Run(r apps.Runner) (stm.Result, error) {
 		var blockSum float64
 		for i := lo; i < hi; i++ {
 			p := price(a.options[i])
-			stm.WriteFloat64(tx, &a.prices[i], p)
+			stm.WriteT(tx, &a.prices[i], p)
 			blockSum += p
 		}
 		if cfg.Yield {
 			runtime.Gosched()
 		}
-		stm.AddFloat64(tx, &a.portSum, blockSum)
+		stm.AddT(tx, a.portSum, blockSum)
 	}
 	return r.Exec(a.NumTxns(), body)
 }
@@ -140,7 +141,7 @@ func (a *App) Verify() error {
 	var want float64
 	for i, o := range a.options {
 		p := price(o)
-		if got := stm.LoadFloat64(&a.prices[i]); got != p {
+		if got := a.prices[i].Load(); got != p {
 			return fmt.Errorf("blackscholes: option %d price %v, want %v", i, got, p)
 		}
 		_ = p
@@ -158,7 +159,7 @@ func (a *App) Verify() error {
 		}
 		want += blockSum
 	}
-	if got := stm.LoadFloat64(&a.portSum); got != want {
+	if got := a.portSum.Load(); got != want {
 		return fmt.Errorf("blackscholes: portfolio sum %v, want %v", got, want)
 	}
 	return nil
@@ -168,9 +169,9 @@ func (a *App) Verify() error {
 func (a *App) Fingerprint() uint64 {
 	var h uint64
 	for i := range a.prices {
-		h = rng.Mix64(h ^ a.prices[i].Load())
+		h = rng.Mix64(h ^ math.Float64bits(a.prices[i].Load()))
 	}
-	return rng.Mix64(h ^ a.portSum.Load())
+	return rng.Mix64(h ^ math.Float64bits(a.portSum.Load()))
 }
 
 // Reset clears the results for another run.

@@ -65,12 +65,12 @@ func (c Config) withDefaults() Config {
 // (STAMP/PARSEC rebuild the grid in a separate phase).
 type App struct {
 	cfg Config
-	n   int       // particle count
-	px  []stm.Var // positions (float bits)
-	py  []stm.Var
-	vx  []stm.Var // velocities
-	vy  []stm.Var
-	rho []stm.Var // densities
+	n   int                 // particle count
+	px  []stm.TVar[float64] // positions
+	py  []stm.TVar[float64]
+	vx  []stm.TVar[float64] // velocities
+	vy  []stm.TVar[float64]
+	rho []stm.TVar[float64] // densities
 	// cells[i] lists particle indexes currently in cell i (rebuilt
 	// sequentially between steps; read-only during phases).
 	cells [][]int
@@ -83,18 +83,18 @@ func New(cfg Config) *App {
 	a := &App{
 		cfg: cfg,
 		n:   n,
-		px:  stm.NewVars(n),
-		py:  stm.NewVars(n),
-		vx:  stm.NewVars(n),
-		vy:  stm.NewVars(n),
-		rho: stm.NewVars(n),
+		px:  stm.NewTVars[float64](n),
+		py:  stm.NewTVars[float64](n),
+		vx:  stm.NewTVars[float64](n),
+		vy:  stm.NewTVars[float64](n),
+		rho: stm.NewTVars[float64](n),
 	}
 	r := rng.New(cfg.Seed)
 	for i := 0; i < n; i++ {
-		stm.StoreFloat64(&a.px[i], r.Float64()*float64(cfg.CellsX))
-		stm.StoreFloat64(&a.py[i], r.Float64()*float64(cfg.CellsY))
-		stm.StoreFloat64(&a.vx[i], (r.Float64()-0.5)*0.1)
-		stm.StoreFloat64(&a.vy[i], (r.Float64()-0.5)*0.1)
+		a.px[i].Store(r.Float64() * float64(cfg.CellsX))
+		a.py[i].Store(r.Float64() * float64(cfg.CellsY))
+		a.vx[i].Store((r.Float64() - 0.5) * 0.1)
+		a.vy[i].Store((r.Float64() - 0.5) * 0.1)
 	}
 	a.rebuildCells()
 	return a
@@ -104,8 +104,8 @@ func New(cfg Config) *App {
 func (a *App) rebuildCells() {
 	a.cells = make([][]int, a.cfg.CellsX*a.cfg.CellsY)
 	for i := 0; i < a.n; i++ {
-		x := int(stm.LoadFloat64(&a.px[i]))
-		y := int(stm.LoadFloat64(&a.py[i]))
+		x := int(a.px[i].Load())
+		y := int(a.py[i].Load())
 		x = clamp(x, 0, a.cfg.CellsX-1)
 		y = clamp(y, 0, a.cfg.CellsY-1)
 		c := y*a.cfg.CellsX + x
@@ -155,13 +155,13 @@ func (a *App) Run(r apps.Runner) (stm.Result, error) {
 		density := func(tx stm.Tx, age int) {
 			c := age
 			for _, i := range a.cells[c] {
-				xi := stm.ReadFloat64(tx, &a.px[i])
-				yi := stm.ReadFloat64(tx, &a.py[i])
+				xi := stm.ReadT(tx, &a.px[i])
+				yi := stm.ReadT(tx, &a.py[i])
 				var rho float64
 				a.neighborhood(c, func(nc int) {
 					for _, j := range a.cells[nc] {
-						xj := stm.ReadFloat64(tx, &a.px[j])
-						yj := stm.ReadFloat64(tx, &a.py[j])
+						xj := stm.ReadT(tx, &a.px[j])
+						yj := stm.ReadT(tx, &a.py[j])
 						d2 := (xi-xj)*(xi-xj) + (yi-yj)*(yi-yj)
 						if d2 < smoothingRadius*smoothingRadius {
 							w := smoothingRadius*smoothingRadius - d2
@@ -169,7 +169,7 @@ func (a *App) Run(r apps.Runner) (stm.Result, error) {
 						}
 					}
 				})
-				stm.WriteFloat64(tx, &a.rho[i], rho)
+				stm.WriteT(tx, &a.rho[i], rho)
 				if a.cfg.Yield {
 					runtime.Gosched()
 				}
@@ -185,18 +185,18 @@ func (a *App) Run(r apps.Runner) (stm.Result, error) {
 		advance := func(tx stm.Tx, age int) {
 			c := age
 			for _, i := range a.cells[c] {
-				xi := stm.ReadFloat64(tx, &a.px[i])
-				yi := stm.ReadFloat64(tx, &a.py[i])
-				ri := stm.ReadFloat64(tx, &a.rho[i])
+				xi := stm.ReadT(tx, &a.px[i])
+				yi := stm.ReadT(tx, &a.py[i])
+				ri := stm.ReadT(tx, &a.rho[i])
 				var fx, fy float64
 				a.neighborhood(c, func(nc int) {
 					for _, j := range a.cells[nc] {
 						if j == i {
 							continue
 						}
-						xj := stm.ReadFloat64(tx, &a.px[j])
-						yj := stm.ReadFloat64(tx, &a.py[j])
-						rj := stm.ReadFloat64(tx, &a.rho[j])
+						xj := stm.ReadT(tx, &a.px[j])
+						yj := stm.ReadT(tx, &a.py[j])
+						rj := stm.ReadT(tx, &a.rho[j])
 						dx, dy := xi-xj, yi-yj
 						d2 := dx*dx + dy*dy
 						if d2 > 1e-12 && d2 < smoothingRadius*smoothingRadius {
@@ -208,14 +208,14 @@ func (a *App) Run(r apps.Runner) (stm.Result, error) {
 					}
 				})
 				const dt = 0.005
-				nvx := stm.ReadFloat64(tx, &a.vx[i]) + fx*dt
-				nvy := stm.ReadFloat64(tx, &a.vy[i]) + fy*dt
-				stm.WriteFloat64(tx, &a.vx[i], nvx)
-				stm.WriteFloat64(tx, &a.vy[i], nvy)
+				nvx := stm.ReadT(tx, &a.vx[i]) + fx*dt
+				nvy := stm.ReadT(tx, &a.vy[i]) + fy*dt
+				stm.WriteT(tx, &a.vx[i], nvx)
+				stm.WriteT(tx, &a.vy[i], nvy)
 				nx := reflect1(xi+nvx*dt, float64(a.cfg.CellsX))
 				ny := reflect1(yi+nvy*dt, float64(a.cfg.CellsY))
-				stm.WriteFloat64(tx, &a.px[i], nx)
-				stm.WriteFloat64(tx, &a.py[i], ny)
+				stm.WriteT(tx, &a.px[i], nx)
+				stm.WriteT(tx, &a.py[i], ny)
 				if a.cfg.Yield {
 					runtime.Gosched()
 				}
@@ -245,12 +245,12 @@ func reflect1(x, max float64) float64 {
 // Verify checks all particles stayed in the domain with finite state.
 func (a *App) Verify() error {
 	for i := 0; i < a.n; i++ {
-		x := stm.LoadFloat64(&a.px[i])
-		y := stm.LoadFloat64(&a.py[i])
+		x := a.px[i].Load()
+		y := a.py[i].Load()
 		if math.IsNaN(x) || math.IsNaN(y) || x < 0 || x > float64(a.cfg.CellsX) || y < 0 || y > float64(a.cfg.CellsY) {
 			return fmt.Errorf("fluidanimate: particle %d escaped to (%v, %v)", i, x, y)
 		}
-		if math.IsNaN(stm.LoadFloat64(&a.rho[i])) {
+		if math.IsNaN(a.rho[i].Load()) {
 			return fmt.Errorf("fluidanimate: particle %d density NaN", i)
 		}
 	}
@@ -262,10 +262,10 @@ func (a *App) Verify() error {
 func (a *App) Fingerprint() uint64 {
 	var h uint64
 	for i := 0; i < a.n; i++ {
-		h = rng.Mix64(h ^ a.px[i].Load())
-		h = rng.Mix64(h ^ a.py[i].Load())
-		h = rng.Mix64(h ^ a.vx[i].Load())
-		h = rng.Mix64(h ^ a.vy[i].Load())
+		h = rng.Mix64(h ^ math.Float64bits(a.px[i].Load()))
+		h = rng.Mix64(h ^ math.Float64bits(a.py[i].Load()))
+		h = rng.Mix64(h ^ math.Float64bits(a.vx[i].Load()))
+		h = rng.Mix64(h ^ math.Float64bits(a.vy[i].Load()))
 	}
 	return h
 }
@@ -274,10 +274,10 @@ func (a *App) Fingerprint() uint64 {
 func (a *App) Reset() {
 	r := rng.New(a.cfg.Seed)
 	for i := 0; i < a.n; i++ {
-		stm.StoreFloat64(&a.px[i], r.Float64()*float64(a.cfg.CellsX))
-		stm.StoreFloat64(&a.py[i], r.Float64()*float64(a.cfg.CellsY))
-		stm.StoreFloat64(&a.vx[i], (r.Float64()-0.5)*0.1)
-		stm.StoreFloat64(&a.vy[i], (r.Float64()-0.5)*0.1)
+		a.px[i].Store(r.Float64() * float64(a.cfg.CellsX))
+		a.py[i].Store(r.Float64() * float64(a.cfg.CellsY))
+		a.vx[i].Store((r.Float64() - 0.5) * 0.1)
+		a.vy[i].Store((r.Float64() - 0.5) * 0.1)
 		a.rho[i].Store(0)
 	}
 	a.rebuildCells()

@@ -63,9 +63,9 @@ type swaption struct {
 type App struct {
 	cfg    Config
 	swapts []swaption
-	prices []stm.Var // per-swaption price (float bits)
-	errs   []stm.Var // per-swaption standard error
-	total  stm.Var   // shared portfolio sum (contention point)
+	prices []stm.TVar[float64] // per-swaption price
+	errs   []stm.TVar[float64] // per-swaption standard error
+	total  *stm.TVar[float64]  // shared portfolio sum (contention point)
 }
 
 // New generates the portfolio.
@@ -75,8 +75,9 @@ func New(cfg Config) *App {
 	a := &App{
 		cfg:    cfg,
 		swapts: make([]swaption, cfg.Swaptions),
-		prices: stm.NewVars(cfg.Swaptions),
-		errs:   stm.NewVars(cfg.Swaptions),
+		prices: stm.NewTVars[float64](cfg.Swaptions),
+		errs:   stm.NewTVars[float64](cfg.Swaptions),
+		total:  stm.NewTVar[float64](0),
 	}
 	for i := range a.swapts {
 		a.swapts[i] = swaption{
@@ -137,9 +138,9 @@ func (a *App) Run(r apps.Runner) (stm.Result, error) {
 		if a.cfg.Yield {
 			runtime.Gosched()
 		}
-		stm.WriteFloat64(tx, &a.prices[age], price)
-		stm.WriteFloat64(tx, &a.errs[age], stderr)
-		stm.AddFloat64(tx, &a.total, price)
+		stm.WriteT(tx, &a.prices[age], price)
+		stm.WriteT(tx, &a.errs[age], stderr)
+		stm.AddT(tx, a.total, price)
 	}
 	return r.Exec(a.cfg.Swaptions, body)
 }
@@ -149,12 +150,12 @@ func (a *App) Verify() error {
 	var want float64
 	for i := range a.swapts {
 		p, e := a.simulate(i)
-		if stm.LoadFloat64(&a.prices[i]) != p || stm.LoadFloat64(&a.errs[i]) != e {
+		if a.prices[i].Load() != p || a.errs[i].Load() != e {
 			return fmt.Errorf("swaptions: slot %d differs from recomputation", i)
 		}
 		want += p
 	}
-	if got := stm.LoadFloat64(&a.total); got != want {
+	if got := a.total.Load(); got != want {
 		return fmt.Errorf("swaptions: portfolio total %v, want %v", got, want)
 	}
 	return nil
@@ -164,10 +165,10 @@ func (a *App) Verify() error {
 func (a *App) Fingerprint() uint64 {
 	var h uint64
 	for i := range a.prices {
-		h = rng.Mix64(h ^ a.prices[i].Load())
-		h = rng.Mix64(h ^ a.errs[i].Load())
+		h = rng.Mix64(h ^ math.Float64bits(a.prices[i].Load()))
+		h = rng.Mix64(h ^ math.Float64bits(a.errs[i].Load()))
 	}
-	return rng.Mix64(h ^ a.total.Load())
+	return rng.Mix64(h ^ math.Float64bits(a.total.Load()))
 }
 
 // Reset clears the results for another run.

@@ -60,8 +60,8 @@ func (c Config) withDefaults() Config {
 // loop-carried dependency between consecutive regions).
 type App struct {
 	cfg  Config
-	disp []stm.Var // displacement (float bits)
-	vel  []stm.Var // velocity
+	disp []stm.TVar[float64] // displacement
+	vel  []stm.TVar[float64] // velocity
 	// stiffness is the read-only per-node material coefficient.
 	stiffness []float64
 }
@@ -71,8 +71,8 @@ func New(cfg Config) *App {
 	cfg = cfg.withDefaults()
 	a := &App{
 		cfg:       cfg,
-		disp:      stm.NewVars(cfg.Nodes),
-		vel:       stm.NewVars(cfg.Nodes),
+		disp:      stm.NewTVars[float64](cfg.Nodes),
+		vel:       stm.NewTVars[float64](cfg.Nodes),
 		stiffness: make([]float64, cfg.Nodes),
 	}
 	r := rng.New(cfg.Seed)
@@ -88,8 +88,8 @@ func (a *App) excite() {
 	center := a.cfg.Nodes / 2
 	for i := 0; i < a.cfg.Nodes; i++ {
 		d := float64(i - center)
-		stm.StoreFloat64(&a.disp[i], math.Exp(-d*d/50))
-		stm.StoreFloat64(&a.vel[i], 0)
+		a.disp[i].Store(math.Exp(-d * d / 50))
+		a.vel[i].Store(0)
 	}
 }
 
@@ -110,18 +110,18 @@ func (a *App) Run(r apps.Runner) (stm.Result, error) {
 		}
 		const dt = 0.05
 		for i := lo; i < hi; i++ {
-			left := stm.ReadFloat64(tx, &a.disp[wrap(i-1, cfg.Nodes)])
-			right := stm.ReadFloat64(tx, &a.disp[wrap(i+1, cfg.Nodes)])
-			u := stm.ReadFloat64(tx, &a.disp[i])
-			v := stm.ReadFloat64(tx, &a.vel[i])
+			left := stm.ReadT(tx, &a.disp[wrap(i-1, cfg.Nodes)])
+			right := stm.ReadT(tx, &a.disp[wrap(i+1, cfg.Nodes)])
+			u := stm.ReadT(tx, &a.disp[i])
+			v := stm.ReadT(tx, &a.vel[i])
 			// Wave equation stencil with per-node stiffness; the
 			// in-place update makes node i-1's new value feed node i
 			// within the same sweep, as in the original loop.
 			acc := a.stiffness[i] * (left + right - 2*u)
 			v += acc * dt
 			u += v * dt
-			stm.WriteFloat64(tx, &a.vel[i], v)
-			stm.WriteFloat64(tx, &a.disp[i], u)
+			stm.WriteT(tx, &a.vel[i], v)
+			stm.WriteT(tx, &a.disp[i], u)
 			if cfg.Yield {
 				runtime.Gosched()
 			}
@@ -144,8 +144,8 @@ func wrap(i, n int) int {
 func (a *App) Verify() error {
 	var energy float64
 	for i := 0; i < a.cfg.Nodes; i++ {
-		u := stm.LoadFloat64(&a.disp[i])
-		v := stm.LoadFloat64(&a.vel[i])
+		u := a.disp[i].Load()
+		v := a.vel[i].Load()
 		if math.IsNaN(u) || math.IsInf(u, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("equake: node %d diverged (u=%v v=%v)", i, u, v)
 		}
@@ -161,8 +161,8 @@ func (a *App) Verify() error {
 func (a *App) Fingerprint() uint64 {
 	var h uint64
 	for i := 0; i < a.cfg.Nodes; i++ {
-		h = rng.Mix64(h ^ a.disp[i].Load())
-		h = rng.Mix64(h ^ a.vel[i].Load())
+		h = rng.Mix64(h ^ math.Float64bits(a.disp[i].Load()))
+		h = rng.Mix64(h ^ math.Float64bits(a.vel[i].Load()))
 	}
 	return h
 }

@@ -24,18 +24,18 @@ func TestSequentialVerifies(t *testing.T) {
 
 func TestWavePropagates(t *testing.T) {
 	a := New(small(false))
-	edge0 := stm.LoadFloat64(&a.disp[2])
+	edge0 := a.disp[2].Load()
 	if _, err := a.Run(apps.Runner{Alg: stm.Sequential, Workers: 1}); err != nil {
 		t.Fatal(err)
 	}
-	center := stm.LoadFloat64(&a.disp[a.cfg.Nodes/2])
+	center := a.disp[a.cfg.Nodes/2].Load()
 	if center == 1.0 {
 		t.Fatal("center displacement never evolved")
 	}
 	_ = edge0
 	var moved bool
 	for i := 0; i < a.cfg.Nodes; i++ {
-		if math.Abs(stm.LoadFloat64(&a.vel[i])) > 1e-12 {
+		if math.Abs(a.vel[i].Load()) > 1e-12 {
 			moved = true
 			break
 		}

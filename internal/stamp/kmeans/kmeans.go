@@ -79,8 +79,8 @@ type App struct {
 	points [][]float64 // read-only input
 	// Shared accumulators, rebuilt every iteration: per-cluster sums
 	// and membership counts.
-	sums   []stm.Var // K*Dims float64 bit patterns
-	counts []stm.Var // K counts
+	sums   []stm.TVar[float64] // K*Dims per-cluster coordinate sums
+	counts []stm.Var           // K counts
 	// centers is the per-iteration snapshot (plain memory, read-only
 	// during the transactional phase, as in STAMP).
 	centers [][]float64
@@ -93,7 +93,7 @@ func New(cfg Config) *App {
 	a := &App{
 		cfg:    cfg,
 		points: make([][]float64, cfg.Points),
-		sums:   stm.NewVars(cfg.K * cfg.Dims),
+		sums:   stm.NewTVars[float64](cfg.K * cfg.Dims),
 		counts: stm.NewVars(cfg.K),
 	}
 	for i := range a.points {
@@ -153,7 +153,7 @@ func (a *App) Run(r apps.Runner) (stm.Result, error) {
 				p := a.points[i]
 				k := a.nearest(p) // local computation on the snapshot
 				for d := 0; d < cfg.Dims; d++ {
-					stm.AddFloat64(tx, &a.sums[k*cfg.Dims+d], p[d])
+					stm.AddT(tx, &a.sums[k*cfg.Dims+d], p[d])
 				}
 				tx.Write(&a.counts[k], tx.Read(&a.counts[k])+1)
 				if cfg.Yield {
@@ -173,7 +173,7 @@ func (a *App) Run(r apps.Runner) (stm.Result, error) {
 				continue
 			}
 			for d := 0; d < cfg.Dims; d++ {
-				a.centers[k][d] = stm.LoadFloat64(&a.sums[k*cfg.Dims+d]) / float64(n)
+				a.centers[k][d] = a.sums[k*cfg.Dims+d].Load() / float64(n)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -150,7 +151,22 @@ func (p *Pipeline) Submit(body Body) (*Ticket, error) {
 	if p.s.dur != nil {
 		return nil, ErrPayloadRequired
 	}
-	return p.submit(body, nil)
+	return p.submit(nil, body, nil)
+}
+
+// SubmitCtx is Submit with a cancellable backpressure wait: while the
+// pipeline is at Capacity the call parks exactly like Submit, but a
+// context cancellation withdraws the submission and returns an error
+// wrapping ErrCanceled (and ctx's error). Cancellation is only
+// observed before an age is assigned — once SubmitCtx returns a
+// Ticket the transaction owns its position in the predefined order
+// and will commit regardless of what happens to ctx (use
+// Ticket.WaitCtx to bound the wait instead).
+func (p *Pipeline) SubmitCtx(ctx context.Context, body Body) (*Ticket, error) {
+	if p.s.dur != nil {
+		return nil, ErrPayloadRequired
+	}
+	return p.submit(ctx, body, nil)
 }
 
 // SubmitPayload encodes payload through the configured Codec, decodes
@@ -158,6 +174,19 @@ func (p *Pipeline) Submit(body Body) (*Ticket, error) {
 // replay share the decoded path by construction), and submits it.
 // The encoded form is what the WAL stores once the age commits.
 func (p *Pipeline) SubmitPayload(payload any) (*Ticket, error) {
+	return p.submitPayload(nil, payload)
+}
+
+// SubmitPayloadCtx is SubmitPayload with SubmitCtx's cancellable
+// backpressure wait and withdrawal semantics.
+func (p *Pipeline) SubmitPayloadCtx(ctx context.Context, payload any) (*Ticket, error) {
+	return p.submitPayload(ctx, payload)
+}
+
+// submitPayload is the shared encode → decode → submit sequence; ctx
+// (nil for the uncancellable entry point) bounds the backpressure
+// wait.
+func (p *Pipeline) submitPayload(ctx context.Context, payload any) (*Ticket, error) {
 	if p.cfg.Codec == nil {
 		return nil, errors.New("stm: SubmitPayload requires Config.Codec")
 	}
@@ -165,7 +194,11 @@ func (p *Pipeline) SubmitPayload(payload any) (*Ticket, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stm: encode payload: %w", err)
 	}
-	return p.SubmitEncoded(data)
+	body, err := p.cfg.Codec.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("stm: decode payload: %w", err)
+	}
+	return p.submit(ctx, body, data)
 }
 
 // SubmitEncoded submits a payload already in its wire form — the
@@ -185,37 +218,78 @@ func (p *Pipeline) SubmitEncoded(data []byte) (*Ticket, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stm: decode payload: %w", err)
 	}
-	return p.submit(body, data)
+	return p.submit(nil, body, data)
 }
 
-// submit is the shared submission core: backpressure, age assignment,
-// ticket registration, and (for durable pipelines) payload retention
-// until the commit frontier hands the age to the WAL.
-func (p *Pipeline) submit(body Body, payload []byte) (*Ticket, error) {
+// submit is the shared submission core over a freshly allocated
+// ticket; ctx (nil for the uncancellable entry points) bounds the
+// backpressure wait.
+func (p *Pipeline) submit(ctx context.Context, body Body, payload []byte) (*Ticket, error) {
+	t := newTicket()
+	if err := p.submitWith(ctx, t, body, payload); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// submitWith posts body onto the stream through the caller-provided
+// ticket (the typed front-ends embed the Ticket inside a TicketOf so
+// submission costs one allocation for the pair, not two): it applies
+// backpressure, assigns the next age, registers the ticket, and (for
+// durable pipelines) retains the payload until the commit frontier
+// hands the age to the WAL. A non-nil ctx makes the backpressure wait
+// cancellable: cancellation before an age is assigned withdraws the
+// submission with an error wrapping ErrCanceled; after assignment the
+// context is not consulted, so an accepted age is never lost.
+func (p *Pipeline) submitWith(ctx context.Context, t *Ticket, body Body, payload []byte) error {
 	if body == nil {
-		return nil, errors.New("stm: nil body")
+		return errors.New("stm: nil body")
 	}
 	s := p.s
+	var unwatch func() bool
+	defer func() {
+		if unwatch != nil {
+			unwatch()
+		}
+	}()
 	s.mu.Lock()
 	for {
 		if s.fault != nil {
 			f := s.fault
 			s.mu.Unlock()
-			return nil, &Stopped{Fault: f}
+			return &Stopped{Fault: f}
 		}
 		if s.closed {
 			s.mu.Unlock()
-			return nil, ErrClosed
+			return ErrClosed
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				s.mu.Unlock()
+				return fmt.Errorf("%w before an age was assigned: %w", ErrCanceled, err)
+			}
 		}
 		if s.submitted-(s.base+s.ncommitted) < uint64(s.capacity) {
 			break
 		}
+		if ctx != nil && unwatch == nil && ctx.Done() != nil {
+			// The backpressure wait parks on the stream's cond, which a
+			// context firing must be able to wake. Registered lazily —
+			// only once a park is imminent — so the common no-wait
+			// submit pays nothing; no wakeup can be lost because the
+			// callback needs s.mu (held here) to broadcast.
+			unwatch = context.AfterFunc(ctx, func() {
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			})
+		}
 		s.cond.Wait() // backpressure: wait for the commit frontier
 	}
-	t := s.post(body, payload)
+	s.post(t, body, payload)
 	s.cond.Broadcast() // wake claim-blocked workers
 	s.mu.Unlock()
-	return t, nil
+	return nil
 }
 
 // SubmitBatch submits the bodies as consecutive ages of the stream,
@@ -301,7 +375,9 @@ func (p *Pipeline) submitBatch(bodies []Body, payloads [][]byte) ([]*Ticket, err
 		if payloads != nil {
 			data = payloads[i]
 		}
-		out = append(out, s.post(body, data))
+		t := newTicket()
+		s.post(t, body, data)
+		out = append(out, t)
 	}
 	s.cond.Broadcast() // wake claim-blocked workers
 	s.mu.Unlock()
@@ -588,12 +664,12 @@ func newStream(cfg Config) *stream {
 	return s
 }
 
-// post assigns the next age to body and registers its ticket (and,
-// on durable pipelines, retains the encoded payload until commit).
-// Called with mu held and room available.
-func (s *stream) post(body Body, payload []byte) *Ticket {
+// post assigns the next age to body and registers the caller's
+// ticket (and, on durable pipelines, retains the encoded payload
+// until commit). Called with mu held and room available.
+func (s *stream) post(t *Ticket, body Body, payload []byte) {
 	age := s.submitted
-	t := &Ticket{age: age, done: make(chan struct{})}
+	t.age = age
 	s.entries[age&s.emask] = pipeEntry{age: age, body: body}
 	if d := s.dur; d != nil {
 		sl := &d.pring[age&s.emask]
@@ -611,7 +687,6 @@ func (s *stream) post(body Body, payload []byte) *Ticket {
 		s.tickets[age] = t // ring slot still held by an unresolved age
 	}
 	s.submitted++
-	return t
 }
 
 // claim implements feed: hand out submitted ages in order, blocking

@@ -32,6 +32,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -182,7 +183,24 @@ func (sp *ShardedPipeline) Submit(access stm.Access, body stm.Body) (*Ticket, er
 	if sp.dr != nil {
 		return nil, stm.ErrPayloadRequired
 	}
-	return sp.route(access, body, nil)
+	return sp.route(nil, access, body, nil)
+}
+
+// SubmitCtx is Submit with a cancellable backpressure wait, the
+// sharded equivalent of stm.Pipeline.SubmitCtx. Cancellation is only
+// observed while the submission can still be withdrawn without
+// leaving a gap in any (global or local) age sequence: before any
+// involved shard has accepted work for it. A cancellation inside that
+// window returns an error wrapping stm.ErrCanceled and the router
+// state is exactly as if the Submit never happened; past the window
+// the context is not consulted and the call completes normally, so an
+// accepted transaction never loses its position (bound the wait with
+// Ticket.WaitCtx instead).
+func (sp *ShardedPipeline) SubmitCtx(ctx context.Context, access stm.Access, body stm.Body) (*Ticket, error) {
+	if sp.dr != nil {
+		return nil, stm.ErrPayloadRequired
+	}
+	return sp.route(ctx, access, body, nil)
 }
 
 // SubmitPayload encodes payload through the configured Codec, decodes
@@ -227,12 +245,16 @@ func (sp *ShardedPipeline) submitEncodedOwned(data []byte) (*Ticket, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: decode payload: %w", err)
 	}
-	return sp.route(access, body, data)
+	return sp.route(nil, access, body, data)
 }
 
-// route is the shared submission core; data is nil on non-durable
-// routers, else the encoded payload the WAL will store.
-func (sp *ShardedPipeline) route(access stm.Access, body stm.Body, data []byte) (*Ticket, error) {
+// route is the shared submission core; ctx (nil for the uncancellable
+// entry points) bounds the shard-side backpressure wait, and data is
+// nil on non-durable routers, else the encoded payload the WAL will
+// store. On cancellation the assigned global age is rolled back —
+// safe because sp.mu is held from assignment to rollback, so the age
+// was never observable.
+func (sp *ShardedPipeline) route(ctx context.Context, access stm.Access, body stm.Body, data []byte) (*Ticket, error) {
 	if body == nil {
 		return nil, errors.New("shard: nil body")
 	}
@@ -250,11 +272,20 @@ func (sp *ShardedPipeline) route(access stm.Access, body stm.Body, data []byte) 
 	}
 	g := sp.nextG
 	sp.nextG++
+	var t *Ticket
 	if len(involved) == 1 {
-		return sp.submitLocal(g, involved[0], body, data)
+		t, err = sp.submitLocal(ctx, g, involved[0], body, data)
+	} else {
+		t, err = sp.submitCross(ctx, g, involved, body, data)
 	}
-	sp.ncross++
-	return sp.submitCross(g, involved, body, data)
+	if err != nil && errors.Is(err, stm.ErrCanceled) {
+		sp.nextG-- // withdrawn before any shard accepted it; reuse the age
+		return nil, err
+	}
+	if err == nil && len(involved) > 1 {
+		sp.ncross++
+	}
+	return t, err
 }
 
 // Request pairs a declared access set with a transaction body for
@@ -359,7 +390,7 @@ func (sp *ShardedPipeline) SubmitBatch(reqs []Request) ([]*Ticket, error) {
 			}
 		}
 		sp.ncross++
-		t, err := sp.submitCross(g, parts[i], reqs[i].Body, nil)
+		t, err := sp.submitCross(nil, g, parts[i], reqs[i].Body, nil)
 		if err != nil {
 			flushAll()
 			return out, batchErr(err)
@@ -408,10 +439,11 @@ func (sp *ShardedPipeline) partitions(a stm.Access) ([]int, error) {
 // shard's local age sequence. Called with sp.mu held; the per-shard
 // Submit may block on that shard's backpressure, which paces the
 // whole router — the global sequencer is intentionally the one
-// serialization point. On durable routers the global age and its
-// local mapping are registered *before* the shard sees the
-// submission, so the commit hook can never observe an unmapped age.
-func (sp *ShardedPipeline) submitLocal(g uint64, s int, body stm.Body, data []byte) (*Ticket, error) {
+// serialization point (and what makes route's cancellation rollback
+// sound). On durable routers the global age and its local mapping are
+// registered *before* the shard sees the submission, so the commit
+// hook can never observe an unmapped age.
+func (sp *ShardedPipeline) submitLocal(ctx context.Context, g uint64, s int, body stm.Body, data []byte) (*Ticket, error) {
 	wrapped := func(tx stm.Tx, _ int) {
 		defer sp.guard(g, tx)
 		body(&checkedTx{tx: tx, shards: sp.shards, shard: s, g: g}, int(g))
@@ -421,11 +453,14 @@ func (sp *ShardedPipeline) submitLocal(g uint64, s int, body stm.Body, data []by
 		rt = sp.dr.add(g, data, 1)
 		sp.dr.mapLocal(s, sp.localNext[s], g)
 	}
-	lt, err := sp.pipes[s].Submit(wrapped)
+	lt, err := sp.pipes[s].SubmitCtx(ctx, wrapped)
 	if err != nil {
 		if sp.dr != nil {
 			sp.dr.unmapLocal(s, sp.localNext[s])
 			sp.dr.drop(g)
+		}
+		if errors.Is(err, stm.ErrCanceled) {
+			return nil, err // withdrawn whole; route rolls the age back
 		}
 		return nil, sp.translate(g, err)
 	}
@@ -461,8 +496,11 @@ func (sp *ShardedPipeline) guard(g uint64, tx stm.Tx) {
 // fence's local age is mapped to g before it is submitted; the
 // global age completes (and its payload reaches the WAL) once all
 // fences committed — which is exactly "committed on every involved
-// shard".
-func (sp *ShardedPipeline) submitCross(g uint64, involved []int, body stm.Body, data []byte) (*Ticket, error) {
+// shard". Cancellation (non-nil ctx) is honored only on the first
+// fence: once any shard accepted a fence the transaction owns local
+// ages that cannot be withdrawn, so the remaining fences submit
+// uncancellably and the call completes.
+func (sp *ShardedPipeline) submitCross(ctx context.Context, g uint64, involved []int, body stm.Body, data []byte) (*Ticket, error) {
 	x := newXtxn(sp, g, involved, body)
 	var t *Ticket
 	routerOwned := false
@@ -480,12 +518,27 @@ func (sp *ShardedPipeline) submitCross(g uint64, involved []int, body stm.Body, 
 	sp.xout++
 	sp.xmu.Unlock()
 	fences := make([]*stm.Ticket, 0, len(involved))
-	for _, s := range involved {
+	for i, s := range involved {
 		if sp.dr != nil {
 			sp.dr.mapLocal(s, sp.localNext[s], g)
 		}
-		ft, err := sp.pipes[s].Submit(sp.fenceBody(x, s))
+		fctx := ctx
+		if i > 0 {
+			fctx = nil // past the withdrawal window (see above)
+		}
+		ft, err := sp.pipes[s].SubmitCtx(fctx, sp.fenceBody(x, s))
 		if err != nil {
+			if errors.Is(err, stm.ErrCanceled) {
+				// First fence, nothing accepted anywhere: withdraw the
+				// whole submission. The ticket never escaped, so it is
+				// dropped unresolved; route rolls the global age back.
+				if sp.dr != nil {
+					sp.dr.unmapLocal(s, sp.localNext[s])
+					sp.dr.drop(g)
+				}
+				sp.xfinish(g)
+				return nil, err
+			}
 			// A shard refused the fence, which only happens when the
 			// system is stopping (Close cannot interleave: it takes
 			// sp.mu before closing pipelines). Fences already in

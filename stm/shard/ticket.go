@@ -1,6 +1,12 @@
 package shard
 
-import "github.com/orderedstm/ostm/stm"
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/orderedstm/ostm/stm"
+)
 
 // Ticket tracks one submission through the sharded pipeline. Age is
 // the transaction's position in the global predefined order. A ticket
@@ -47,6 +53,30 @@ func (t *Ticket) Wait() error {
 	}
 	<-t.done
 	return t.sp.translate(t.g, t.err)
+}
+
+// WaitCtx is Wait with a caller-side deadline (stm.Ticket.WaitCtx's
+// semantics): it returns the ticket's outcome, or an error wrapping
+// stm.ErrCanceled if the context ends first. Cancellation abandons
+// only this wait — the transaction keeps its global age and the
+// ticket resolves normally for any later waiter.
+func (t *Ticket) WaitCtx(ctx context.Context) error {
+	if t.local != nil {
+		err := t.local.WaitCtx(ctx)
+		if errors.Is(err, stm.ErrCanceled) {
+			// The caller gave up; do not rewrite the cancellation into
+			// the global fault vocabulary (the ticket is unresolved) —
+			// but do speak global ages, not the inner shard-local age.
+			return fmt.Errorf("%w waiting for global age %d: %w", stm.ErrCanceled, t.g, ctx.Err())
+		}
+		return t.sp.translate(t.g, err)
+	}
+	select {
+	case <-t.done:
+		return t.sp.translate(t.g, t.err)
+	case <-ctx.Done():
+		return fmt.Errorf("%w waiting for global age %d: %w", stm.ErrCanceled, t.g, ctx.Err())
+	}
 }
 
 // Err is a non-blocking peek at the outcome: resolved=false while the

@@ -13,6 +13,21 @@
 //
 // # Quick start
 //
+// The typed API (v2) is the recommended surface: typed variables
+// (TVar), value-returning transactions (Func, SubmitFunc, TicketOf)
+// and context-aware waits, all compiled down to the word-level core.
+//
+//	balance := stm.NewTVar[uint64](100)
+//	p, _ := stm.NewPipeline(stm.Config{Algorithm: stm.OUL, Workers: 8})
+//	t, _ := stm.SubmitFunc(p, func(tx stm.Tx, age int) uint64 {
+//	    b := stm.ReadT(tx, balance) + 1
+//	    stm.WriteT(tx, balance, b)
+//	    return b // latched at commit; speculative attempts are discarded
+//	})
+//	newBalance, err := t.Value() // resolves in commit order
+//	...
+//	err = p.Close()
+//
 // Batch (one-shot, one shared body — the paper's model):
 //
 //	counter := stm.NewVar(0)
@@ -21,28 +36,24 @@
 //	    tx.Write(counter, tx.Read(counter)+1)
 //	})
 //
-// Streaming (long-lived Submit/Future service over an unbounded
-// stream of heterogeneous bodies; ages are assigned at Submit and the
-// Ticket resolves when that age commits):
+// Both front-ends drive the same execution core; see DESIGN.md. The
+// word-level API (Var, Tx.Read/Tx.Write, Pipeline.Submit) remains the
+// substrate and stays fully supported; the typed layer compiles down
+// to it rather than replacing it (the former float64 bit-casting
+// helpers are the one retirement — TVar[float64] and AddT subsume
+// them). To scale past a single commit frontier, stm/shard
+// runs one pipeline per data partition behind the same ordered-Submit
+// surface (transactions then declare their variables via Access). To
+// survive a crash, attach a write-ahead log (stm/wal) with Config.WAL
+// and a Codec: the pipeline logs each committed age's input payload
+// in order, and recovery deterministically replays the surviving
+// prefix (SubmitPayload/SubmitEncoded, wal.Recover; typed requests
+// and results go through CodecOf and SubmitPayloadT/SubmitEncodedT).
 //
-//	p, _ := stm.NewPipeline(stm.Config{Algorithm: stm.OUL, Workers: 8})
-//	ticket, _ := p.Submit(func(tx stm.Tx, age int) { ... })
-//	err := ticket.Wait()
-//	...
-//	err = p.Close()
-//
-// Both front-ends drive the same execution core; see DESIGN.md. To
-// scale past a single commit frontier, stm/shard runs one pipeline
-// per data partition behind the same ordered-Submit surface
-// (transactions then declare their variables via Access). To survive
-// a crash, attach a write-ahead log (stm/wal) with Config.WAL and a
-// Codec: the pipeline logs each committed age's input payload in
-// order, and recovery deterministically replays the surviving prefix
-// (SubmitPayload/SubmitEncoded, wal.Recover).
-//
-// Transaction bodies must access shared state only through tx.Read and
-// tx.Write, and must be deterministic functions of (age, memory): the
-// executor re-executes bodies after aborts, possibly many times.
+// Transaction bodies must access shared state only through the
+// transaction handle (tx.Read/tx.Write, or ReadT/WriteT over typed
+// variables), and must be deterministic functions of (age, memory):
+// the executor re-executes bodies after aborts, possibly many times.
 // Speculative faults (panics caused by reading an inconsistent
 // snapshot) are sandboxed and retried; genuine faults are returned as
 // a *Fault error.
@@ -59,6 +70,7 @@ package stm
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/orderedstm/ostm/internal/core"
 	"github.com/orderedstm/ostm/internal/meta"
@@ -180,15 +192,37 @@ func (a Algorithm) Ordered() bool {
 	}
 }
 
-// ParseAlgorithm resolves a paper-style name (case-sensitive, as
-// produced by String) to an Algorithm.
+// ParseAlgorithm resolves a paper-style name (as produced by String;
+// ASCII case differences are tolerated) to an Algorithm.
 func ParseAlgorithm(name string) (Algorithm, error) {
 	for a := Sequential; a < numAlgorithms; a++ {
-		if a.String() == name {
+		if strings.EqualFold(a.String(), name) {
 			return a, nil
 		}
 	}
 	return 0, fmt.Errorf("stm: unknown algorithm %q", name)
+}
+
+// MarshalText implements encoding.TextMarshaler with the paper's name
+// for the algorithm, so configurations and benchmark flags serialize
+// algorithms without hand-rolled switches.
+func (a Algorithm) MarshalText() ([]byte, error) {
+	if a < Sequential || a >= numAlgorithms {
+		return nil, fmt.Errorf("stm: unknown algorithm %d", int(a))
+	}
+	return []byte(a.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via
+// ParseAlgorithm; with MarshalText it makes Algorithm usable directly
+// in flag.TextVar, JSON configs and similar text-keyed settings.
+func (a *Algorithm) UnmarshalText(text []byte) error {
+	v, err := ParseAlgorithm(string(text))
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
 }
 
 // newEngine builds a fresh engine instance for one run.
@@ -224,22 +258,3 @@ func newEngine(a Algorithm, cfg meta.EngineConfig) (meta.Engine, error) {
 		return nil, fmt.Errorf("stm: unknown algorithm %d", int(a))
 	}
 }
-
-// ReadFloat64 reads v as a float64 (bit-pattern conversion helper).
-func ReadFloat64(tx Tx, v *Var) float64 { return fromBits(tx.Read(v)) }
-
-// WriteFloat64 writes a float64 into v (bit-pattern conversion helper).
-func WriteFloat64(tx Tx, v *Var, x float64) { tx.Write(v, toBits(x)) }
-
-// AddFloat64 adds delta to v transactionally and returns the new value.
-func AddFloat64(tx Tx, v *Var, delta float64) float64 {
-	nv := fromBits(tx.Read(v)) + delta
-	tx.Write(v, toBits(nv))
-	return nv
-}
-
-// LoadFloat64 reads a Var's quiescent value as float64.
-func LoadFloat64(v *Var) float64 { return fromBits(v.Load()) }
-
-// StoreFloat64 sets a Var's quiescent value from a float64.
-func StoreFloat64(v *Var, x float64) { v.Store(toBits(x)) }

@@ -47,34 +47,61 @@ func TestOrderedPredicate(t *testing.T) {
 	}
 }
 
-func TestFloatHelpers(t *testing.T) {
-	v := stm.NewVar(0)
+func TestFloatTVar(t *testing.T) {
+	v := stm.NewTVar[float64](0)
 	ex, err := stm.NewExecutor(stm.Config{Algorithm: stm.Sequential})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var roundTrip float64
 	if _, err := ex.Run(1, func(tx stm.Tx, age int) {
-		stm.WriteFloat64(tx, v, 3.5)
-		stm.AddFloat64(tx, v, 1.25)
-		roundTrip = stm.ReadFloat64(tx, v)
+		stm.WriteT(tx, v, 3.5)
+		stm.WriteT(tx, v, stm.ReadT(tx, v)+1.25)
+		roundTrip = stm.ReadT(tx, v)
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if roundTrip != 4.75 || stm.LoadFloat64(v) != 4.75 {
-		t.Fatalf("float plumbing: %v / %v", roundTrip, stm.LoadFloat64(v))
+	if roundTrip != 4.75 || v.Load() != 4.75 {
+		t.Fatalf("float plumbing: %v / %v", roundTrip, v.Load())
 	}
-	stm.StoreFloat64(v, math.Copysign(0, -1))
-	if !math.Signbit(stm.LoadFloat64(v)) {
+	v.Store(math.Copysign(0, -1))
+	if !math.Signbit(v.Load()) {
 		t.Fatal("negative zero lost in bit conversion")
 	}
 	f := func(x float64) bool {
-		stm.StoreFloat64(v, x)
-		got := stm.LoadFloat64(v)
+		v.Store(x)
+		got := v.Load()
 		return got == x || (math.IsNaN(x) && math.IsNaN(got))
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAlgorithmTextMarshaling(t *testing.T) {
+	for _, a := range stm.Algorithms() {
+		text, err := a.MarshalText()
+		if err != nil {
+			t.Fatalf("%v.MarshalText: %v", a, err)
+		}
+		if string(text) != a.String() {
+			t.Fatalf("MarshalText(%v) = %q, want %q", a, text, a.String())
+		}
+		var got stm.Algorithm
+		if err := got.UnmarshalText(text); err != nil || got != a {
+			t.Fatalf("UnmarshalText(%q) = %v, %v", text, got, err)
+		}
+		// Config files should not be case brittle.
+		if err := got.UnmarshalText([]byte(strings.ToLower(a.String()))); err != nil || got != a {
+			t.Fatalf("case-insensitive UnmarshalText(%q) = %v, %v", strings.ToLower(a.String()), got, err)
+		}
+	}
+	if _, err := stm.Algorithm(97).MarshalText(); err == nil {
+		t.Fatal("out-of-range MarshalText must error")
+	}
+	var a stm.Algorithm
+	if err := a.UnmarshalText([]byte("NotAnAlgorithm")); err == nil {
+		t.Fatal("UnmarshalText of an unknown name must error")
 	}
 }
 

@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -9,11 +10,31 @@ import (
 // called.
 var ErrClosed = errors.New("stm: pipeline closed")
 
+// ErrStopped is the sentinel a *Stopped resolution matches through
+// errors.Is: callers that only care whether the pipeline stopped —
+// not which transaction stopped it — test errors.Is(err, ErrStopped)
+// instead of type-asserting *Stopped.
+var ErrStopped = errors.New("stm: pipeline stopped")
+
+// ErrCanceled is the sentinel wrapped by every context-cancellation
+// error the package returns (SubmitCtx, WaitCtx and their sharded
+// equivalents): errors.Is(err, ErrCanceled) distinguishes "the caller
+// gave up" from every transaction outcome. The returned errors also
+// wrap the context's own error, so errors.Is(err, context.Canceled) /
+// context.DeadlineExceeded keep working.
+//
+// Cancellation never loses an already-assigned age: SubmitCtx only
+// observes the context while the submission can still be withdrawn
+// without leaving a gap in the predefined order (the backpressure
+// wait), and WaitCtx abandons only the caller's wait — the ticket
+// stays registered and resolves with the transaction's real outcome.
+var ErrCanceled = errors.New("stm: canceled")
+
 // Stopped is the error resolving tickets whose age can no longer
 // commit because the pipeline stopped on a fault, and the error
 // Submit returns once the pipeline has stopped. Fault identifies the
 // transaction that stopped the stream. errors.As(err, **Fault) works
-// through it.
+// through it, and errors.Is(err, ErrStopped) matches it.
 type Stopped struct {
 	Fault *Fault
 }
@@ -26,6 +47,9 @@ func (s *Stopped) Error() string {
 // Unwrap exposes the underlying fault.
 func (s *Stopped) Unwrap() error { return s.Fault }
 
+// Is reports that a *Stopped matches the ErrStopped sentinel.
+func (s *Stopped) Is(target error) bool { return target == ErrStopped }
+
 // Ticket tracks one submitted transaction through the pipeline. It is
 // resolved exactly once: with nil when its age commits, with the
 // *Fault itself if this transaction faulted non-speculatively, or
@@ -35,6 +59,11 @@ type Ticket struct {
 	age  uint64
 	done chan struct{}
 	err  error // written once before done is closed
+}
+
+// newTicket returns an unposted ticket (age is assigned at post).
+func newTicket() *Ticket {
+	return &Ticket{done: make(chan struct{})}
 }
 
 // Age returns the commit-order position (consensus slot, loop index)
@@ -66,6 +95,25 @@ func (t *Ticket) Err() (err error, resolved bool) {
 func (t *Ticket) Wait() error {
 	<-t.done
 	return t.err
+}
+
+// WaitCtx is Wait with a caller-side deadline: it returns the
+// ticket's outcome, or an error wrapping ErrCanceled (and ctx's own
+// error) if the context ends first. Cancellation abandons only this
+// wait — the transaction keeps its age, still commits, and the ticket
+// resolves normally for any other waiter (and for a later Wait).
+func (t *Ticket) WaitCtx(ctx context.Context) error {
+	select {
+	case <-t.done:
+		return t.err
+	default:
+	}
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		return fmt.Errorf("%w waiting for age %d: %w", ErrCanceled, t.age, ctx.Err())
+	}
 }
 
 // resolve completes the ticket. Callers serialize through the

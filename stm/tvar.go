@@ -1,0 +1,353 @@
+package stm
+
+import (
+	"fmt"
+	"math"
+	"unsafe"
+
+	"github.com/orderedstm/ostm/internal/meta"
+)
+
+// This file is the typed layer over the word-level core: TVar[T] maps
+// a fixed-size Go value onto one or more transactional words, and
+// ReadT/WriteT compile the typed accesses down to the existing
+// Tx.Read/Tx.Write word operations. The engines underneath never see
+// types — concurrency control, ordering and durability all keep
+// operating on Vars — so the typed layer is a strict superset of the
+// word API, not a parallel implementation.
+//
+// Word-layout contract (see DESIGN.md §10): a scalar TVar[T] embeds
+// its single word inline (so a typed access costs exactly one cache
+// fetch, like the word API — no pointer chase through a side array),
+// and a Wordable TVar[T] owns NumWords consecutive Vars in one
+// contiguous backing allocation. Scalars map as: uint64 verbatim,
+// int64 two's-complement, float64 IEEE-754 bits (bit-exact round
+// trip, NaN payloads included), bool 0/1; a Wordable value occupies
+// its NumWords words in the order PutWords fills them. Engines lock
+// and version individual words: a multi-word TVar is consistent
+// inside transactions (the engine's conflict detection covers every
+// word), but quiescent Load/Store of multi-word values is only
+// meaningful on quiescent state, exactly like Var.Load.
+
+// Wordable is implemented by fixed-size multi-word value types that
+// want to live in a TVar. The pointer type *T must implement it (the
+// methods rewrite the receiver in SetWords); NumWords must return the
+// same constant for every value of the type, and PutWords/SetWords
+// must be exact inverses over slices of that length.
+type Wordable interface {
+	// NumWords returns the fixed number of 64-bit words the type
+	// occupies. It is called on the zero value at TVar construction
+	// and must not depend on the receiver's contents.
+	NumWords() int
+	// PutWords serializes the value into dst (len = NumWords).
+	PutWords(dst []uint64)
+	// SetWords deserializes the value from src (len = NumWords).
+	SetWords(src []uint64)
+}
+
+// tvarKind discriminates the supported TVar element types; resolved
+// once at construction so the per-access path is a switch on a small
+// integer, not an interface dispatch.
+type tvarKind uint8
+
+const (
+	tvarInvalid tvarKind = iota // zero TVar: not constructed
+	tvarUint64
+	tvarInt64
+	tvarFloat64
+	tvarBool
+	tvarWordable
+)
+
+// TVar is a typed transactional variable: a T stored across one or
+// more word-level Vars. Create with NewTVar/NewTVars; access inside
+// transactions with ReadT/WriteT and outside (quiescent state only)
+// with Load/Store. The zero TVar is unusable — typed accesses panic
+// until the TVar is constructed — and, like Var, a TVar must not be
+// copied after first use (scalar kinds embed their word in place).
+//
+// T must be one of uint64, int64, float64, bool, or a value type
+// whose pointer implements Wordable. The set is deliberately closed
+// over fixed-size word-codable types: the engines' unit of conflict
+// detection is the 64-bit word, and a type that cannot commit to a
+// fixed word count (strings, slices, maps) has no deterministic
+// layout for the WAL to replay.
+type TVar[T any] struct {
+	kind tvarKind
+	nw   uint32
+	w    Var  // scalar kinds: the word, embedded in place
+	ext  *Var // Wordable kinds: first of nw contiguous words (nil for scalars)
+}
+
+// word returns the i-th backing word of a Wordable TVar; the words
+// were allocated as one contiguous NewVars run, so this is plain
+// same-allocation pointer arithmetic.
+func (v *TVar[T]) word(i int) *Var {
+	return (*Var)(unsafe.Add(unsafe.Pointer(v.ext), uintptr(i)*unsafe.Sizeof(Var{})))
+}
+
+// tvarKindFor resolves T's kind and word count, panicking on
+// unsupported types — construction is the single validation point, so
+// every constructed TVar's accesses are infallible.
+func tvarKindFor[T any]() (tvarKind, int) {
+	var z T
+	switch any(z).(type) {
+	case uint64:
+		return tvarUint64, 1
+	case int64:
+		return tvarInt64, 1
+	case float64:
+		return tvarFloat64, 1
+	case bool:
+		return tvarBool, 1
+	}
+	if _, ok := any(z).(Wordable); ok {
+		// Value-receiver methods satisfy the interface through *T's
+		// method set too, but SetWords would then mutate a copy: every
+		// read would silently return the zero T. Reject at
+		// construction — this is the validation point.
+		panic(fmt.Sprintf("stm: %T implements Wordable with value receivers; SetWords must use a pointer receiver to deserialize in place", z))
+	}
+	if w, ok := any(&z).(Wordable); ok {
+		n := w.NumWords()
+		if n <= 0 {
+			panic(fmt.Sprintf("stm: %T.NumWords() = %d; must be positive", z, n))
+		}
+		return tvarWordable, n
+	}
+	panic(fmt.Sprintf("stm: unsupported TVar type %T (want uint64, int64, float64, bool, or *%T implementing stm.Wordable)", z, z))
+}
+
+// NewTVar returns a fresh typed transactional variable initialized to
+// x. It panics if T is not a supported element type.
+func NewTVar[T any](x T) *TVar[T] {
+	kind, n := tvarKindFor[T]()
+	v := &TVar[T]{kind: kind, nw: uint32(n)}
+	if kind == tvarWordable {
+		backing := NewVars(n)
+		v.ext = &backing[0]
+	} else {
+		meta.InitVar(&v.w, 0)
+	}
+	v.Store(x)
+	return v
+}
+
+// NewTVars returns n zero-valued typed variables allocated
+// contiguously (the typed equivalent of NewVars: &vs[i] is the
+// handle, and neighboring TVars are cache-local — scalar kinds embed
+// their words in the returned array itself; Wordable kinds share one
+// contiguous word backing).
+func NewTVars[T any](n int) []TVar[T] {
+	kind, w := tvarKindFor[T]()
+	vs := make([]TVar[T], n)
+	if kind == tvarWordable {
+		backing := NewVars(n * w)
+		for i := range vs {
+			vs[i] = TVar[T]{kind: kind, nw: uint32(w), ext: &backing[i*w]}
+		}
+		return vs
+	}
+	for i := range vs {
+		vs[i].kind, vs[i].nw = kind, 1
+		meta.InitVar(&vs[i].w, 0)
+	}
+	return vs
+}
+
+// NumWords returns how many word-level Vars the TVar occupies.
+func (v *TVar[T]) NumWords() int { return int(v.nw) }
+
+// Vars returns the TVar's backing words as handles, in layout order —
+// the bridge to word-level APIs that take *Var: access declarations
+// for sharded routing (stm.Touches(v.Vars()...)), lock-striping
+// inspection, debugging. The returned slice is freshly allocated;
+// callers building zero-alloc submit paths should cache it.
+func (v *TVar[T]) Vars() []*Var {
+	if v.kind == tvarInvalid {
+		panic("stm: TVar used before NewTVar/NewTVars")
+	}
+	if v.kind != tvarWordable {
+		return []*Var{&v.w}
+	}
+	out := make([]*Var, v.nw)
+	for i := range out {
+		out[i] = v.word(i)
+	}
+	return out
+}
+
+// The scalar accessors dispatch on the kind resolved at construction
+// and reinterpret through unsafe.Pointer instead of an interface type
+// switch: construction proved T's dynamic identity (v.kind ==
+// tvarUint64 holds only when T is exactly uint64, and so on), so each
+// cast is an exact-type reinterpretation — and unlike `any(&out)`, it
+// does not make the local escape, keeping ReadT/WriteT at zero
+// allocations, same as the word ops they compile down to. The
+// Wordable paths live in separate functions so their interface
+// conversions cannot drag the scalar locals onto the heap (escape
+// analysis is flow-insensitive within a function).
+
+// ReadT returns v's value in the transaction's view, composed from
+// word-level Tx.Read operations. Scalar kinds are allocation-free;
+// Wordable kinds stage through a scratch slice.
+//
+// The 8-byte scalar kinds (uint64, int64, float64) share one
+// branch: their word mapping is a pure bit reinterpretation (int64 is
+// two's-complement, Float64frombits is the identity on bits), so the
+// fast path is small enough for the compiler to inline into the
+// transaction body — a typed access costs the same interface call the
+// word API pays, plus one predicted branch.
+func ReadT[T any](tx Tx, v *TVar[T]) T {
+	if uint8(v.kind)-uint8(tvarUint64) <= uint8(tvarFloat64)-uint8(tvarUint64) {
+		w := tx.Read(&v.w)
+		return *(*T)(unsafe.Pointer(&w))
+	}
+	return readTSlow(tx, v)
+}
+
+// readTSlow handles the bool, Wordable and not-constructed kinds.
+func readTSlow[T any](tx Tx, v *TVar[T]) T {
+	var out T
+	switch v.kind {
+	case tvarBool:
+		*(*bool)(unsafe.Pointer(&out)) = tx.Read(&v.w) != 0
+		return out
+	case tvarWordable:
+		return readWordable(tx, v)
+	default:
+		panic("stm: TVar used before NewTVar/NewTVars")
+	}
+}
+
+// readWordable is ReadT's multi-word path.
+func readWordable[T any](tx Tx, v *TVar[T]) T {
+	var out T
+	buf := make([]uint64, v.nw)
+	for i := range buf {
+		buf[i] = tx.Read(v.word(i))
+	}
+	any(&out).(Wordable).SetWords(buf)
+	return out
+}
+
+// WriteT updates v in the transaction's view, decomposed into
+// word-level Tx.Write operations (see ReadT for the fast-path shape).
+func WriteT[T any](tx Tx, v *TVar[T], x T) {
+	if uint8(v.kind)-uint8(tvarUint64) <= uint8(tvarFloat64)-uint8(tvarUint64) {
+		tx.Write(&v.w, *(*uint64)(unsafe.Pointer(&x)))
+		return
+	}
+	writeTSlow(tx, v, x)
+}
+
+// writeTSlow handles the bool, Wordable and not-constructed kinds.
+func writeTSlow[T any](tx Tx, v *TVar[T], x T) {
+	switch v.kind {
+	case tvarBool:
+		var w uint64
+		if *(*bool)(unsafe.Pointer(&x)) {
+			w = 1
+		}
+		tx.Write(&v.w, w)
+	case tvarWordable:
+		writeWordable(tx, v, x)
+	default:
+		panic("stm: TVar used before NewTVar/NewTVars")
+	}
+}
+
+// writeWordable is WriteT's multi-word path.
+func writeWordable[T any](tx Tx, v *TVar[T], x T) {
+	buf := make([]uint64, v.nw)
+	any(&x).(Wordable).PutWords(buf)
+	for i := range buf {
+		tx.Write(v.word(i), buf[i])
+	}
+}
+
+// AddT adds delta to the numeric TVar transactionally and returns the
+// new value — the read-modify-write idiom as one call (the typed
+// successor of the retired AddFloat64 helper). It supports the
+// numeric scalar kinds (uint64, int64, float64); bool and Wordable
+// TVars panic, as the zero TVar does.
+func AddT[T any](tx Tx, v *TVar[T], delta T) T {
+	var nw uint64
+	switch v.kind {
+	// The delta reinterpret stays inside the numeric arms: kind proves
+	// T is 8 bytes there, and a bool T must not be read as a word.
+	case tvarUint64, tvarInt64:
+		// Two's complement makes unsigned word addition exact for both.
+		nw = tx.Read(&v.w) + *(*uint64)(unsafe.Pointer(&delta))
+	case tvarFloat64:
+		nw = math.Float64bits(math.Float64frombits(tx.Read(&v.w)) + *(*float64)(unsafe.Pointer(&delta)))
+	default:
+		panic("stm: AddT requires a numeric TVar (uint64, int64, float64)")
+	}
+	tx.Write(&v.w, nw)
+	var out T
+	*(*uint64)(unsafe.Pointer(&out)) = nw
+	return out
+}
+
+// Load reads the TVar's quiescent value (outside transactions; the
+// same quiescence caveat as Var.Load, and multi-word values are only
+// consistent when no transaction is concurrently writing them).
+func (v *TVar[T]) Load() T {
+	var out T
+	switch v.kind {
+	case tvarUint64:
+		*(*uint64)(unsafe.Pointer(&out)) = v.w.Load()
+	case tvarInt64:
+		*(*int64)(unsafe.Pointer(&out)) = int64(v.w.Load())
+	case tvarFloat64:
+		*(*float64)(unsafe.Pointer(&out)) = math.Float64frombits(v.w.Load())
+	case tvarBool:
+		*(*bool)(unsafe.Pointer(&out)) = v.w.Load() != 0
+	case tvarWordable:
+		return loadWordable(v)
+	default:
+		panic("stm: TVar used before NewTVar/NewTVars")
+	}
+	return out
+}
+
+func loadWordable[T any](v *TVar[T]) T {
+	var out T
+	buf := make([]uint64, v.nw)
+	for i := range buf {
+		buf[i] = v.word(i).Load()
+	}
+	any(&out).(Wordable).SetWords(buf)
+	return out
+}
+
+// Store sets the TVar's quiescent value.
+func (v *TVar[T]) Store(x T) {
+	switch v.kind {
+	case tvarUint64:
+		v.w.Store(*(*uint64)(unsafe.Pointer(&x)))
+	case tvarInt64:
+		v.w.Store(uint64(*(*int64)(unsafe.Pointer(&x))))
+	case tvarFloat64:
+		v.w.Store(math.Float64bits(*(*float64)(unsafe.Pointer(&x))))
+	case tvarBool:
+		var w uint64
+		if *(*bool)(unsafe.Pointer(&x)) {
+			w = 1
+		}
+		v.w.Store(w)
+	case tvarWordable:
+		storeWordable(v, x)
+	default:
+		panic("stm: TVar used before NewTVar/NewTVars")
+	}
+}
+
+func storeWordable[T any](v *TVar[T], x T) {
+	buf := make([]uint64, v.nw)
+	any(&x).(Wordable).PutWords(buf)
+	for i := range buf {
+		v.word(i).Store(buf[i])
+	}
+}

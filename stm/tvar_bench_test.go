@@ -1,0 +1,44 @@
+package stm_test
+
+import (
+	"testing"
+
+	"github.com/orderedstm/ostm/stm"
+)
+
+// BenchmarkTypedReadWrite measures the scalar ReadT/WriteT hot path;
+// the zero-alloc claim of the typed layer rests on this reporting 0
+// allocs/op (the typed ops must compile down to the word ops).
+func BenchmarkTypedReadWrite(b *testing.B) {
+	v := stm.NewTVar[uint64](1)
+	f := stm.NewTVar[float64](1.5)
+	ex, err := stm.NewExecutor(stm.Config{Algorithm: stm.OUL, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := ex.Run(b.N, func(tx stm.Tx, age int) {
+		stm.WriteT(tx, v, stm.ReadT(tx, v)+1)
+		stm.WriteT(tx, f, stm.ReadT(tx, f)+0.5)
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkWordReadWrite(b *testing.B) {
+	v := stm.NewVar(1)
+	f := stm.NewVar(2)
+	ex, err := stm.NewExecutor(stm.Config{Algorithm: stm.OUL, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := ex.Run(b.N, func(tx stm.Tx, age int) {
+		tx.Write(v, tx.Read(v)+1)
+		tx.Write(f, tx.Read(f)+2)
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package stm_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/orderedstm/ostm/stm"
+)
+
+// point is the test's multi-word Wordable: two int64 coordinates in
+// two words.
+type point struct{ X, Y int64 }
+
+func (*point) NumWords() int { return 2 }
+func (p *point) PutWords(dst []uint64) {
+	dst[0], dst[1] = uint64(p.X), uint64(p.Y)
+}
+func (p *point) SetWords(src []uint64) {
+	p.X, p.Y = int64(src[0]), int64(src[1])
+}
+
+// valueRecvPair implements Wordable with value receivers — a natural
+// mistake whose SetWords mutates a copy; NewTVar must reject it.
+type valueRecvPair struct{ a, b uint64 }
+
+func (valueRecvPair) NumWords() int           { return 2 }
+func (p valueRecvPair) PutWords(dst []uint64) { dst[0], dst[1] = p.a, p.b }
+func (p valueRecvPair) SetWords(src []uint64) { p.a, p.b = src[0], src[1] }
+
+func TestTVarScalarRoundTrips(t *testing.T) {
+	ex, err := stm.NewExecutor(stm.Config{Algorithm: stm.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u := stm.NewTVar[uint64](42)
+	i := stm.NewTVar[int64](-7)
+	f := stm.NewTVar[float64](math.Copysign(0, -1))
+	b := stm.NewTVar[bool](true)
+	if u.Load() != 42 || i.Load() != -7 || !math.Signbit(f.Load()) || !b.Load() {
+		t.Fatalf("initial loads: %v %v %v %v", u.Load(), i.Load(), f.Load(), b.Load())
+	}
+
+	var gotU uint64
+	var gotI int64
+	var gotF float64
+	var gotB bool
+	if _, err := ex.Run(1, func(tx stm.Tx, _ int) {
+		stm.WriteT(tx, u, stm.ReadT(tx, u)+1)
+		stm.WriteT(tx, i, stm.ReadT(tx, i)*-3)
+		stm.WriteT(tx, f, math.Inf(-1))
+		stm.WriteT(tx, b, !stm.ReadT(tx, b))
+		gotU, gotI, gotF, gotB = stm.ReadT(tx, u), stm.ReadT(tx, i), stm.ReadT(tx, f), stm.ReadT(tx, b)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if gotU != 43 || gotI != 21 || !math.IsInf(gotF, -1) || gotB {
+		t.Fatalf("in-txn reads: %v %v %v %v", gotU, gotI, gotF, gotB)
+	}
+	if u.Load() != 43 || i.Load() != 21 || !math.IsInf(f.Load(), -1) || b.Load() {
+		t.Fatalf("post-txn loads: %v %v %v %v", u.Load(), i.Load(), f.Load(), b.Load())
+	}
+
+	// int64 two's-complement and float64 NaN payloads survive exactly.
+	i.Store(math.MinInt64)
+	if i.Load() != math.MinInt64 {
+		t.Fatal("MinInt64 round trip")
+	}
+	weirdNaN := math.Float64frombits(0x7FF8_0000_DEAD_BEEF)
+	f.Store(weirdNaN)
+	if math.Float64bits(f.Load()) != 0x7FF8_0000_DEAD_BEEF {
+		t.Fatalf("NaN payload lost: %#x", math.Float64bits(f.Load()))
+	}
+}
+
+func TestAddT(t *testing.T) {
+	u := stm.NewTVar[uint64](10)
+	i := stm.NewTVar[int64](-5)
+	f := stm.NewTVar[float64](1.5)
+	b := stm.NewTVar[bool](false)
+	ex, err := stm.NewExecutor(stm.Config{Algorithm: stm.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gu uint64
+	var gi int64
+	var gf float64
+	if _, err := ex.Run(1, func(tx stm.Tx, _ int) {
+		gu = stm.AddT(tx, u, 7)
+		gi = stm.AddT(tx, i, -3)
+		gf = stm.AddT(tx, f, 0.25)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if gu != 17 || u.Load() != 17 {
+		t.Fatalf("uint64 add: %d / %d", gu, u.Load())
+	}
+	if gi != -8 || i.Load() != -8 {
+		t.Fatalf("int64 add: %d / %d", gi, i.Load())
+	}
+	if gf != 1.75 || f.Load() != 1.75 {
+		t.Fatalf("float64 add: %v / %v", gf, f.Load())
+	}
+	// Non-numeric kinds refuse (as a genuine fault inside a run).
+	if _, err := ex.Run(1, func(tx stm.Tx, _ int) { stm.AddT(tx, b, true) }); err == nil {
+		t.Fatal("AddT on a bool TVar must fault")
+	}
+}
+
+func TestTVarWordable(t *testing.T) {
+	v := stm.NewTVar[point](point{X: 1, Y: -2})
+	if v.NumWords() != 2 {
+		t.Fatalf("NumWords = %d, want 2", v.NumWords())
+	}
+	if got := v.Load(); got != (point{1, -2}) {
+		t.Fatalf("Load = %+v", got)
+	}
+	ex, err := stm.NewExecutor(stm.Config{Algorithm: stm.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mid point
+	if _, err := ex.Run(1, func(tx stm.Tx, _ int) {
+		p := stm.ReadT(tx, v)
+		p.X, p.Y = p.Y, p.X
+		stm.WriteT(tx, v, p)
+		mid = stm.ReadT(tx, v)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if mid != (point{-2, 1}) || v.Load() != (point{-2, 1}) {
+		t.Fatalf("wordable round trip: mid=%+v load=%+v", mid, v.Load())
+	}
+}
+
+func TestNewTVarsContiguousLayout(t *testing.T) {
+	// Scalar TVars: one word each, IDs consecutive (one backing array).
+	vs := stm.NewTVars[uint64](4)
+	base := vs[0].Vars()[0].ID()
+	for i := range vs {
+		ws := vs[i].Vars()
+		if len(ws) != 1 || ws[0].ID() != base+uint64(i) {
+			t.Fatalf("scalar TVar %d words=%d id=%d want id=%d", i, len(ws), ws[0].ID(), base+uint64(i))
+		}
+	}
+	// Multi-word TVars: NumWords consecutive words per element, elements
+	// adjacent in the same backing array.
+	ps := stm.NewTVars[point](3)
+	pbase := ps[0].Vars()[0].ID()
+	for i := range ps {
+		ws := ps[i].Vars()
+		if len(ws) != 2 {
+			t.Fatalf("point TVar %d has %d words", i, len(ws))
+		}
+		for w, vr := range ws {
+			if want := pbase + uint64(2*i+w); vr.ID() != want {
+				t.Fatalf("point TVar %d word %d id=%d want %d", i, w, vr.ID(), want)
+			}
+		}
+	}
+}
+
+func TestTVarUnsupportedTypePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("string", func() { stm.NewTVar("nope") })
+	mustPanic("uint32", func() { stm.NewTVar[uint32](1) })
+	// A Wordable implemented with value receivers would deserialize
+	// into a copy (every read silently zero); construction must refuse.
+	mustPanic("value-receiver Wordable", func() { stm.NewTVar(valueRecvPair{}) })
+	mustPanic("zero TVar load", func() {
+		var v stm.TVar[uint64]
+		v.Load()
+	})
+	// Inside a transaction the zero-TVar panic is a genuine fault, not
+	// a speculative abort: the run must report it, not retry it.
+	var v stm.TVar[uint64]
+	ex, err := stm.NewExecutor(stm.Config{Algorithm: stm.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(1, func(tx stm.Tx, _ int) { stm.ReadT(tx, &v) }); err == nil {
+		t.Fatal("zero TVar inside a transaction must fault the run")
+	}
+}
+
+// TestTVarTypedDeterminism runs a typed mixed-kind workload under
+// every ordered algorithm and checks final typed state equals the
+// sequential execution — the typed layer must inherit the predefined
+// commit order exactly, including for multi-word values.
+func TestTVarTypedDeterminism(t *testing.T) {
+	n := 4000
+	if testing.Short() {
+		n = 800
+	}
+	const lanes = 16
+
+	run := func(alg stm.Algorithm, workers int) ([]uint64, []float64, []point) {
+		counts := stm.NewTVars[uint64](lanes)
+		sums := stm.NewTVars[float64](lanes)
+		pts := stm.NewTVars[point](lanes)
+		ex, err := stm.NewExecutor(stm.Config{Algorithm: alg, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Run(n, func(tx stm.Tx, age int) {
+			lane := age % lanes
+			c := stm.ReadT(tx, &counts[lane])
+			stm.WriteT(tx, &counts[lane], c*3+uint64(age))
+			stm.WriteT(tx, &sums[lane], stm.ReadT(tx, &sums[lane])+float64(age)*0.5)
+			p := stm.ReadT(tx, &pts[lane])
+			p.X += int64(age)
+			p.Y -= int64(c % 7)
+			stm.WriteT(tx, &pts[lane], p)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		cs := make([]uint64, lanes)
+		ss := make([]float64, lanes)
+		pp := make([]point, lanes)
+		for i := 0; i < lanes; i++ {
+			cs[i], ss[i], pp[i] = counts[i].Load(), sums[i].Load(), pts[i].Load()
+		}
+		return cs, ss, pp
+	}
+
+	wantC, wantS, wantP := run(stm.Sequential, 1)
+	for _, alg := range stm.OrderedAlgorithms() {
+		t.Run(alg.String(), func(t *testing.T) {
+			gotC, gotS, gotP := run(alg, 8)
+			for i := 0; i < lanes; i++ {
+				if gotC[i] != wantC[i] || gotS[i] != wantS[i] || gotP[i] != wantP[i] {
+					t.Fatalf("lane %d diverged: (%d,%v,%+v) want (%d,%v,%+v)",
+						i, gotC[i], gotS[i], gotP[i], wantC[i], wantS[i], wantP[i])
+				}
+			}
+		})
+	}
+}
