@@ -200,7 +200,9 @@ func main() {
 		shardsF  = flag.Int("shards", 0, "partitions for sharded execution (0 = unsharded stm.Pipeline)")
 		crossF   = flag.Float64("cross", 0, "fraction of transactions spanning two shards (sharded mode)")
 		walDir   = flag.String("wal", "", "write-ahead log directory (durable mode; empty = no WAL)")
-		syncF    = flag.String("sync", "none", "WAL sync policy: none | N (fsync every N commits) | duration (fsync interval)")
+		syncF    = flag.String("sync", "none", "WAL sync policy: none | N (fsync every N commits) | duration (fsync interval) | adaptive (size groups to fsync latency)")
+		syncDep  = flag.Int("sync-depth", 0, "max in-flight fsyncs (pipelined group commit depth; 0 = default)")
+		ckptEv   = flag.Uint64("checkpoint-every", 0, "checkpoint every N commits: snapshot the pool, truncate redundant log history (requires -wal)")
 		waitDur  = flag.Bool("waitdurable", false, "resolve tickets only once their age is durable (requires -wal)")
 		recoverF = flag.Bool("recover", false, "recover the -wal log: truncate torn tail, replay, verify against the sequential oracle, report")
 		jsonF    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
@@ -235,6 +237,12 @@ func main() {
 	if *typed && *walDir != "" && *shardsF > 0 {
 		fatal(fmt.Errorf("-typed with -wal is unsupported in sharded mode"))
 	}
+	if *ckptEv > 0 && *walDir == "" {
+		fatal(fmt.Errorf("-checkpoint-every requires -wal"))
+	}
+	if *ckptEv > 0 && *typed {
+		fatal(fmt.Errorf("-checkpoint-every snapshots the word pool; use the word API (-typed off)"))
+	}
 	pcfg := stm.Config{
 		Algorithm:        alg,
 		Workers:          *workers,
@@ -265,18 +273,26 @@ func main() {
 	// appends each committed age's payload and the run reports the
 	// durability columns below.
 	var walw *wal.Writer
+	var snapper stm.Snapshotter
 	if *walDir != "" {
 		opts, err := parseSyncPolicy(*syncF)
 		if err != nil {
 			fatal(err)
 		}
-		if *waitDur && opts.SyncEveryN == 0 && opts.SyncInterval == 0 {
+		opts.MaxInFlightSyncs = *syncDep
+		if *waitDur && opts.SyncEveryN == 0 && opts.SyncInterval == 0 && !opts.Adaptive {
 			// Policy "none" has no background sync points, so tickets
 			// deferred to durability would wait forever.
-			fatal(fmt.Errorf("-waitdurable requires a sync policy (-sync N or -sync duration, not none)"))
+			fatal(fmt.Errorf("-waitdurable requires a sync policy (-sync N, duration, or adaptive — not none)"))
 		}
 		if walw, err = wal.Create(*walDir, 0, opts); err != nil {
 			fatal(err)
+		}
+		if *ckptEv > 0 {
+			snapper = stm.SnapshotterFuncs{
+				SnapshotFunc: func() ([]byte, error) { return stm.SnapshotVars(accounts), nil },
+				RestoreFunc:  func(data []byte) error { return stm.RestoreVars(accounts, data) },
+			}
 		}
 	}
 
@@ -293,6 +309,7 @@ func main() {
 	var stats func() (commits, aborts, retries uint64)
 	var perShard func() []shardStats
 	var crossCount func() uint64
+	var ckptStats func() (n, age uint64)
 	var effCapacity, effWindow int
 
 	if *shardsF == 0 {
@@ -304,11 +321,14 @@ func main() {
 				pcfg.Codec = benchCodec{accounts: accounts}
 			}
 			pcfg.WaitDurable = *waitDur
+			pcfg.CheckpointEvery = *ckptEv
+			pcfg.Snapshotter = snapper
 		}
 		p, err := stm.NewPipeline(pcfg)
 		if err != nil {
 			fatal(err)
 		}
+		ckptStats = func() (uint64, uint64) { return p.Checkpoints(), p.CheckpointAge() }
 		prepare = func(r *rng.Rand, st *txnState) {
 			st.from, st.to = r.Intn(*pool), r.Intn(*pool)
 			st.fillExtra(st.from, *ops, *pool, nil)
@@ -404,11 +424,14 @@ func main() {
 			scfg.WAL = walw
 			scfg.Codec = shardCodec{accounts: accounts, buckets: buckets}
 			scfg.WaitDurable = *waitDur
+			scfg.CheckpointEvery = *ckptEv
+			scfg.Snapshotter = snapper
 		}
 		sp, err := shard.New(scfg)
 		if err != nil {
 			fatal(err)
 		}
+		ckptStats = func() (uint64, uint64) { return sp.Checkpoints(), sp.CheckpointAge() }
 		for s, b := range buckets {
 			if len(b) < 2 {
 				fatal(fmt.Errorf("shard %d owns %d accounts; raise -pool", s, len(b)))
@@ -659,13 +682,16 @@ func main() {
 	if err := closeSvc(); err != nil {
 		fatal(err)
 	}
-	var durableTxns, fsyncs, walBytes uint64
+	var durableTxns, fsyncs, walBytes, syncDepthMax, overlapped, ckptN, ckptAge uint64
 	var syncPolicy string
 	if walw != nil {
 		durableTxns = walw.Durable() // frontier == durable age count (warmup included)
 		fsyncs = walw.Fsyncs()
 		walBytes = walw.Bytes()
+		syncDepthMax = uint64(walw.SyncDepthMax())
+		overlapped = walw.OverlappedSyncs()
 		syncPolicy = walw.Policy()
+		ckptN, ckptAge = ckptStats()
 		if err := walw.Close(); err != nil {
 			fatal(err)
 		}
@@ -684,36 +710,41 @@ func main() {
 		ntx = 1
 	}
 	rep := report{
-		Bench:       "stream-closed-loop",
-		Algorithm:   alg.String(),
-		Workers:     *workers,
-		Clients:     *clients,
-		Shards:      *shardsF,
-		Batch:       *batch,
-		Typed:       *typed,
-		Fresh:       *fresh,
-		Txns:        int(ncommitted),
-		CrossTxns:   crossCount(),
-		Capacity:    effCapacity,
-		Window:      effWindow,
-		ElapsedS:    elapsed.Seconds(),
-		TxPerSec:    stm.Throughput(ncommitted, elapsed),
-		LatencyUS:   percentiles(all),
-		Epochs:      epochs(),
-		Commits:     commits,
-		Aborts:      aborts,
-		Retries:     retries,
-		AllocsPerTx: float64(m1.Mallocs-m0.Mallocs) / ntx,
-		BytesPerTx:  float64(m1.TotalAlloc-m0.TotalAlloc) / ntx,
-		GCPausesUS:  float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e3,
-		NumGC:       m1.NumGC - m0.NumGC,
-		WAL:         syncPolicy,
-		WaitDurable: *waitDur,
-		DurableTxns: durableTxns,
-		Fsyncs:      fsyncs,
-		WALBytes:    walBytes,
-		PerShard:    perShard(),
-		HeapBytes:   heapSamples,
+		Bench:           "stream-closed-loop",
+		Algorithm:       alg.String(),
+		Workers:         *workers,
+		Clients:         *clients,
+		Shards:          *shardsF,
+		Batch:           *batch,
+		Typed:           *typed,
+		Fresh:           *fresh,
+		Txns:            int(ncommitted),
+		CrossTxns:       crossCount(),
+		Capacity:        effCapacity,
+		Window:          effWindow,
+		ElapsedS:        elapsed.Seconds(),
+		TxPerSec:        stm.Throughput(ncommitted, elapsed),
+		LatencyUS:       percentiles(all),
+		Epochs:          epochs(),
+		Commits:         commits,
+		Aborts:          aborts,
+		Retries:         retries,
+		AllocsPerTx:     float64(m1.Mallocs-m0.Mallocs) / ntx,
+		BytesPerTx:      float64(m1.TotalAlloc-m0.TotalAlloc) / ntx,
+		GCPausesUS:      float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e3,
+		NumGC:           m1.NumGC - m0.NumGC,
+		WAL:             syncPolicy,
+		WaitDurable:     *waitDur,
+		DurableTxns:     durableTxns,
+		Fsyncs:          fsyncs,
+		WALBytes:        walBytes,
+		SyncDepthMax:    syncDepthMax,
+		OverlappedSyncs: overlapped,
+		CheckpointEvery: *ckptEv,
+		Checkpoints:     ckptN,
+		CheckpointAge:   ckptAge,
+		PerShard:        perShard(),
+		HeapBytes:       heapSamples,
 	}
 	if *memProf != "" {
 		f, err := os.Create(*memProf)
@@ -750,8 +781,11 @@ func main() {
 	fmt.Printf("  allocs/tx=%.2f bytes/tx=%.1f gc=%d pauses=%.0fµs\n",
 		rep.AllocsPerTx, rep.BytesPerTx, rep.NumGC, rep.GCPausesUS)
 	if rep.WAL != "" {
-		fmt.Printf("  wal: sync=%s waitdurable=%v durable=%d fsyncs=%d bytes=%d\n",
-			rep.WAL, rep.WaitDurable, rep.DurableTxns, rep.Fsyncs, rep.WALBytes)
+		fmt.Printf("  wal: sync=%s waitdurable=%v durable=%d fsyncs=%d bytes=%d depth_max=%d overlapped=%d\n",
+			rep.WAL, rep.WaitDurable, rep.DurableTxns, rep.Fsyncs, rep.WALBytes, rep.SyncDepthMax, rep.OverlappedSyncs)
+		if rep.CheckpointEvery > 0 {
+			fmt.Printf("  checkpoints: every=%d taken=%d newest_age=%d\n", rep.CheckpointEvery, rep.Checkpoints, rep.CheckpointAge)
+		}
 	}
 	for _, s := range rep.PerShard {
 		fmt.Printf("    shard %d: commits=%d aborts=%d retries=%d\n", s.Shard, s.Commits, s.Aborts, s.Retries)
@@ -774,36 +808,41 @@ type shardStats struct {
 // report is the -json document; one line per run appended to a
 // BENCH_*.json file tracks the perf trajectory across PRs.
 type report struct {
-	Bench       string             `json:"bench"`
-	Algorithm   string             `json:"algorithm"`
-	Workers     int                `json:"workers"`
-	Clients     int                `json:"clients"`
-	Shards      int                `json:"shards"`
-	Batch       int                `json:"batch"`
-	Typed       bool               `json:"typed,omitempty"`
-	Fresh       bool               `json:"fresh,omitempty"`
-	Txns        int                `json:"txns"`
-	CrossTxns   uint64             `json:"cross_txns"`
-	Capacity    int                `json:"capacity"`
-	Window      int                `json:"window"`
-	ElapsedS    float64            `json:"elapsed_s"`
-	TxPerSec    float64            `json:"tx_per_s"`
-	LatencyUS   map[string]float64 `json:"latency_us"`
-	Epochs      uint64             `json:"epochs"`
-	Commits     uint64             `json:"commits"`
-	Aborts      uint64             `json:"aborts"`
-	Retries     uint64             `json:"retries"`
-	AllocsPerTx float64            `json:"allocs_per_tx"`
-	BytesPerTx  float64            `json:"bytes_per_tx"`
-	GCPausesUS  float64            `json:"gc_pauses_us"`
-	NumGC       uint32             `json:"num_gc"`
-	WAL         string             `json:"wal,omitempty"` // sync policy when logging
-	WaitDurable bool               `json:"wait_durable,omitempty"`
-	DurableTxns uint64             `json:"durable_txns,omitempty"`
-	Fsyncs      uint64             `json:"fsyncs,omitempty"`
-	WALBytes    uint64             `json:"wal_bytes,omitempty"`
-	PerShard    []shardStats       `json:"per_shard,omitempty"`
-	HeapBytes   []uint64           `json:"heap_bytes"`
+	Bench           string             `json:"bench"`
+	Algorithm       string             `json:"algorithm"`
+	Workers         int                `json:"workers"`
+	Clients         int                `json:"clients"`
+	Shards          int                `json:"shards"`
+	Batch           int                `json:"batch"`
+	Typed           bool               `json:"typed,omitempty"`
+	Fresh           bool               `json:"fresh,omitempty"`
+	Txns            int                `json:"txns"`
+	CrossTxns       uint64             `json:"cross_txns"`
+	Capacity        int                `json:"capacity"`
+	Window          int                `json:"window"`
+	ElapsedS        float64            `json:"elapsed_s"`
+	TxPerSec        float64            `json:"tx_per_s"`
+	LatencyUS       map[string]float64 `json:"latency_us"`
+	Epochs          uint64             `json:"epochs"`
+	Commits         uint64             `json:"commits"`
+	Aborts          uint64             `json:"aborts"`
+	Retries         uint64             `json:"retries"`
+	AllocsPerTx     float64            `json:"allocs_per_tx"`
+	BytesPerTx      float64            `json:"bytes_per_tx"`
+	GCPausesUS      float64            `json:"gc_pauses_us"`
+	NumGC           uint32             `json:"num_gc"`
+	WAL             string             `json:"wal,omitempty"` // sync policy when logging
+	WaitDurable     bool               `json:"wait_durable,omitempty"`
+	DurableTxns     uint64             `json:"durable_txns,omitempty"`
+	Fsyncs          uint64             `json:"fsyncs,omitempty"`
+	WALBytes        uint64             `json:"wal_bytes,omitempty"`
+	SyncDepthMax    uint64             `json:"sync_depth_max,omitempty"`
+	OverlappedSyncs uint64             `json:"overlapped_syncs,omitempty"`
+	CheckpointEvery uint64             `json:"checkpoint_every,omitempty"`
+	Checkpoints     uint64             `json:"checkpoints,omitempty"`
+	CheckpointAge   uint64             `json:"checkpoint_age,omitempty"`
+	PerShard        []shardStats       `json:"per_shard,omitempty"`
+	HeapBytes       []uint64           `json:"heap_bytes"`
 }
 
 func percentiles(sorted []time.Duration) map[string]float64 {

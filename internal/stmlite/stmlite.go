@@ -195,9 +195,18 @@ func (t *Txn) Write(v *meta.Var, x uint64) {
 // republishing stable once it enters its deny-everything drain, so
 // waiting would deadlock teardown — and a halted run discards the
 // caller's work anyway (write-backs are never granted after a halt).
-func (t *Txn) WaitStable() {
-	for spin := 0; t.eng.stable.Load() < t.eng.stamp.Load(); spin++ {
-		if t.eng.cfg.Order.Halted() {
+func (t *Txn) WaitStable() { t.eng.WaitStable() }
+
+// WaitStable implements meta.Stabilizer at the engine level: block
+// until every granted write-back has landed in memory. The pipeline's
+// checkpointer calls it after quiescing the claim gate — no further
+// grants can arrive, so the grant stamp is frozen and the TCM's idle
+// polling drives the stable stamp up to it; the snapshot then reads
+// the exact sequential state from the Vars. Same halt escape as the
+// attempt-level wait.
+func (e *Engine) WaitStable() {
+	for spin := 0; e.stable.Load() < e.stamp.Load(); spin++ {
+		if e.cfg.Order.Halted() {
 			return
 		}
 		meta.Pause(spin)

@@ -69,6 +69,80 @@ type DurableLog interface {
 	Durable() uint64
 }
 
+// Snapshotter serializes the application's Var space for a
+// checkpoint, and restores it at recovery. The pipeline calls
+// Snapshot only at a quiescent frontier: every age below the
+// checkpoint age has fully committed, no speculative execution at or
+// above it has started, so plain Var.Load reads the exact sequential
+// state — SnapshotVars/RestoreVars cover the common flat-Var-array
+// case. Snapshot must not call back into the pipeline.
+//
+// The snapshot bytes travel next to the log (wal checkpoint files),
+// so like Codec payloads they must be self-contained: Restore on a
+// fresh process must rebuild the same state Snapshot saw.
+type Snapshotter interface {
+	// Snapshot serializes the current Var space. Called at a quiescent
+	// frontier; the returned bytes are owned by the caller.
+	Snapshot() ([]byte, error)
+	// Restore rebuilds the Var space from a snapshot taken by the same
+	// application at an earlier frontier.
+	Restore(data []byte) error
+}
+
+// SnapshotterFuncs adapts a pair of functions to Snapshotter.
+type SnapshotterFuncs struct {
+	SnapshotFunc func() ([]byte, error)
+	RestoreFunc  func(data []byte) error
+}
+
+// Snapshot implements Snapshotter.
+func (s SnapshotterFuncs) Snapshot() ([]byte, error) { return s.SnapshotFunc() }
+
+// Restore implements Snapshotter.
+func (s SnapshotterFuncs) Restore(data []byte) error { return s.RestoreFunc(data) }
+
+// SnapshotVars serializes a flat Var array as little-endian u64
+// words — the snapshot format for applications whose whole state is
+// one Var slice (benchmarks, the examples, TVar-free tables).
+func SnapshotVars(vars []Var) []byte {
+	buf := make([]byte, 8*len(vars))
+	for i := range vars {
+		x := vars[i].Load()
+		for b := 0; b < 8; b++ {
+			buf[8*i+b] = byte(x >> (8 * b))
+		}
+	}
+	return buf
+}
+
+// RestoreVars is SnapshotVars' inverse. It errors if the snapshot's
+// word count does not match the Var array (a schema change between
+// checkpoint and restart).
+func RestoreVars(vars []Var, data []byte) error {
+	if len(data) != 8*len(vars) {
+		return fmt.Errorf("stm: snapshot holds %d words, state has %d vars", len(data)/8, len(vars))
+	}
+	for i := range vars {
+		var x uint64
+		for b := 0; b < 8; b++ {
+			x |= uint64(data[8*i+b]) << (8 * b)
+		}
+		vars[i].Store(x)
+	}
+	return nil
+}
+
+// CheckpointSink is the optional durable-log extension the pipeline's
+// automatic checkpointing needs, implemented by wal.Writer. A
+// DurableLog that does not implement it simply never checkpoints
+// (Config.CheckpointEvery requires it).
+type CheckpointSink interface {
+	// Checkpoint durably records state as the application snapshot at
+	// frontier age and truncates log history the checkpoint makes
+	// redundant.
+	Checkpoint(age uint64, state []byte) error
+}
+
 // ErrPayloadRequired is returned by Submit and SubmitBatch on a
 // pipeline configured with a WAL: opaque bodies cannot be replayed
 // after a crash, so every durable submission must come in through

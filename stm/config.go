@@ -89,6 +89,17 @@ type Config struct {
 	// With a sync policy of "none" that only happens at an explicit
 	// log Sync or at Close. Requires WAL.
 	WaitDurable bool
+	// CheckpointEvery, when > 0, checkpoints the pipeline every that
+	// many commits: execution quiesces at the next epoch-aligned
+	// frontier, Snapshotter.Snapshot serializes the Var space, and the
+	// WAL's CheckpointSink commits it and truncates redundant history —
+	// bounding recovery time by the checkpoint interval. Requires WAL
+	// (implementing CheckpointSink) and Snapshotter.
+	CheckpointEvery uint64
+	// Snapshotter serializes the application's Var space for
+	// checkpoints and restores it at recovery. Required when
+	// CheckpointEvery is set.
+	Snapshotter Snapshotter
 	// OnCommit, when non-nil, is called for every age that reaches its
 	// final commit, in commit-report order (age order for every
 	// order-enforcing algorithm). It runs on the commit path with

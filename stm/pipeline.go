@@ -54,6 +54,15 @@ type Pipeline struct {
 	vdone chan struct{}  // validator goroutine exit (closed if none)
 	jdone chan struct{}  // janitor goroutine exit
 	jkick chan struct{}  // epoch-boundary signals to the janitor
+	cdone chan struct{}  // checkpointer goroutine exit (closed if none)
+
+	// Checkpoint machinery; zero-valued unless the WAL implements
+	// CheckpointSink and a Snapshotter is configured.
+	ckptMu   sync.Mutex // serializes checkpoints (auto loop + manual)
+	ckptSink CheckpointSink
+	lastCkpt uint64 // frontier age of the newest committed checkpoint
+	ckptN    uint64 // checkpoints committed
+	ckptErr  error  // first checkpoint failure; auto-checkpointing stops
 
 	closeOnce sync.Once
 	closeErr  error
@@ -77,6 +86,17 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.WaitDurable && cfg.WAL == nil {
 		return nil, errors.New("stm: Config.WaitDurable requires Config.WAL")
+	}
+	if cfg.CheckpointEvery > 0 {
+		if cfg.WAL == nil {
+			return nil, errors.New("stm: Config.CheckpointEvery requires Config.WAL")
+		}
+		if _, ok := cfg.WAL.(CheckpointSink); !ok {
+			return nil, errors.New("stm: Config.CheckpointEvery requires a WAL implementing CheckpointSink (wal.Writer does)")
+		}
+		if cfg.Snapshotter == nil {
+			return nil, errors.New("stm: Config.CheckpointEvery requires Config.Snapshotter")
+		}
 	}
 	cfg = cfg.withDefaults()
 	stats := &meta.Stats{}
@@ -114,12 +134,24 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		vdone: make(chan struct{}),
 		jdone: make(chan struct{}),
 		jkick: make(chan struct{}, 1),
+		cdone: make(chan struct{}),
 	}
 	s.epochKick = p.jkick
 	if s.dur != nil {
 		// The log reports durability progress straight into the
 		// stream, which resolves WaitDurable tickets there.
 		s.dur.log.Notify(s.durableTo)
+	}
+	if sink, ok := cfg.WAL.(CheckpointSink); ok && cfg.Snapshotter != nil {
+		p.ckptSink = sink
+		p.lastCkpt = cfg.FirstAge
+	}
+	if cfg.CheckpointEvery > 0 {
+		s.ckptEvery = cfg.CheckpointEvery
+		s.ckptKick = make(chan struct{}, 1)
+		go p.ckptLoop()
+	} else {
+		close(p.cdone)
 	}
 	if svc, ok := eng.(meta.Service); ok {
 		svc.Start()
@@ -415,6 +447,13 @@ func (p *Pipeline) Close() error {
 		p.wg.Wait()    // workers drain every claimable age and exit
 		p.l.kickMain() // wake the validator for the exposed tail
 		<-p.vdone
+		if p.s.ckptKick != nil {
+			// No commits can arrive anymore, so nothing else sends on
+			// the kick channel; the checkpointer drains pending kicks
+			// (possibly taking one final checkpoint) and exits.
+			close(p.s.ckptKick)
+		}
+		<-p.cdone
 		if svc, ok := p.eng.(meta.Service); ok {
 			svc.Stop()
 		}
@@ -436,6 +475,11 @@ func (p *Pipeline) Close() error {
 			}
 		}
 		p.s.settle()
+		p.s.mu.Lock()
+		if cerr := p.ckptErr; cerr != nil && p.closeErr == nil {
+			p.closeErr = cerr
+		}
+		p.s.mu.Unlock()
 		if f := p.l.fault.Load(); f != nil {
 			p.closeErr = f
 		}
@@ -519,6 +563,135 @@ func (p *Pipeline) Durable() uint64 {
 	return p.s.dur.log.Durable()
 }
 
+// Checkpoint takes a checkpoint now: it freezes the claim gate at the
+// current claim frontier, waits for every age below it to commit (a
+// never-claimed age has no speculative trace in memory, so the Vars
+// then hold the exact sequential state of that prefix), serializes
+// the Var space through the Snapshotter, lifts the gate, and commits
+// the snapshot through the WAL's CheckpointSink — which truncates log
+// history the checkpoint made redundant. It returns the checkpoint's
+// frontier age.
+//
+// Execution only stalls between the gate and the snapshot; the
+// checkpoint's own fsyncs happen after the gate lifts, concurrent
+// with new commits. Requires a Snapshotter and a WAL implementing
+// CheckpointSink; a repeat call at an unchanged frontier is a no-op
+// returning the previous checkpoint age.
+func (p *Pipeline) Checkpoint() (uint64, error) {
+	if p.ckptSink == nil || p.cfg.Snapshotter == nil {
+		return 0, errors.New("stm: Checkpoint requires Config.Snapshotter and a WAL implementing CheckpointSink")
+	}
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	s := p.s
+	s.mu.Lock()
+	if s.fault != nil {
+		f := s.fault
+		s.mu.Unlock()
+		return p.lastCkpt, &Stopped{Fault: f}
+	}
+	if err := s.dur.err; err != nil {
+		s.mu.Unlock()
+		return p.lastCkpt, &DurabilityError{Err: err}
+	}
+	gate := s.claimed
+	if gate <= p.lastCkpt {
+		s.mu.Unlock()
+		return p.lastCkpt, nil // no commits since the last checkpoint
+	}
+	s.gated, s.gate = true, gate
+	for s.fault == nil && s.base+s.ncommitted < gate {
+		s.cond.Wait()
+	}
+	if s.fault != nil {
+		f := s.fault
+		s.gated = false
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return p.lastCkpt, &Stopped{Fault: f}
+	}
+	s.mu.Unlock()
+	// The gate froze the grant frontier; an engine whose write-backs
+	// trail its grants (STMLite) must drain them into memory before
+	// the snapshot reads raw Vars.
+	p.WaitStable()
+	state, serr := p.cfg.Snapshotter.Snapshot()
+	s.mu.Lock()
+	s.gated = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if serr != nil {
+		err := fmt.Errorf("stm: checkpoint snapshot at age %d: %w", gate, serr)
+		p.setCkptErr(err)
+		return p.lastCkpt, err
+	}
+	if err := p.ckptSink.Checkpoint(gate, state); err != nil {
+		err = fmt.Errorf("stm: checkpoint commit at age %d: %w", gate, err)
+		p.setCkptErr(err)
+		return p.lastCkpt, err
+	}
+	p.s.mu.Lock()
+	p.lastCkpt = gate
+	p.ckptN++
+	p.s.mu.Unlock()
+	return gate, nil
+}
+
+// WaitStable drains the engine's trailing write-backs into memory
+// (meta.Stabilizer; only STMLite implements it — every other engine
+// publishes writes before advancing the order, so this returns
+// immediately). Raw Var reads observe the exact committed state only
+// if the caller has otherwise frozen the commit frontier — the
+// checkpointer's claim gate, or the sharded router's submission
+// freeze.
+func (p *Pipeline) WaitStable() {
+	if st, ok := p.eng.(meta.Stabilizer); ok {
+		st.WaitStable()
+	}
+}
+
+// setCkptErr latches the first checkpoint failure; auto-checkpointing
+// stops and Close reports it (the log itself may still be healthy —
+// durability of the record stream is unaffected).
+func (p *Pipeline) setCkptErr(err error) {
+	p.s.mu.Lock()
+	if p.ckptErr == nil {
+		p.ckptErr = err
+	}
+	p.s.mu.Unlock()
+}
+
+// Checkpoints returns how many checkpoints the pipeline has committed.
+func (p *Pipeline) Checkpoints() uint64 {
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	return p.ckptN
+}
+
+// CheckpointAge returns the frontier age of the newest committed
+// checkpoint (FirstAge when none has been taken yet).
+func (p *Pipeline) CheckpointAge() uint64 {
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	return p.lastCkpt
+}
+
+// ckptLoop runs automatic checkpoints off the commit path: committed()
+// kicks it every CheckpointEvery commits; Close closes the kick
+// channel after the last commit has landed.
+func (p *Pipeline) ckptLoop() {
+	defer close(p.cdone)
+	for range p.s.ckptKick {
+		p.s.mu.Lock()
+		stop := p.ckptErr != nil
+		p.s.mu.Unlock()
+		if stop {
+			continue // drain kicks; the failure already reported
+		}
+		p.Checkpoint() // errors latch via setCkptErr
+	}
+}
+
 // Epochs returns how many recycling epochs have completed.
 func (p *Pipeline) Epochs() uint64 {
 	s := p.s
@@ -600,6 +773,19 @@ type stream struct {
 	epochs     uint64
 	totals     meta.StatsView
 	epochKick  chan<- struct{}
+
+	// Claim gate: while gated, workers may not claim ages at or above
+	// gate. The checkpointer raises it to freeze a quiescent frontier
+	// (no speculative execution — not even an aborted attempt's
+	// in-place write — ever happens at or above a never-claimed age)
+	// and always lifts it again; a worker that finds the stream closed
+	// but gated therefore waits rather than exiting.
+	gated bool
+	gate  uint64
+
+	ckptEvery uint64        // Config.CheckpointEvery, 0 when disabled
+	sinceCkpt uint64        // commits since the last checkpoint kick
+	ckptKick  chan struct{} // signals the checkpointer goroutine
 
 	onCommit func(age uint64) // Config.OnCommit, nil when unset
 	dur      *durState        // durability state, nil without a WAL
@@ -698,12 +884,16 @@ func (s *stream) claim(stop func() bool) (uint64, Body, bool) {
 		if stop() {
 			return 0, nil, false
 		}
-		if s.claimed < s.submitted {
+		if s.claimed < s.submitted && !(s.gated && s.claimed >= s.gate) {
 			age := s.claimed
 			s.claimed++
 			return age, s.entries[age&s.emask].body, true
 		}
-		if s.closed {
+		if s.closed && s.claimed == s.submitted {
+			// Fully drained. (A closed-but-gated stream with entries
+			// above the gate parks instead: the checkpointer always
+			// lifts its gate, and the tail must still be driven to
+			// commit.)
 			return 0, nil, false
 		}
 		s.cond.Wait()
@@ -760,6 +950,16 @@ func (s *stream) committed(age uint64) {
 		select {
 		case s.epochKick <- struct{}{}:
 		default: // janitor is behind; this epoch folds into the next
+		}
+	}
+	if s.ckptEvery > 0 {
+		s.sinceCkpt++
+		if s.sinceCkpt >= s.ckptEvery {
+			s.sinceCkpt = 0
+			select {
+			case s.ckptKick <- struct{}{}:
+			default: // a checkpoint is already pending or in progress
+			}
 		}
 	}
 	s.cond.Broadcast()

@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/orderedstm/ostm/stm"
+)
+
+// Sharded checkpoints. A checkpoint of the sharded system must freeze
+// one instant of the *global* age sequence: a frontier G such that
+// every age below G has committed on all its shards and no age at or
+// above G has been accepted anywhere. Checkpoint gets that instant by
+// holding the router lock (the single sequencer — no new global age
+// can be assigned) while waiting for the contiguous global frontier to
+// reach the freeze point. Because every engine publishes a
+// transaction's write-back before its commit is reported to the
+// router's frontier hook, frontier == G implies raw Var reads observe
+// exactly the sequential state after ages [first, G) — no engine-level
+// stabilization is needed (and none is possible for the final
+// checkpoint, which runs after the shard pipelines have shut down).
+//
+// The snapshot embeds the per-shard local-age watermarks next to the
+// application state: replaying the log suffix above a checkpoint
+// requires each shard's local sequence to resume at the value it had
+// at the freeze, and routing alone cannot recover those (the prefix
+// that produced them was truncated away). DecodeCheckpoint splits the
+// two back apart for recovery.
+
+// encodeCheckpoint prefixes the application snapshot with the frozen
+// local-age watermarks: u32 shard count, then one u64 watermark per
+// shard, all little-endian, then the application bytes.
+func encodeCheckpoint(localNext []uint64, app []byte) []byte {
+	buf := make([]byte, 4+8*len(localNext)+len(app))
+	s := uint32(len(localNext))
+	for b := 0; b < 4; b++ {
+		buf[b] = byte(s >> (8 * b))
+	}
+	for i, w := range localNext {
+		for b := 0; b < 8; b++ {
+			buf[4+8*i+b] = byte(w >> (8 * b))
+		}
+	}
+	copy(buf[4+8*len(localNext):], app)
+	return buf
+}
+
+// DecodeCheckpoint splits a sharded checkpoint state (as stored by the
+// WAL and returned from wal.Recovery.CheckpointState) into the
+// per-shard local-age watermarks and the application snapshot. Feed
+// the watermarks to Config.LocalFirstAges (with Pipeline.FirstAge set
+// to the recovery's First()) and the application bytes to the
+// Snapshotter's Restore before replaying the log suffix.
+func DecodeCheckpoint(state []byte) (localNext []uint64, app []byte, err error) {
+	if len(state) < 4 {
+		return nil, nil, errors.New("shard: checkpoint state too short for shard count")
+	}
+	var s uint32
+	for b := 0; b < 4; b++ {
+		s |= uint32(state[b]) << (8 * b)
+	}
+	if s == 0 || len(state) < 4+8*int(s) {
+		return nil, nil, fmt.Errorf("shard: checkpoint state truncated (%d shards, %d bytes)", s, len(state))
+	}
+	localNext = make([]uint64, s)
+	for i := range localNext {
+		for b := 0; b < 8; b++ {
+			localNext[i] |= uint64(state[4+8*i+b]) << (8 * b)
+		}
+	}
+	return localNext, state[4+8*int(s):], nil
+}
+
+// Checkpoint freezes the sharded system at the current global frontier
+// and commits a durable checkpoint through the WAL's CheckpointSink:
+// submissions stall while the already-accepted suffix drains on every
+// shard, the Var space plus the per-shard watermarks are serialized,
+// and the sink persists the snapshot and truncates log history below
+// it. Returns the checkpoint's global age. If nothing was accepted
+// since the last checkpoint it is a no-op returning that age. The
+// write of the checkpoint files happens after submissions resume —
+// only the quiesce itself stalls the stream.
+func (sp *ShardedPipeline) Checkpoint() (uint64, error) {
+	if sp.ckptSink == nil {
+		return 0, errors.New("shard: Checkpoint requires a WAL implementing stm.CheckpointSink and Config.Snapshotter")
+	}
+	sp.ckptMu.Lock()
+	defer sp.ckptMu.Unlock()
+	sp.mu.Lock()
+	if f := sp.fault.Load(); f != nil {
+		sp.mu.Unlock()
+		return 0, &stm.Stopped{Fault: f}
+	}
+	g := sp.nextG
+	if g <= sp.lastCkpt {
+		last := sp.lastCkpt
+		sp.mu.Unlock()
+		return last, nil
+	}
+	locals := make([]uint64, sp.shards)
+	copy(locals, sp.localNext)
+	// Wait for the global frontier with the router lock held: the
+	// router is the sole age assigner, so no age >= g can appear, and
+	// commit progress needs only the shard pipelines and dr.mu.
+	if err := sp.dr.waitFrontier(g); err != nil {
+		sp.mu.Unlock()
+		return 0, err
+	}
+	state, err := sp.snap.Snapshot()
+	sp.mu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("shard: checkpoint snapshot: %w", err)
+		sp.setCkptErr(err)
+		return 0, err
+	}
+	if err := sp.ckptSink.Checkpoint(g, encodeCheckpoint(locals, state)); err != nil {
+		werr := &stm.DurabilityError{Err: err}
+		sp.setCkptErr(werr)
+		return 0, werr
+	}
+	sp.mu.Lock()
+	if g > sp.lastCkpt {
+		sp.lastCkpt = g
+	}
+	sp.ckptN++
+	sp.mu.Unlock()
+	return g, nil
+}
+
+// setCkptErr latches the first checkpoint failure; Close surfaces it.
+func (sp *ShardedPipeline) setCkptErr(err error) {
+	sp.mu.Lock()
+	if sp.ckptErr == nil {
+		sp.ckptErr = err
+	}
+	sp.mu.Unlock()
+}
+
+// ckptLoop services automatic checkpoint kicks from the durability
+// router and takes one final checkpoint at close (after every shard
+// drained), so a cleanly closed system restarts without replay.
+func (sp *ShardedPipeline) ckptLoop() {
+	defer close(sp.ckdone)
+	for range sp.dr.ckptKick {
+		sp.mu.Lock()
+		dead := sp.ckptErr != nil
+		sp.mu.Unlock()
+		if dead {
+			continue // keep draining kicks; the failure is latched
+		}
+		sp.Checkpoint() // errors latch via setCkptErr
+	}
+	sp.mu.Lock()
+	dead := sp.ckptErr != nil
+	sp.mu.Unlock()
+	if !dead && sp.fault.Load() == nil {
+		sp.Checkpoint()
+	}
+}
+
+// Checkpoints returns how many checkpoints have committed.
+func (sp *ShardedPipeline) Checkpoints() uint64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.ckptN
+}
+
+// CheckpointAge returns the global age of the newest committed
+// checkpoint (every age below it is captured by the snapshot), or
+// FirstAge if none has committed yet.
+func (sp *ShardedPipeline) CheckpointAge() uint64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.lastCkpt
+}

@@ -42,11 +42,19 @@ type durRouter struct {
 	wait bool
 
 	mu      sync.Mutex
-	next    uint64 // next global age to append (contiguous frontier)
+	cond    *sync.Cond // broadcast when next advances, the log fails, or the system faults
+	next    uint64     // next global age to append (contiguous frontier)
 	entries map[uint64]*durEntry
 	local   []map[uint64]uint64 // per shard: local age → global age
 	waiting map[uint64]*Ticket  // appended, not yet durable (WaitDurable)
 	err     error               // first log failure; the durable prefix is frozen
+
+	// Automatic checkpoint trigger; zero unless Config.CheckpointEvery
+	// is set. advance counts appended ages and kicks the checkpointer
+	// once enough have landed since the last checkpoint.
+	ckptEvery uint64
+	sinceCkpt uint64        // guarded by mu
+	ckptKick  chan struct{} // capacity 1
 }
 
 // durEntry tracks one global age from submission to its log append.
@@ -71,6 +79,7 @@ func newDurRouter(sp *ShardedPipeline, log stm.DurableLog, wait bool, first uint
 	for s := range dr.local {
 		dr.local[s] = make(map[uint64]uint64)
 	}
+	dr.cond = sync.NewCond(&dr.mu)
 	return dr
 }
 
@@ -140,6 +149,22 @@ func (dr *durRouter) localCommit(s int, la uint64) {
 // completed age at the front of the entries map to the log, resolving
 // or parking WaitDurable tickets. Called with dr.mu held.
 func (dr *durRouter) advance() {
+	start := dr.next
+	defer func() {
+		if dr.next == start {
+			return
+		}
+		dr.cond.Broadcast()
+		if dr.ckptEvery > 0 {
+			if dr.sinceCkpt += dr.next - start; dr.sinceCkpt >= dr.ckptEvery {
+				dr.sinceCkpt = 0
+				select {
+				case dr.ckptKick <- struct{}{}:
+				default: // a kick is already pending
+				}
+			}
+		}
+	}()
 	for {
 		e := dr.entries[dr.next]
 		if e == nil || !e.done {
@@ -172,6 +197,7 @@ func (dr *durRouter) durableTo(next uint64, err error) {
 	dr.mu.Lock()
 	if err != nil && dr.err == nil {
 		dr.err = err
+		dr.cond.Broadcast() // release any frontier wait; the log is dead
 	}
 	for g, t := range dr.waiting {
 		switch {
@@ -220,7 +246,27 @@ func (dr *durRouter) sweepFail(f *stm.Fault) {
 		}
 		e.t = nil
 	}
+	dr.cond.Broadcast() // the fault is visible; release any frontier wait
 	dr.mu.Unlock()
+}
+
+// waitFrontier blocks until the contiguous global frontier reaches g
+// (every age below g completed on all its shards and was appended to
+// the log), the log fails, or the system faults. It returns nil only
+// in the first case.
+func (dr *durRouter) waitFrontier(g uint64) error {
+	dr.mu.Lock()
+	defer dr.mu.Unlock()
+	for dr.next < g && dr.err == nil && dr.sp.fault.Load() == nil {
+		dr.cond.Wait()
+	}
+	if dr.err != nil {
+		return &stm.DurabilityError{Err: dr.err}
+	}
+	if f := dr.sp.fault.Load(); f != nil && dr.next < g {
+		return &stm.Stopped{Fault: f}
+	}
+	return nil
 }
 
 // settle is the teardown backstop after the closing sync: nothing may

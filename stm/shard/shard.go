@@ -81,6 +81,28 @@ type Config struct {
 	// global age is durable, not merely committed on its shards.
 	// Requires WAL.
 	WaitDurable bool
+
+	// CheckpointEvery, when > 0, checkpoints the sharded system every
+	// that many appended global ages: the router freezes submissions,
+	// waits for the global frontier to reach the freeze point,
+	// serializes the Var space plus the per-shard local-age watermarks,
+	// and commits the snapshot through the WAL's CheckpointSink (which
+	// truncates redundant log history). Requires WAL (implementing
+	// stm.CheckpointSink) and Snapshotter.
+	CheckpointEvery uint64
+	// Snapshotter serializes the application's Var space for
+	// checkpoints. Required when CheckpointEvery is set; with it set
+	// (and a CheckpointSink WAL), manual Checkpoint calls work even
+	// when CheckpointEvery is zero.
+	Snapshotter stm.Snapshotter
+	// LocalFirstAges seeds each shard's local age sequence when
+	// recovering from a checkpoint: DecodeCheckpoint returns the
+	// watermarks the checkpoint froze, and a router rebuilt with them
+	// (plus Pipeline.FirstAge = the checkpoint's global age) assigns
+	// replayed suffix records exactly the local ages they carried
+	// originally. Nil (fresh start, or full replay from age zero)
+	// means every local sequence starts at zero.
+	LocalFirstAges []uint64
 }
 
 // ShardedPipeline is the sharded streaming front-end. Submit may be
@@ -99,6 +121,15 @@ type ShardedPipeline struct {
 	localNext []uint64 // next local age each shard will assign
 	closed    bool
 	ncross    uint64
+
+	// Checkpoint machinery; zero-valued unless configured.
+	ckptMu   sync.Mutex // serializes checkpoints (auto loop + manual)
+	ckptSink stm.CheckpointSink
+	snap     stm.Snapshotter
+	ckdone   chan struct{} // checkpointer goroutine exit (closed if none)
+	lastCkpt uint64        // guarded by mu
+	ckptN    uint64        // guarded by mu
+	ckptErr  error         // guarded by mu; first checkpoint failure
 
 	fault atomic.Pointer[stm.Fault] // first global fault
 
@@ -130,6 +161,17 @@ func New(cfg Config) (*ShardedPipeline, error) {
 	if cfg.WaitDurable && cfg.WAL == nil {
 		return nil, errors.New("shard: Config.WaitDurable requires Config.WAL")
 	}
+	if cfg.CheckpointEvery > 0 {
+		if cfg.WAL == nil || cfg.Snapshotter == nil {
+			return nil, errors.New("shard: Config.CheckpointEvery requires Config.WAL and Config.Snapshotter")
+		}
+		if _, ok := cfg.WAL.(stm.CheckpointSink); !ok {
+			return nil, errors.New("shard: Config.CheckpointEvery requires a WAL implementing stm.CheckpointSink (wal.Writer does)")
+		}
+	}
+	if cfg.LocalFirstAges != nil && len(cfg.LocalFirstAges) != cfg.Shards {
+		return nil, fmt.Errorf("shard: LocalFirstAges has %d entries for %d shards", len(cfg.LocalFirstAges), cfg.Shards)
+	}
 	pcfg := cfg.Pipeline
 	first := pcfg.FirstAge
 	pcfg.FirstAge = 0
@@ -143,15 +185,37 @@ func New(cfg Config) (*ShardedPipeline, error) {
 		nextG:        first,
 		localNext:    make([]uint64, cfg.Shards),
 		firstAge:     first,
+		lastCkpt:     first,
 		xlive:        make(map[uint64]*xtxn),
+		ckdone:       make(chan struct{}),
+	}
+	if cfg.LocalFirstAges != nil {
+		copy(sp.localNext, cfg.LocalFirstAges)
 	}
 	sp.xcond = sync.NewCond(&sp.xmu)
 	if cfg.WAL != nil {
 		sp.dr = newDurRouter(sp, cfg.WAL, cfg.WaitDurable, first, cfg.Shards)
 		cfg.WAL.Notify(sp.dr.durableTo)
 	}
+	if sink, ok := cfg.WAL.(stm.CheckpointSink); ok && cfg.Snapshotter != nil {
+		sp.ckptSink = sink
+		sp.snap = cfg.Snapshotter
+	}
+	if cfg.CheckpointEvery > 0 {
+		sp.dr.ckptEvery = cfg.CheckpointEvery
+		sp.dr.ckptKick = make(chan struct{}, 1)
+		go sp.ckptLoop()
+	} else {
+		close(sp.ckdone)
+	}
 	for s := 0; s < cfg.Shards; s++ {
 		scfg := pcfg
+		if cfg.LocalFirstAges != nil {
+			// Recovery from a checkpoint: the shard's local sequence
+			// resumes at its frozen watermark, so replayed suffix
+			// records land on exactly their original local ages.
+			scfg.FirstAge = cfg.LocalFirstAges[s]
+		}
 		if sp.dr != nil {
 			// The per-shard commit-frontier hook feeds the router's
 			// global frontier tracker.
@@ -688,6 +752,13 @@ func (sp *ShardedPipeline) Close() error {
 			}
 		}
 		sp.xwg.Wait()
+		if sp.dr != nil && sp.dr.ckptKick != nil {
+			// Stop the checkpointer after every shard drained; its
+			// final checkpoint sees the complete frontier and leaves a
+			// log that restarts without replay.
+			close(sp.dr.ckptKick)
+			<-sp.ckdone
+		}
 		if sp.dr != nil {
 			// Make the tail durable; the sync's observer resolves the
 			// WaitDurable tickets still parked, and settle clears
@@ -703,6 +774,11 @@ func (sp *ShardedPipeline) Close() error {
 			sp.dr.settle(sp.fault.Load())
 		}
 		sp.closeErr = first
+		if sp.closeErr == nil {
+			sp.mu.Lock()
+			sp.closeErr = sp.ckptErr
+			sp.mu.Unlock()
+		}
 		if f := sp.fault.Load(); f != nil {
 			sp.closeErr = f
 		}

@@ -1,6 +1,7 @@
 // Package wal is the durability subsystem of the ordered-commit
 // pipeline: a segmented append-only log of committed transaction
-// inputs, a group-commit syncer, and a crash-recovery driver.
+// inputs, a pipelined group-commit syncer, a checkpoint writer, and a
+// crash-recovery driver.
 //
 // The predefined commit order makes durability almost free to specify.
 // Because every execution commits transactions in exactly the
@@ -25,17 +26,41 @@
 // strictly in age order and rolls to a new segment once the current
 // one exceeds Options.SegmentBytes.
 //
-// # Group commit
+// # Pipelined group commit
 //
 // Append only copies the record into the current segment's buffer; an
-// fsync makes everything appended so far durable at once. The sync
-// policy decides when that happens: after every N appends
-// (Options.SyncEveryN), at least every interval while dirty
-// (Options.SyncInterval), or only on explicit Sync/Close (neither set
-// — policy "none", the right choice when a layer above already
-// decides durability points, and for measuring the pure logging
-// overhead). Durability is tracked as a frontier: every age below
-// Writer.Durable is on stable storage.
+// fsync makes everything appended so far durable at once. Sync points
+// are *pipelined*: admission (flushing the buffer and snapshotting the
+// group's target frontier) is decoupled from the fsync itself, so the
+// next sync group is admitted while the previous fsync is still on the
+// wire — up to Options.MaxInFlightSyncs groups overlap. Completions
+// are processed strictly in admission order, so the durability
+// frontier only ever moves forward and observers see sync points in
+// age order no matter how the device reorders the fsyncs themselves.
+//
+// The sync policy decides when groups are admitted: after every N
+// appends (Options.SyncEveryN), at least every interval while dirty
+// (Options.SyncInterval), adaptively (Options.Adaptive: immediately
+// while the device is idle, growing toward a byte target while syncs
+// are in flight), or only on explicit Sync/Close (none of the above —
+// policy "none", the right choice when a layer above already decides
+// durability points). Count and adaptive policies also admit pending
+// records as soon as a sync slot frees (admit-on-drain), so a partial
+// group never waits for traffic that may not come, and an idle-flush
+// timer bounds the stalled-tail latency either way. Durability is
+// tracked as a frontier: every age below Writer.Durable is on stable
+// storage.
+//
+// # Checkpoints
+//
+// Writer.Checkpoint durably records an application state snapshot at a
+// frontier age: the snapshot is written to a `%016x.ckpt` file, made
+// durable, and then committed by an atomic rename of the CHECKPOINT
+// manifest — a crash anywhere in between leaves the previous
+// checkpoint in force. The two newest checkpoints are retained and
+// segments wholly below the older one are truncated, bounding both
+// disk usage and recovery time by the checkpoint interval while
+// keeping a fallback if the newest checkpoint file is torn.
 //
 // # Torn tails and recovery
 //
@@ -45,30 +70,52 @@
 // or carries an unexpected age; the log is truncated at that record's
 // start and any later segments are deleted. Everything before the cut
 // is a consistent prefix of the committed order — exactly the durable
-// state. Replay then feeds the surviving payloads, in age order, to a
-// submit function (typically Pipeline.SubmitEncoded), and the writer
-// reopened from the recovery accepts new appends where the prefix
-// ends. Re-appends of already-recovered ages are ignored, so a replay
-// that flows through a WAL-attached pipeline is idempotent.
+// state. When a valid checkpoint exists, recovery loads its state and
+// keeps only the record suffix at or above the checkpoint age (torn
+// or unreadable checkpoints fall back to the previous checkpoint, or
+// to full replay). Replay then feeds the surviving payloads, in age
+// order, to a submit function (typically Pipeline.SubmitEncoded), and
+// the writer reopened from the recovery accepts new appends where the
+// prefix ends. Re-appends of already-recovered ages are ignored, so a
+// replay that flows through a WAL-attached pipeline is idempotent.
 package wal
 
 import (
+	"errors"
+	"fmt"
 	"strconv"
 	"time"
 )
 
 // Options parameterizes a Writer.
 type Options struct {
-	// SyncEveryN forces an fsync after every N appended records
+	// SyncEveryN admits a sync group after every N appended records
 	// (group commit: one fsync covers the whole batch). Zero disables
-	// count-based syncing. To keep a stalled stream's tail from
-	// waiting forever for the batch to fill, a count-only policy also
-	// flushes dirty records after a short idle delay (a few ms).
+	// count-based syncing. Pending records are also admitted as soon
+	// as a sync slot is free (admit-on-drain), an append that finds
+	// the sync device idle admits immediately, and an idle delay of a
+	// few ms bounds how long a stalled stream's tail can wait, so N is
+	// the group-size target under load, not a latency floor.
 	SyncEveryN int
 	// SyncInterval bounds how long an appended record may stay
-	// un-synced: a background syncer fsyncs whenever the log has been
-	// dirty for this long. Zero disables time-based syncing.
+	// un-synced: a background syncer admits a group whenever the log
+	// has been dirty for this long. Zero disables time-based syncing.
 	SyncInterval time.Duration
+	// Adaptive enables adaptive group sizing: while the sync device is
+	// idle, pending records are admitted immediately (smallest groups,
+	// lowest latency); while syncs are in flight, the group grows
+	// until it reaches AdaptiveBytes or a sync slot frees, whichever
+	// comes first — the group size tracks the device's own latency.
+	// Mutually exclusive with SyncEveryN.
+	Adaptive bool
+	// AdaptiveBytes is the byte target an adaptive group grows toward
+	// while syncs are in flight (default 256 KiB).
+	AdaptiveBytes int
+	// MaxInFlightSyncs bounds how many admitted sync groups may be on
+	// the wire at once (default 2). 1 recovers the serial group-commit
+	// behavior; 2+ overlaps the next group's admission with the
+	// previous fsync.
+	MaxInFlightSyncs int
 	// SegmentBytes caps a segment file's size; the writer rolls to a
 	// fresh segment before the record that would exceed it (default
 	// 64 MiB). The finished segment is fsynced and closed at the next
@@ -76,16 +123,55 @@ type Options struct {
 	SegmentBytes int64
 }
 
+// validate rejects nonsensical options at open time instead of
+// silently treating them as unset.
+func (o Options) validate() error {
+	if o.SyncEveryN < 0 {
+		return fmt.Errorf("wal: negative SyncEveryN %d", o.SyncEveryN)
+	}
+	if o.SyncInterval < 0 {
+		return fmt.Errorf("wal: negative SyncInterval %v", o.SyncInterval)
+	}
+	if o.AdaptiveBytes < 0 {
+		return fmt.Errorf("wal: negative AdaptiveBytes %d", o.AdaptiveBytes)
+	}
+	if o.MaxInFlightSyncs < 0 {
+		return fmt.Errorf("wal: negative MaxInFlightSyncs %d", o.MaxInFlightSyncs)
+	}
+	if o.SegmentBytes < 0 {
+		return fmt.Errorf("wal: negative SegmentBytes %d", o.SegmentBytes)
+	}
+	if o.Adaptive && o.SyncEveryN > 0 {
+		return errors.New("wal: Adaptive and SyncEveryN are mutually exclusive group-size policies")
+	}
+	return nil
+}
+
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
+	}
+	if o.MaxInFlightSyncs <= 0 {
+		o.MaxInFlightSyncs = 2
+	}
+	if o.Adaptive && o.AdaptiveBytes <= 0 {
+		o.AdaptiveBytes = 256 << 10
 	}
 	return o
 }
 
 // policy returns the human-readable sync policy name ("none",
-// "every=N", "interval=D", or both joined by "+").
+// "every=N", "interval=D", "adaptive(bytes=B,depth=D)", with
+// interval-combined forms joined by "+").
 func (o Options) policy() string {
+	if o.Adaptive {
+		s := "adaptive(bytes=" + strconv.Itoa(o.AdaptiveBytes) +
+			",depth=" + strconv.Itoa(o.MaxInFlightSyncs) + ")"
+		if o.SyncInterval > 0 {
+			s += "+interval=" + o.SyncInterval.String()
+		}
+		return s
+	}
 	switch {
 	case o.SyncEveryN > 0 && o.SyncInterval > 0:
 		return "every=" + strconv.Itoa(o.SyncEveryN) + "+interval=" + o.SyncInterval.String()

@@ -31,10 +31,16 @@ const flushChunk = 1 << 20
 // what makes recovery replay through a WAL-attached pipeline
 // idempotent.
 //
-// Durability advances only at fsync points, chosen by Options (group
-// commit) or forced by Sync. All methods are safe for concurrent use;
-// appends may proceed while an fsync is in flight, which is where
-// group commit's throughput comes from.
+// Durability advances only at sync points, chosen by Options (group
+// commit) or forced by Sync. Sync points are pipelined: admission
+// snapshots the group (buffer flushed, target frontier fixed) and
+// hands it to a sync worker, so the next group is admitted while the
+// previous fsync is still in flight; the completer then retires
+// groups strictly in admission order, which keeps the durability
+// frontier monotone and observer callbacks in age order. All methods
+// are safe for concurrent use; appends may proceed while any number
+// of fsyncs are in flight, which is where group commit's throughput
+// comes from.
 type Writer struct {
 	opts Options
 	dir  string
@@ -50,21 +56,53 @@ type Writer struct {
 	notify   func(next uint64, err error)
 	closed   bool
 
-	// syncMu serializes sync points. Lock order: syncMu may take mu
-	// (Sync snapshots under it); mu never waits on syncMu — a segment
-	// roll only parks the finished file on the retired list, leaving
-	// all storage waits (fsync, close, directory sync) to the next
-	// sync point, off the commit path.
-	syncMu sync.Mutex
+	// admitMu serializes sync-group admission (the append/admission
+	// stage of the pipelined syncer). Lock order: admitMu may take mu
+	// (admission snapshots the group under it); mu never waits on
+	// admitMu — a segment roll only parks the finished file on the
+	// retired list, leaving all storage waits (fsync, close, directory
+	// sync) to the sync workers, off the commit path.
+	admitMu     sync.Mutex
+	admitClosed bool   // opCh closed; no further admissions
+	seq         uint64 // admission sequence number (completion order)
 
 	next    atomic.Uint64 // next age to append
 	durable atomic.Uint64 // every age below it is on stable storage
 	fsyncs  atomic.Uint64
 	nbytes  atomic.Uint64 // framed bytes appended over the log's life
 
+	admittedB atomic.Uint64 // nbytes watermark at the last admission
+	inflight  atomic.Int64  // sync groups admitted but not yet completed
+	depthMax  atomic.Int64  // high watermark of inflight
+	overlaps  atomic.Uint64 // admissions that found another sync in flight
+
+	opCh   chan *syncOp // admission → sync workers
+	compCh chan *syncOp // sync workers → completer
+	wdone  sync.WaitGroup
+	cdone  chan struct{}
+
+	ckptMu   sync.Mutex // serializes Checkpoint
+	ckptAge_ atomic.Uint64
+	ckpts    atomic.Uint64
+
 	kick     chan struct{}
 	done     chan struct{}
 	loopDone chan struct{} // nil when no background syncer runs
+}
+
+// syncOp is one admitted sync group: everything appended up to target
+// was flushed to the OS at admission; the op carries the storage work
+// (fsync retired segments, fsync the current segment, sync the
+// directory) to a worker, and its in-order completion advances the
+// durability frontier.
+type syncOp struct {
+	seq      uint64
+	target   uint64
+	retired  []*os.File
+	cur      *os.File
+	dirDirty bool
+	err      error
+	done     chan struct{} // non-nil for explicit Sync waiters
 }
 
 // Create initializes a fresh log in dir whose first record will carry
@@ -74,6 +112,9 @@ type Writer struct {
 // eagerly so the log's starting age survives a crash that happens
 // before the first append.
 func Create(dir string, firstAge uint64, opts Options) (*Writer, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -101,18 +142,29 @@ func Create(dir string, firstAge uint64, opts Options) (*Writer, error) {
 
 func newWriter(dir string, opts Options) *Writer {
 	return &Writer{
-		opts: opts,
-		dir:  dir,
-		kick: make(chan struct{}, 1),
-		done: make(chan struct{}),
+		opts:   opts,
+		dir:    dir,
+		opCh:   make(chan *syncOp),
+		compCh: make(chan *syncOp, opts.MaxInFlightSyncs),
+		cdone:  make(chan struct{}),
+		kick:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
 	}
 }
 
-// startSyncer launches the group-commit syncer when the policy needs
-// one (count- or time-based syncing). Policy "none" has no background
-// work: durability points are wherever the caller puts Sync.
+// startSyncer launches the sync-stage goroutines: MaxInFlightSyncs
+// workers that fsync admitted groups in parallel, the completer that
+// retires them in admission order, and — when the policy needs one
+// (count-, time-based or adaptive syncing) — the admission loop that
+// turns kicks and ticks into sync groups. Policy "none" runs only the
+// workers: durability points are wherever the caller puts Sync.
 func (w *Writer) startSyncer() {
-	if w.opts.SyncEveryN <= 0 && w.opts.SyncInterval <= 0 {
+	for i := 0; i < w.opts.MaxInFlightSyncs; i++ {
+		w.wdone.Add(1)
+		go w.syncWorker()
+	}
+	go w.completer()
+	if w.opts.SyncEveryN <= 0 && w.opts.SyncInterval <= 0 && !w.opts.Adaptive {
 		return
 	}
 	w.loopDone = make(chan struct{})
@@ -136,9 +188,19 @@ func (w *Writer) Fsyncs() uint64 { return w.fsyncs.Load() }
 // including recovered history when the writer was reopened.
 func (w *Writer) Bytes() uint64 { return w.nbytes.Load() }
 
+// SyncDepthMax returns the high watermark of concurrently in-flight
+// sync groups — the pipelining actually achieved (>1 means an fsync
+// overlapped another group's admission or fsync).
+func (w *Writer) SyncDepthMax() int { return int(w.depthMax.Load()) }
+
+// OverlappedSyncs returns how many sync groups were admitted while at
+// least one earlier group's fsync was still in flight.
+func (w *Writer) OverlappedSyncs() uint64 { return w.overlaps.Load() }
+
 // Notify registers the durability observer: fn is called after every
-// fsync with the new durability frontier, and with a non-nil error if
-// the log fails. It is called without writer locks held; at most one
+// sync-point completion with the new durability frontier, and with a
+// non-nil error if the log fails. Completions are delivered strictly
+// in admission (= age) order, without writer locks held; at most one
 // observer is supported (the pipeline). It implements stm.DurableLog.
 func (w *Writer) Notify(fn func(next uint64, err error)) {
 	w.mu.Lock()
@@ -181,8 +243,23 @@ func (w *Writer) Append(age uint64, payload []byte) error {
 	w.next.Store(age + 1)
 	w.nbytes.Add(uint64(need))
 	var kicked bool
-	if n := w.opts.SyncEveryN; n > 0 {
-		if w.sinceN++; w.sinceN >= n {
+	switch {
+	case w.opts.Adaptive:
+		// Adaptive sizing: admit immediately while the device is idle
+		// (smallest groups, lowest latency); while syncs are in flight
+		// let the group grow until it hits the byte target (a slot
+		// freeing up admits it earlier — see admit-on-drain).
+		kicked = w.inflight.Load() == 0 ||
+			w.nbytes.Load()-w.admittedB.Load() >= uint64(w.opts.AdaptiveBytes)
+	case w.opts.SyncEveryN > 0:
+		// The count is a cap on how long a record may wait under load,
+		// never a reason to strand one while the device is idle: an
+		// append that finds no sync in flight admits immediately, and
+		// groups self-size to fsync duration once the device is busy
+		// (everything appended during one fsync rides the next). This
+		// is what keeps closed-loop WaitDurable cadence at device
+		// speed instead of idle-timer speed.
+		if w.sinceN++; w.sinceN >= w.opts.SyncEveryN || w.inflight.Load() == 0 {
 			w.sinceN = 0
 			kicked = true
 		}
@@ -196,23 +273,31 @@ func (w *Writer) Append(age uint64, payload []byte) error {
 	}
 	w.mu.Unlock()
 	if kicked {
-		select {
-		case w.kick <- struct{}{}:
-		default:
-		}
+		w.kickSync()
 	}
 	return nil
 }
 
-// Sync makes every appended record durable: it flushes the buffer,
-// fsyncs (then closes) any segments retired by rolls, fsyncs the
-// current segment and — when a segment was created since the last
-// sync point — the directory, advancing the durability frontier and
-// notifying the observer. Safe to call from any goroutine, including
-// concurrently with Append.
-func (w *Writer) Sync() error {
-	w.syncMu.Lock()
-	defer w.syncMu.Unlock()
+func (w *Writer) kickSync() {
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// admit is the append/admission stage of the pipelined syncer: it
+// flushes the buffer, snapshots the sync group (target frontier,
+// retired segments, current segment, directory dirtiness) and hands
+// it to a sync worker. The send blocks once MaxInFlightSyncs groups
+// are on the wire — that is the pipeline's backpressure. With wait
+// set (explicit Sync) the op carries a done channel the completer
+// closes.
+func (w *Writer) admit(wait bool) (*syncOp, error) {
+	w.admitMu.Lock()
+	defer w.admitMu.Unlock()
+	if w.admitClosed {
+		return nil, ErrClosed
+	}
 	w.mu.Lock()
 	if w.err != nil {
 		// The log is already dead; still fire the observer so tickets
@@ -224,67 +309,165 @@ func (w *Writer) Sync() error {
 		if fn != nil {
 			fn(w.durable.Load(), err)
 		}
-		return err
+		return nil, err
 	}
 	if w.f == nil {
 		w.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
-	fn := w.notify
 	if err := w.flushLocked(); err != nil {
 		w.failLocked(err)
+		fn := w.notify
 		w.mu.Unlock()
 		if fn != nil {
 			fn(w.durable.Load(), err)
 		}
-		return err
+		return nil, err
 	}
-	target := w.next.Load()
-	ret := w.retired
+	op := &syncOp{
+		seq:      w.seq,
+		target:   w.next.Load(),
+		retired:  w.retired,
+		cur:      w.f,
+		dirDirty: w.dirDirty,
+	}
+	w.seq++
 	w.retired = nil
-	f := w.f
-	dirty := w.dirDirty
 	w.dirDirty = false
+	w.sinceN = 0
+	w.admittedB.Store(w.nbytes.Load())
 	w.mu.Unlock()
-
-	// All of target's records were flushed above, so they live in the
-	// retired segments plus f (f may be rolled onto the retired list
-	// concurrently, but it stays open until a sync drains it, so the
-	// fsync below still covers it; the next sync closes it).
-	var err error
-	for _, rf := range ret {
-		if err == nil {
-			if err = rf.Sync(); err == nil {
-				w.fsyncs.Add(1)
+	if wait {
+		op.done = make(chan struct{})
+	}
+	if d := w.inflight.Add(1); d > 1 {
+		w.overlaps.Add(1)
+		for {
+			max := w.depthMax.Load()
+			if d <= max || w.depthMax.CompareAndSwap(max, d) {
+				break
 			}
 		}
-		if cerr := rf.Close(); err == nil && cerr != nil {
-			err = cerr
+	} else {
+		for {
+			max := w.depthMax.Load()
+			if d <= max || w.depthMax.CompareAndSwap(max, d) {
+				break
+			}
 		}
 	}
-	if err == nil && target > w.durable.Load() {
-		if err = f.Sync(); err == nil {
+	w.opCh <- op
+	return op, nil
+}
+
+// syncWorker is the in-flight sync stage: it performs each admitted
+// group's storage work. Several workers may fsync concurrently
+// (concurrent fsyncs of the same file are safe — each returns once
+// the file's dirty pages up to its own admission are stable); ordering
+// is restored by the completer.
+func (w *Writer) syncWorker() {
+	defer w.wdone.Done()
+	for op := range w.opCh {
+		w.doSync(op)
+		w.compCh <- op
+	}
+}
+
+func (w *Writer) doSync(op *syncOp) {
+	for _, rf := range op.retired {
+		if op.err != nil {
+			break
+		}
+		if op.err = datasync(rf); op.err == nil {
 			w.fsyncs.Add(1)
 		}
 	}
-	if err == nil && dirty {
+	if op.err == nil && op.target > w.durable.Load() {
+		if op.err = datasync(op.cur); op.err == nil {
+			w.fsyncs.Add(1)
+		}
+	}
+	if op.err == nil && op.dirDirty {
 		// Segment files must be reachable from the directory before
 		// their records count as durable — a dir-sync failure must
 		// hold the frontier back, not be shrugged off.
-		err = syncDir(w.dir)
+		op.err = syncDir(w.dir)
 	}
-	if err == nil && target > w.durable.Load() {
-		w.durable.Store(target)
+}
+
+// completer retires sync groups strictly in admission order: it closes
+// the segments a group retired (safe only here — all earlier groups,
+// the last that could fsync those files, have completed), advances the
+// durability frontier, and fires the observer. Out-of-order worker
+// completions park until their turn.
+func (w *Writer) completer() {
+	defer close(w.cdone)
+	pend := make(map[uint64]*syncOp)
+	var next uint64
+	for op := range w.compCh {
+		pend[op.seq] = op
+		for {
+			o, ok := pend[next]
+			if !ok {
+				break
+			}
+			delete(pend, next)
+			next++
+			w.complete(o)
+			w.inflight.Add(-1)
+		}
 	}
-	if err != nil {
-		w.mu.Lock()
-		w.failLocked(err)
-		w.mu.Unlock()
+}
+
+func (w *Writer) complete(op *syncOp) {
+	for _, rf := range op.retired {
+		if cerr := rf.Close(); cerr != nil && op.err == nil {
+			op.err = cerr
+		}
 	}
+	w.mu.Lock()
+	if w.err != nil && op.err == nil {
+		// An earlier sync point failed: the durable prefix is frozen,
+		// and this group's own success must not leapfrog the failure.
+		op.err = w.err
+	}
+	if op.err != nil {
+		w.failLocked(op.err)
+	} else if op.target > w.durable.Load() {
+		w.durable.Store(op.target)
+	}
+	fn := w.notify
+	drain := op.err == nil && w.loopDone != nil && !w.closed &&
+		(w.opts.SyncEveryN > 0 || w.opts.Adaptive) &&
+		w.next.Load() != w.durable.Load()
+	w.mu.Unlock()
 	if fn != nil {
-		fn(w.durable.Load(), err)
+		fn(w.durable.Load(), op.err)
 	}
-	return err
+	if op.done != nil {
+		close(op.done)
+	}
+	if drain {
+		// Admit-on-drain: records are pending and a sync slot just
+		// freed — admit them now instead of stranding a partial group
+		// behind the idle timer. This is what keeps the durable tail
+		// latency at device speed when producers are slower than the
+		// group-size target.
+		w.kickSync()
+	}
+}
+
+// Sync makes every appended record durable before returning: it admits
+// a sync group covering everything appended so far and waits for its
+// in-order completion (which also covers every earlier group). Safe to
+// call from any goroutine, including concurrently with Append.
+func (w *Writer) Sync() error {
+	op, err := w.admit(true)
+	if err != nil {
+		return err
+	}
+	<-op.done
+	return op.err
 }
 
 // Close stops the syncer, makes the tail durable, and closes the
@@ -302,7 +485,14 @@ func (w *Writer) Close() error {
 		close(w.done)
 		<-w.loopDone
 	}
-	err := w.Sync()
+	err := w.Sync() // final sync point; in-order completion covers all earlier ones
+	w.admitMu.Lock()
+	w.admitClosed = true
+	close(w.opCh)
+	w.admitMu.Unlock()
+	w.wdone.Wait()
+	close(w.compCh)
+	<-w.cdone
 	w.mu.Lock()
 	for _, rf := range w.retired { // only non-empty if the sync failed
 		rf.Close()
@@ -318,38 +508,41 @@ func (w *Writer) Close() error {
 	return err
 }
 
-// idleFlush bounds how long a partial batch may strand the tail when
-// only count-based syncing is configured: a count policy alone would
-// leave the last N-1 appends — and any WaitDurable ticket parked on
-// them — waiting for traffic that may never come.
+// idleFlush bounds how long a partial group may strand the tail when
+// no interval policy is configured: count and adaptive policies kick
+// on their own triggers, but a stream that simply stops producing
+// would otherwise leave its last records — and any WaitDurable ticket
+// parked on them — waiting for traffic that may never come.
 const idleFlush = 2 * time.Millisecond
 
-// syncLoop is the group-commit syncer: it turns count kicks and
-// interval ticks into fsyncs, each covering every record appended
-// since the last one.
+// syncLoop is the admission loop of the group-commit syncer: it turns
+// count kicks, adaptive kicks, drain kicks and interval ticks into
+// sync-group admissions, each covering every record appended since the
+// previous admission.
 func (w *Writer) syncLoop() {
 	defer close(w.loopDone)
 	interval := w.opts.SyncInterval
-	if interval <= 0 && w.opts.SyncEveryN > 0 {
+	if interval <= 0 {
 		interval = idleFlush
 	}
-	var tick <-chan time.Time
-	if interval > 0 {
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		tick = t.C
-	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
 	for {
 		select {
 		case <-w.done:
 			return
 		case <-w.kick:
-		case <-tick:
+			if w.next.Load() == w.durable.Load() && w.inflight.Load() > 0 {
+				continue // everything pending is already on the wire
+			}
+		case <-t.C:
 			if w.next.Load() == w.durable.Load() {
 				continue // nothing dirty
 			}
 		}
-		w.Sync() // errors latch into w.err and reach the observer
+		if _, err := w.admit(false); err != nil {
+			return // log closed or dead; errors latched into w.err
+		}
 	}
 }
 
