@@ -1,0 +1,33 @@
+// Command promcheck validates a Prometheus text-format exposition read
+// from stdin: HELP/TYPE syntax, metric and label naming, histogram
+// bucket ordering and cumulative-count invariants. CI pipes a scraped
+// /metrics page through it so a malformed exposition fails the build
+// instead of silently breaking whoever scrapes the real thing.
+//
+//	curl -s localhost:9464/metrics | promcheck
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/orderedstm/ostm/stm/obs"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck: read stdin:", err)
+		os.Exit(1)
+	}
+	if len(data) == 0 {
+		fmt.Fprintln(os.Stderr, "promcheck: empty input")
+		os.Exit(1)
+	}
+	if err := obs.ValidateExposition(data); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promcheck: OK")
+}

@@ -40,12 +40,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"sync"
 	"time"
 
 	"github.com/orderedstm/ostm/internal/rng"
 	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/obs"
 	"github.com/orderedstm/ostm/stm/shard"
 	"github.com/orderedstm/ostm/stm/wal"
 )
@@ -205,6 +205,8 @@ func main() {
 		ckptEv   = flag.Uint64("checkpoint-every", 0, "checkpoint every N commits: snapshot the pool, truncate redundant log history (requires -wal)")
 		waitDur  = flag.Bool("waitdurable", false, "resolve tickets only once their age is durable (requires -wal)")
 		recoverF = flag.Bool("recover", false, "recover the -wal log: truncate torn tail, replay, verify against the sequential oracle, report")
+		obsOn    = flag.Bool("obs", true, "attach the observability registry (latency histograms, abort breakdown, /metrics families); -obs=false measures the uninstrumented hot path")
+		metrAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address during the run (requires -obs)")
 		jsonF    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		memEvery = flag.Int("memevery", 8, "heap samples across the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -243,6 +245,13 @@ func main() {
 	if *ckptEv > 0 && *typed {
 		fatal(fmt.Errorf("-checkpoint-every snapshots the word pool; use the word API (-typed off)"))
 	}
+	if *metrAddr != "" && !*obsOn {
+		fatal(fmt.Errorf("-metrics-addr requires -obs"))
+	}
+	var reg *obs.Registry
+	if *obsOn {
+		reg = obs.NewRegistry()
+	}
 	pcfg := stm.Config{
 		Algorithm:        alg,
 		Workers:          *workers,
@@ -280,6 +289,7 @@ func main() {
 			fatal(err)
 		}
 		opts.MaxInFlightSyncs = *syncDep
+		opts.Obs = reg
 		if *waitDur && opts.SyncEveryN == 0 && opts.SyncInterval == 0 && !opts.Adaptive {
 			// Policy "none" has no background sync points, so tickets
 			// deferred to durability would wait forever.
@@ -307,12 +317,14 @@ func main() {
 	var committed func() uint64
 	var epochs func() uint64
 	var stats func() (commits, aborts, retries uint64)
+	var breakdown func() map[string]float64
 	var perShard func() []shardStats
 	var crossCount func() uint64
 	var ckptStats func() (n, age uint64)
 	var effCapacity, effWindow int
 
 	if *shardsF == 0 {
+		pcfg.Obs = reg
 		if walw != nil {
 			pcfg.WAL = walw
 			if *typed {
@@ -402,6 +414,7 @@ func main() {
 			sv := p.Stats()
 			return sv.Commits, sv.TotalAborts(), sv.Retries
 		}
+		breakdown = func() map[string]float64 { return p.Stats().Breakdown() }
 		perShard = func() []shardStats { return nil }
 		crossCount = func() uint64 { return 0 }
 		effCapacity, effWindow = p.Config().Capacity, p.Config().Window
@@ -419,7 +432,7 @@ func main() {
 			s := shard.Of(h, *shardsF)
 			buckets[s] = append(buckets[s], i)
 		}
-		scfg := shard.Config{Shards: *shardsF, Pipeline: pcfg}
+		scfg := shard.Config{Shards: *shardsF, Pipeline: pcfg, Obs: reg}
 		if walw != nil {
 			scfg.WAL = walw
 			scfg.Codec = shardCodec{accounts: accounts, buckets: buckets}
@@ -529,6 +542,7 @@ func main() {
 			sv := sp.Stats()
 			return sv.Commits, sv.TotalAborts(), sv.Retries
 		}
+		breakdown = func() map[string]float64 { return sp.Stats().Breakdown() }
 		perShard = func() []shardStats {
 			out := make([]shardStats, 0, nshards)
 			for s, sv := range sp.ShardStats() {
@@ -546,7 +560,44 @@ func main() {
 		effCapacity, effWindow = sp.PipelineConfig().Capacity, sp.PipelineConfig().Window
 	}
 
-	latencies := make([][]time.Duration, *clients)
+	// Metrics endpoint: live during the measured window, so a scrape can
+	// watch frontier lag, abort breakdown and fsync latency mid-run.
+	if *metrAddr != "" {
+		srv, err := obs.Serve(*metrAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		if !*jsonF {
+			fmt.Printf("metrics on http://%s/metrics\n", srv.Addr)
+		}
+	}
+
+	// Frontier lag is a gauge: sample it across the run and report the
+	// worst value seen (steady-state lag ≈ in-flight depth under load).
+	var lagMax float64
+	lagStop := make(chan struct{})
+	lagDone := make(chan struct{})
+	if reg != nil {
+		go func() {
+			defer close(lagDone)
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-lagStop:
+					return
+				case <-tick.C:
+					if v, ok := reg.Sum("ostm_frontier_lag"); ok && v > lagMax {
+						lagMax = v
+					}
+				}
+			}
+		}()
+	} else {
+		close(lagDone)
+	}
+
 	heapSamples := make([]uint64, 0, *memEvery+2)
 	var heapMu sync.Mutex
 	// The endpoint samples force a collection so first-vs-last compares
@@ -614,7 +665,6 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			lat := make([]time.Duration, 0, perClient)
 			r := rng.New(uint64(c)*0x9E3779B97F4A7C15 + 1)
 			states := make([]*txnState, *batch)
 			for i := range states {
@@ -634,7 +684,6 @@ func main() {
 				if rem := perClient - done; n > rem {
 					n = rem
 				}
-				t0 := time.Now()
 				if n == 1 {
 					prepare(r, states[0])
 					tk, err := submitOne(states[0])
@@ -644,7 +693,6 @@ func main() {
 					if err := tk.Wait(); err != nil {
 						fatal(err)
 					}
-					lat = append(lat, time.Since(t0))
 				} else {
 					for i := 0; i < n; i++ {
 						prepare(r, states[i])
@@ -654,16 +702,10 @@ func main() {
 					if err != nil {
 						fatal(err)
 					}
-					// Each ticket's latency is taken at its own
-					// resolution: round submit → this commit observed.
-					// Tickets resolve independently of the Wait order,
-					// so samples stay honest per-transaction latencies
-					// (not round averages), comparable with batch=1.
 					for _, w := range ws {
 						if err := w.Wait(); err != nil {
 							fatal(err)
 						}
-						lat = append(lat, time.Since(t0))
 					}
 				}
 				done += n
@@ -671,10 +713,11 @@ func main() {
 					sampleHeap(false)
 				}
 			}
-			latencies[c] = lat
 		}(c)
 	}
 	wg.Wait()
+	close(lagStop)
+	<-lagDone
 	ncommitted := committed() - warmed
 	elapsed := time.Since(start)
 	var m1 runtime.MemStats
@@ -697,12 +740,6 @@ func main() {
 		}
 	}
 	sampleHeap(true)
-
-	all := make([]time.Duration, 0, *txns)
-	for _, lat := range latencies {
-		all = append(all, lat...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	commits, aborts, retries := stats()
 
 	ntx := float64(ncommitted)
@@ -718,17 +755,20 @@ func main() {
 		Batch:           *batch,
 		Typed:           *typed,
 		Fresh:           *fresh,
+		Obs:             reg != nil,
 		Txns:            int(ncommitted),
 		CrossTxns:       crossCount(),
 		Capacity:        effCapacity,
 		Window:          effWindow,
 		ElapsedS:        elapsed.Seconds(),
 		TxPerSec:        stm.Throughput(ncommitted, elapsed),
-		LatencyUS:       percentiles(all),
+		LatencyUS:       latencyFrom(reg),
+		FrontierLag:     lagMax,
 		Epochs:          epochs(),
 		Commits:         commits,
 		Aborts:          aborts,
 		Retries:         retries,
+		AbortBreakdown:  breakdown(),
 		AllocsPerTx:     float64(m1.Mallocs-m0.Mallocs) / ntx,
 		BytesPerTx:      float64(m1.TotalAlloc-m0.TotalAlloc) / ntx,
 		GCPausesUS:      float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e3,
@@ -775,9 +815,15 @@ func main() {
 		fmt.Printf("%s  workers=%d clients=%d batch=%d api=%s\n", rep.Algorithm, rep.Workers, rep.Clients, rep.Batch, api)
 	}
 	fmt.Printf("  %d txns in %.3fs  →  %.0f tx/s\n", rep.Txns, rep.ElapsedS, rep.TxPerSec)
-	fmt.Printf("  commit latency  p50=%.1fµs  p95=%.1fµs  p99=%.1fµs  max=%.1fµs\n",
-		rep.LatencyUS["p50"], rep.LatencyUS["p95"], rep.LatencyUS["p99"], rep.LatencyUS["max"])
+	if reg != nil {
+		fmt.Printf("  resolve latency  p50=%.1fµs  p95=%.1fµs  p99=%.1fµs  p999=%.1fµs  max=%.1fµs\n",
+			rep.LatencyUS["p50"], rep.LatencyUS["p95"], rep.LatencyUS["p99"], rep.LatencyUS["p999"], rep.LatencyUS["max"])
+		fmt.Printf("  frontier lag (max sampled)=%.0f\n", rep.FrontierLag)
+	}
 	fmt.Printf("  aborts=%d retries=%d epochs=%d\n", rep.Aborts, rep.Retries, rep.Epochs)
+	if rep.Aborts > 0 {
+		fmt.Printf("  abort breakdown: %v\n", rep.AbortBreakdown)
+	}
 	fmt.Printf("  allocs/tx=%.2f bytes/tx=%.1f gc=%d pauses=%.0fµs\n",
 		rep.AllocsPerTx, rep.BytesPerTx, rep.NumGC, rep.GCPausesUS)
 	if rep.WAL != "" {
@@ -816,6 +862,7 @@ type report struct {
 	Batch           int                `json:"batch"`
 	Typed           bool               `json:"typed,omitempty"`
 	Fresh           bool               `json:"fresh,omitempty"`
+	Obs             bool               `json:"obs"`
 	Txns            int                `json:"txns"`
 	CrossTxns       uint64             `json:"cross_txns"`
 	Capacity        int                `json:"capacity"`
@@ -823,10 +870,12 @@ type report struct {
 	ElapsedS        float64            `json:"elapsed_s"`
 	TxPerSec        float64            `json:"tx_per_s"`
 	LatencyUS       map[string]float64 `json:"latency_us"`
+	FrontierLag     float64            `json:"frontier_lag"`
 	Epochs          uint64             `json:"epochs"`
 	Commits         uint64             `json:"commits"`
 	Aborts          uint64             `json:"aborts"`
 	Retries         uint64             `json:"retries"`
+	AbortBreakdown  map[string]float64 `json:"abort_breakdown,omitempty"`
 	AllocsPerTx     float64            `json:"allocs_per_tx"`
 	BytesPerTx      float64            `json:"bytes_per_tx"`
 	GCPausesUS      float64            `json:"gc_pauses_us"`
@@ -845,20 +894,32 @@ type report struct {
 	HeapBytes       []uint64           `json:"heap_bytes"`
 }
 
-func percentiles(sorted []time.Duration) map[string]float64 {
-	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
-	out := map[string]float64{"p50": 0, "p95": 0, "p99": 0, "max": 0}
-	if len(sorted) == 0 {
+// latencyFrom derives the commit-latency percentiles (µs) from the
+// registry's resolve-latency histogram — the same data /metrics
+// exposes, so the report and a scrape can never disagree. Resolution
+// latency spans age assignment to ticket resolution (durability
+// included under -waitdurable); when it is empty (nothing resolved
+// through the instrumented path) the commit histogram stands in. With
+// -obs=false the map carries zeros: the uninstrumented run measures
+// throughput only.
+func latencyFrom(reg *obs.Registry) map[string]float64 {
+	out := map[string]float64{"p50": 0, "p90": 0, "p95": 0, "p99": 0, "p999": 0, "max": 0}
+	if reg == nil {
 		return out
 	}
-	at := func(q float64) time.Duration {
-		i := int(q * float64(len(sorted)-1))
-		return sorted[i]
+	h, ok := reg.Hist("ostm_resolve_seconds")
+	if !ok || h.Count == 0 {
+		if h, ok = reg.Hist("ostm_commit_seconds"); !ok || h.Count == 0 {
+			return out
+		}
 	}
-	out["p50"] = us(at(0.50))
-	out["p95"] = us(at(0.95))
-	out["p99"] = us(at(0.99))
-	out["max"] = us(sorted[len(sorted)-1])
+	us := func(ns float64) float64 { return ns / 1e3 }
+	out["p50"] = us(h.Quantile(0.50))
+	out["p90"] = us(h.Quantile(0.90))
+	out["p95"] = us(h.Quantile(0.95))
+	out["p99"] = us(h.Quantile(0.99))
+	out["p999"] = us(h.Quantile(0.999))
+	out["max"] = us(h.Max())
 	return out
 }
 

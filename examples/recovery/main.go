@@ -27,8 +27,28 @@ import (
 	"time"
 
 	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/obs"
 	"github.com/orderedstm/ostm/stm/wal"
 )
+
+// metricsLine renders a live one-line summary from the registry: the
+// commit frontier's lag behind submissions, the last interval's commit
+// rate, the abort ratio, and the WAL's group-commit pipelining depth.
+func metricsLine(reg *obs.Registry, lastCommitted *float64) string {
+	committed, _ := reg.Sum("ostm_committed_total")
+	lag, _ := reg.Sum("ostm_frontier_lag")
+	commits, _ := reg.Sum("ostm_commits_total")
+	aborts, _ := reg.Sum("ostm_aborts_total")
+	depth, _ := reg.Sum("ostm_wal_sync_depth_max")
+	rate := committed - *lastCommitted
+	*lastCommitted = committed
+	ratio := 0.0
+	if commits > 0 {
+		ratio = aborts / commits
+	}
+	return fmt.Sprintf("  [obs] committed=%.0f tx/s=%.0f frontier_lag=%.0f abort_ratio=%.3f wal_sync_depth_max=%.0f",
+		committed, rate, lag, ratio, depth)
+}
 
 const (
 	accounts = 64
@@ -173,8 +193,11 @@ func main() {
 	fmt.Println("phase 3: replay the prefix through SubmitEncodedT (recovery ≡ replay, typed results included)")
 	pool := newPool()
 	// Small segments so the continued log rolls over several files —
-	// phase 6's checkpoint then has history to truncate.
-	w, err := rec.Writer(wal.Options{SyncEveryN: 32, SegmentBytes: 4096})
+	// phase 6's checkpoint then has history to truncate. The registry
+	// observes pipeline and WAL together: one scrape surface for the
+	// whole durable stack.
+	reg := obs.NewRegistry()
+	w, err := rec.Writer(wal.Options{SyncEveryN: 32, SegmentBytes: 4096, Obs: reg})
 	check(err)
 	start := time.Now()
 	p, err := stm.NewPipeline(stm.Config{
@@ -184,8 +207,25 @@ func main() {
 		Codec:       codec(pool),
 		FirstAge:    rec.First(),
 		Snapshotter: poolSnapshotter(pool), // enables Checkpoint()
+		Obs:         reg,
 	})
 	check(err)
+	var lastCommitted float64
+	obsStop := make(chan struct{})
+	obsDone := make(chan struct{})
+	go func() {
+		defer close(obsDone)
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-obsStop:
+				return
+			case <-tick.C:
+				fmt.Println(metricsLine(reg, &lastCommitted))
+			}
+		}
+	}()
 	replies := make([]uint64, 0, rec.Count())
 	tks := make([]*stm.TicketOf[uint64], 0, rec.Count())
 	check(rec.Replay(func(age uint64, data []byte) error {
@@ -252,6 +292,9 @@ func main() {
 	check(err)
 	fmt.Printf("  checkpoint committed at frontier age %d; segments %d -> %d (history below the checkpoint removed)\n",
 		ckptAge, segsBefore, countSegments(dir))
+	close(obsStop)
+	<-obsDone
+	fmt.Println(metricsLine(reg, &lastCommitted)) // final snapshot (short runs may beat the first tick)
 	check(p.Close())
 	check(w.Close())
 	liveTotal := make([]uint64, accounts)

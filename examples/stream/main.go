@@ -26,7 +26,26 @@ import (
 	"time"
 
 	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/obs"
 )
+
+// metricsLine renders one live summary line from a registry snapshot:
+// cumulative commits, the last second's rate, the commit frontier's
+// lag behind submissions, and the engine abort ratio.
+func metricsLine(reg *obs.Registry, lastCommitted *float64) string {
+	committed, _ := reg.Sum("ostm_committed_total")
+	lag, _ := reg.Sum("ostm_frontier_lag")
+	commits, _ := reg.Sum("ostm_commits_total")
+	aborts, _ := reg.Sum("ostm_aborts_total")
+	rate := committed - *lastCommitted
+	*lastCommitted = committed
+	ratio := 0.0
+	if commits > 0 {
+		ratio = aborts / commits
+	}
+	return fmt.Sprintf("  [obs] committed=%.0f tx/s=%.0f frontier_lag=%.0f abort_ratio=%.3f",
+		committed, rate, lag, ratio)
+}
 
 const (
 	keys  = 128
@@ -88,10 +107,31 @@ func main() {
 	}()
 
 	store := stm.NewTVars[uint64](keys)
-	p, err := stm.NewPipeline(stm.Config{Algorithm: stm.OUL, Workers: 8})
+	reg := obs.NewRegistry()
+	p, err := stm.NewPipeline(stm.Config{Algorithm: stm.OUL, Workers: 8, Obs: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Live metrics: one summary line per second straight from the
+	// registry snapshot — the same numbers a /metrics scrape would see.
+	var lastCommitted float64
+	obsStop := make(chan struct{})
+	var obsWG sync.WaitGroup
+	obsWG.Add(1)
+	go func() {
+		defer obsWG.Done()
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-obsStop:
+				return
+			case <-tick.C:
+				fmt.Println(metricsLine(reg, &lastCommitted))
+			}
+		}
+	}()
 
 	// The acknowledgement path: a goroutine awaits each ticket in slot
 	// order with a deadline, as a replica answering clients would. A
@@ -131,6 +171,9 @@ func main() {
 	}
 	close(tickets)
 	ack.Wait()
+	close(obsStop)
+	obsWG.Wait()
+	fmt.Println(metricsLine(reg, &lastCommitted)) // final snapshot (short runs may beat the first tick)
 	if err := p.Close(); err != nil {
 		log.Fatal(err)
 	}

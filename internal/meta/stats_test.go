@@ -1,0 +1,108 @@
+package meta
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBreakdownCategories pins every Figure 5 category to its causes:
+// read-after-write folds RAW and killed-reader, "other" absorbs the
+// non-paper causes (order kills, busy fallbacks, unattributed), and
+// each remaining category maps one-to-one.
+func TestBreakdownCategories(t *testing.T) {
+	var s Stats
+	s.Abort(CauseRAW)          // read-after-write
+	s.Abort(CauseKilledReader) // read-after-write
+	s.Abort(CauseWAW)          // write-after-write
+	s.Abort(CauseCascade)      // cascade
+	s.Abort(CauseCascade)      // cascade
+	s.Abort(CauseLockedWrite)  // locked-write
+	s.Abort(CauseValidation)   // validation
+	s.Abort(CauseOrder)        // other
+	s.Abort(CauseBusy)         // other
+	s.Abort(CauseNone)         // other
+	b := s.View().Breakdown()
+	want := map[string]float64{
+		"read-after-write":  2.0 / 10,
+		"write-after-write": 1.0 / 10,
+		"cascade":           2.0 / 10,
+		"locked-write":      1.0 / 10,
+		"validation":        1.0 / 10,
+		"other":             3.0 / 10,
+	}
+	if len(b) != len(want) {
+		t.Fatalf("breakdown has %d categories, want %d: %v", len(b), len(want), b)
+	}
+	for k, w := range want {
+		if got := b[k]; got != w {
+			t.Errorf("%s = %v, want %v", k, got, w)
+		}
+	}
+}
+
+// TestStatsConcurrentRotate hammers per-worker cells and the default
+// cell from many goroutines while another rotates continuously. Run
+// under -race it proves the record/rotate paths are data-race free;
+// the conservation check proves Rotate's swap-based drain never loses
+// or double-counts an event across epoch boundaries.
+func TestStatsConcurrentRotate(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 20000
+	)
+	var s Stats
+	var folded StatsView
+	var foldMu sync.Mutex
+	stop := make(chan struct{})
+	var rotWG sync.WaitGroup
+	rotWG.Add(1)
+	go func() {
+		defer rotWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				v := s.Rotate()
+				foldMu.Lock()
+				folded = folded.Plus(v)
+				foldMu.Unlock()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := s.NewCell()
+			for i := 0; i < perG; i++ {
+				c.Start()
+				if i%2 == 0 {
+					c.Commit()
+				} else {
+					c.Abort(Cause(1 + i%int(NumCauses-1)))
+					c.Retry()
+				}
+				if i%64 == 0 {
+					s.Quiesce() // default cell, concurrently with the rotator
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	rotWG.Wait()
+	foldMu.Lock()
+	total := folded.Plus(s.Rotate()) // drain whatever the last epoch left
+	foldMu.Unlock()
+	if want := uint64(workers * perG); total.Starts != want {
+		t.Fatalf("starts = %d, want %d", total.Starts, want)
+	}
+	if want := uint64(workers * perG / 2); total.Commits != want {
+		t.Fatalf("commits = %d, want %d", total.Commits, want)
+	}
+	if want := uint64(workers * perG / 2); total.TotalAborts() != want || total.Retries != want {
+		t.Fatalf("aborts = %d retries = %d, want %d", total.TotalAborts(), total.Retries, want)
+	}
+}

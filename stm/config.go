@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/orderedstm/ostm/internal/meta"
+	"github.com/orderedstm/ostm/stm/obs"
 )
 
 // Config parameterizes an Executor.
@@ -107,6 +108,17 @@ type Config struct {
 	// back into the pipeline. The sharded router uses it to track the
 	// global commit frontier across shards.
 	OnCommit func(age uint64)
+	// Obs, when non-nil, attaches the observability registry: the
+	// pipeline registers its lifecycle metric families (commits, abort
+	// breakdown, frontier age/lag, backpressure waits, commit/resolve
+	// latency histograms, checkpoint duration) and records into them as
+	// the stream runs. Attach a trace ring to the registry (SetTrace)
+	// before NewPipeline to also capture sampled per-transaction
+	// lifecycle events. nil (the default) means zero overhead: no
+	// instrument is ever touched on any path. One pipeline per
+	// registry; give each pipeline of a process its own registry or a
+	// label-scoped view (Registry.With), as the sharded router does.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {

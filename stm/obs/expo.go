@@ -1,0 +1,441 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), grouped by family with one
+// # HELP / # TYPE header per family. Histograms render only their
+// non-empty buckets plus the mandatory +Inf bucket — cumulative
+// counts stay correct and the payload stays small despite the
+// high-resolution internal bucketing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	metrics := r.collect()
+	// Group by family, preserving registration order of families and
+	// of metrics within a family.
+	order := make([]string, 0, len(metrics))
+	byFam := make(map[string][]*metric, len(metrics))
+	for _, m := range metrics {
+		if _, ok := byFam[m.family]; !ok {
+			order = append(order, m.family)
+		}
+		byFam[m.family] = append(byFam[m.family], m)
+	}
+	for _, fam := range order {
+		group := byFam[fam]
+		if h := group[0].help; h != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam, escapeHelp(h))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam, group[0].k.promType())
+		for _, m := range group {
+			if m.k == kindHistogram {
+				writeHistogram(bw, m)
+				continue
+			}
+			fmt.Fprintf(bw, "%s %s\n", m.fullName(), formatValue(m.scalar()))
+		}
+	}
+	return bw.Flush()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value: integral values without an
+// exponent (keeps counters grep-able), others via %g.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeHistogram(w *bufio.Writer, m *metric) {
+	s := m.h.Snapshot()
+	scale := m.h.renderScale()
+	name := func(suffix, extra string) string {
+		labels := m.labels
+		if extra != "" {
+			if labels != "" {
+				labels += ","
+			}
+			labels += extra
+		}
+		if labels == "" {
+			return m.family + suffix
+		}
+		return m.family + suffix + "{" + labels + "}"
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		n := s.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		cum += n
+		_, hi := bucketBounds(i)
+		le := strconv.FormatFloat(float64(hi)*scale, 'g', -1, 64)
+		fmt.Fprintf(w, "%s %d\n", name("_bucket", `le="`+le+`"`), cum)
+	}
+	fmt.Fprintf(w, "%s %d\n", name("_bucket", `le="+Inf"`), s.Count)
+	fmt.Fprintf(w, "%s %s\n", name("_sum", ""), formatValue(float64(s.Sum)*scale))
+	fmt.Fprintf(w, "%s %d\n", name("_count", ""), s.Count)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(buf.Bytes())
+	})
+}
+
+// NewMux returns a mux with the full debug surface mounted: /metrics
+// (Prometheus), /debug/vars (expvar) and /debug/pprof (profiles).
+// Using a private mux keeps the endpoints off http.DefaultServeMux.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if tr := r.Trace(); tr != nil {
+		mux.Handle("/debug/trace", tr.Handler())
+	}
+	return mux
+}
+
+// Serve binds addr and serves the registry's debug surface (NewMux)
+// on it. The returned server is already running; shut it down with
+// Close. The server's Addr field holds the bound address, so ":0"
+// works for tests.
+func Serve(addr string, r *Registry) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: NewMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}
+
+// ValidateExposition is a strict checker for the Prometheus text
+// exposition format (the scrape side of the contract CI enforces).
+// It verifies comment syntax, metric and label names, label value
+// quoting, sample values, that TYPE appears at most once per family
+// and before its samples, and histogram invariants: cumulative
+// non-decreasing buckets, a closing le="+Inf" bucket equal to _count.
+func ValidateExposition(data []byte) error {
+	types := make(map[string]string)
+	seenSample := make(map[string]bool)
+	type histState struct {
+		lastLe  float64
+		lastCum uint64
+		infSeen bool
+		inf     uint64
+		count   uint64
+		hasCnt  bool
+	}
+	hists := make(map[string]*histState) // keyed by full labeled series sans le
+	lineNo := 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			fields := strings.SplitN(strings.TrimLeft(rest, " "), " ", 3)
+			switch fields[0] {
+			case "HELP":
+				if len(fields) < 2 || !validName(fields[1]) {
+					return fmt.Errorf("line %d: malformed HELP", lineNo)
+				}
+			case "TYPE":
+				if len(fields) != 3 || !validName(fields[1]) {
+					return fmt.Errorf("line %d: malformed TYPE", lineNo)
+				}
+				switch fields[2] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[2])
+				}
+				if _, dup := types[fields[1]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, fields[1])
+				}
+				if seenSample[fields[1]] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, fields[1])
+				}
+				types[fields[1]] = fields[2]
+			default:
+				// Plain comment: legal, ignored.
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := histFamily(name, types)
+		seenSample[fam] = true
+		if types[fam] == "histogram" {
+			key := strings.TrimSuffix(name, "_bucket")
+			key = strings.TrimSuffix(key, "_sum")
+			key = strings.TrimSuffix(key, "_count")
+			key += "{" + labelsSansLe(labels) + "}"
+			st := hists[key]
+			if st == nil {
+				st = &histState{}
+				hists[key] = st
+			}
+			if value < 0 || math.IsInf(value, 0) {
+				if !strings.HasSuffix(name, "_sum") {
+					return fmt.Errorf("line %d: histogram sample with non-count value", lineNo)
+				}
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				cum := uint64(value)
+				if le == "+Inf" {
+					st.infSeen, st.inf = true, cum
+					break
+				}
+				lef, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q", lineNo, le)
+				}
+				if st.lastCum > 0 || st.lastLe != 0 {
+					if lef < st.lastLe {
+						return fmt.Errorf("line %d: le out of order (%g after %g)", lineNo, lef, st.lastLe)
+					}
+					if cum < st.lastCum {
+						return fmt.Errorf("line %d: bucket counts not cumulative", lineNo)
+					}
+				}
+				st.lastLe, st.lastCum = lef, cum
+			case strings.HasSuffix(name, "_count"):
+				st.hasCnt, st.count = true, uint64(value)
+			case strings.HasSuffix(name, "_sum"):
+				// value may be any float; nothing to check
+			default:
+				return fmt.Errorf("line %d: histogram family %s has non-histogram sample %s", lineNo, fam, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, st := range hists {
+		if !st.infSeen {
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", key)
+		}
+		if st.lastCum > st.inf {
+			return fmt.Errorf("histogram %s: +Inf bucket below last bucket", key)
+		}
+		if st.hasCnt && st.count != st.inf {
+			return fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", key, st.count, st.inf)
+		}
+	}
+	return nil
+}
+
+// histFamily maps a sample name to the TYPE-declared family: for
+// histogram samples the family is the name with the _bucket/_sum/
+// _count suffix stripped, if that family was declared.
+func histFamily(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if fam := strings.TrimSuffix(name, suf); fam != name {
+			if t, ok := types[fam]; ok && (t == "histogram" || t == "summary") {
+				return fam
+			}
+		}
+	}
+	return name
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i >= 0 && rest[i] == '{' {
+		name = rest[:i]
+		j := strings.LastIndex(rest, "}")
+		if j < i {
+			return "", "", 0, fmt.Errorf("unterminated label set")
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimLeft(rest[j+1:], " ")
+	} else {
+		fs := strings.SplitN(rest, " ", 2)
+		if len(fs) != 2 {
+			return "", "", 0, fmt.Errorf("sample without value")
+		}
+		name, rest = fs[0], fs[1]
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if err := validateLabels(labels); err != nil {
+		return "", "", 0, err
+	}
+	fs := strings.Fields(rest)
+	if len(fs) < 1 || len(fs) > 2 {
+		return "", "", 0, fmt.Errorf("want value [timestamp], got %q", rest)
+	}
+	value, err = parsePromValue(fs[0])
+	if err != nil {
+		return "", "", 0, err
+	}
+	if len(fs) == 2 {
+		if _, err := strconv.ParseInt(fs[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp %q", fs[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// validateLabels checks `k="v",k="v"` syntax with escape handling.
+func validateLabels(labels string) error {
+	rest := labels
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return fmt.Errorf("label without value in %q", labels)
+		}
+		k := rest[:eq]
+		if !validName(k) {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", labels)
+		}
+		rest = rest[1:]
+		for {
+			i := strings.IndexAny(rest, `"\`)
+			if i < 0 {
+				return fmt.Errorf("unterminated label value in %q", labels)
+			}
+			if rest[i] == '\\' {
+				if i+1 >= len(rest) {
+					return fmt.Errorf("dangling escape in %q", labels)
+				}
+				switch rest[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return fmt.Errorf("bad escape \\%c in %q", rest[i+1], labels)
+				}
+				rest = rest[i+2:]
+				continue
+			}
+			rest = rest[i+1:]
+			break
+		}
+		if rest != "" {
+			if rest[0] != ',' {
+				return fmt.Errorf("junk after label value in %q", labels)
+			}
+			rest = rest[1:]
+		}
+	}
+	return nil
+}
+
+// labelsSansLe strips the le pair so bucket series of one histogram
+// share a key, normalizing pair order.
+func labelsSansLe(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	pairs := splitLabelPairs(labels)
+	out := pairs[:0]
+	for _, p := range pairs {
+		if !strings.HasPrefix(p, "le=") {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// labelValue extracts the (unescaped-enough) value of label k.
+func labelValue(labels, k string) (string, bool) {
+	for _, p := range splitLabelPairs(labels) {
+		if strings.HasPrefix(p, k+"=") {
+			v := strings.TrimPrefix(p, k+"=")
+			v = strings.TrimPrefix(v, `"`)
+			v = strings.TrimSuffix(v, `"`)
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(labels string) []string {
+	var out []string
+	start, inQ := 0, false
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			if inQ {
+				i++
+			}
+		case '"':
+			inQ = !inQ
+		case ',':
+			if !inQ {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, labels[start:])
+	return out
+}

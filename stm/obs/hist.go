@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Log-linear histogram: values 0..7 get one bucket each, then every
+// octave [2^e, 2^(e+1)) is split into 2^histSubBits = 8 linear
+// sub-buckets, giving a worst-case relative quantile error of 1/8
+// across forty octaves (1ns .. ~18min when recording nanoseconds).
+// The mapping is branch-light and division-free: index arithmetic is
+// a bits.Len64 plus shifts, so Observe is a few atomic adds.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	histMaxExp  = 40
+	// Index v for v < 8, then (exp-2)*8 + sub for octave exp >= 3:
+	// continuous at the seam (v in [8,16) lands on indices 8..15) and
+	// topping out at (histMaxExp-2)*8 + 7.
+	numBuckets = (histMaxExp-histSubBits+1)*histSub + histSub
+)
+
+// bucketIndex maps a non-negative value to its bucket. Values beyond
+// the last octave clamp into the top bucket; negative values (clock
+// steps) clamp to zero.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	if exp > histMaxExp {
+		return numBuckets - 1
+	}
+	sub := int(v>>(uint(exp)-histSubBits)) & (histSub - 1)
+	return (exp-histSubBits+1)*histSub + sub
+}
+
+// bucketBounds returns the inclusive [lo, hi] value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < histSub {
+		return int64(i), int64(i)
+	}
+	exp := uint(i/histSub + histSubBits - 1)
+	sub := int64(i % histSub)
+	width := int64(1) << (exp - histSubBits)
+	lo = int64(1)<<exp + sub*width
+	return lo, lo + width - 1
+}
+
+// histCellPad rounds the cell up to a whole number of cache lines so
+// adjacent cells in the registry never share one (same scheme as
+// meta.StatsCell).
+const histCellPad = (64 - (numBuckets+2)*8%64) % 64
+
+// HistCell is one recorder's private slice of a Histogram: all fields
+// are plain atomics, so Observe never contends with other cells and a
+// snapshot never blocks a recorder. Cells are created once per worker
+// (Histogram.NewCell) and folded at snapshot time.
+type HistCell struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	_       [histCellPad]byte
+}
+
+// Observe records one value into the cell. Nil-safe.
+func (c *HistCell) Observe(v int64) {
+	if c == nil {
+		return
+	}
+	c.buckets[bucketIndex(v)].Add(1)
+	c.count.Add(1)
+	c.sum.Add(v)
+}
+
+// Histogram is a lock-free log-bucketed histogram. Observe on the
+// histogram itself records into a shared default cell (fine for
+// low-rate paths like checkpoints); hot paths take a private cell via
+// NewCell. Snapshot folds the default cell and every private cell
+// into an immutable HistSnapshot.
+type Histogram struct {
+	def   HistCell
+	scale float64 // exposition multiplier (1e-9 for _seconds families)
+	mu    sync.Mutex
+	cells atomic.Pointer[[]*HistCell]
+}
+
+func (h *Histogram) renderScale() float64 {
+	if h.scale == 0 {
+		return 1
+	}
+	return h.scale
+}
+
+// Observe records one value into the shared default cell. Nil-safe.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.def.Observe(v)
+}
+
+// NewCell returns a new private recording cell, registered with the
+// histogram. Registration is copy-on-write so Snapshot reads the cell
+// list without taking the lock recorders never hold.
+func (h *Histogram) NewCell() *HistCell {
+	c := new(HistCell)
+	h.mu.Lock()
+	old := h.cells.Load()
+	var next []*HistCell
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, c)
+	h.cells.Store(&next)
+	h.mu.Unlock()
+	return c
+}
+
+// Snapshot folds all cells into an immutable view. Concurrent
+// Observes may or may not be included; each field is read atomically,
+// so the view is consistent enough for monitoring (Count can lag the
+// bucket sum by in-flight increments).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.foldCell(&h.def)
+	if cells := h.cells.Load(); cells != nil {
+		for _, c := range *cells {
+			s.foldCell(c)
+		}
+	}
+	return s
+}
+
+// HistSnapshot is a merged point-in-time view of a Histogram, in the
+// recorded unit (nanoseconds for DurationHistogram families).
+type HistSnapshot struct {
+	Buckets [numBuckets]uint64
+	Count   uint64
+	Sum     int64
+}
+
+func (s *HistSnapshot) foldCell(c *HistCell) {
+	for i := range c.buckets {
+		s.Buckets[i] += c.buckets[i].Load()
+	}
+	s.Count += c.count.Load()
+	s.Sum += c.sum.Load()
+}
+
+// Merge adds another snapshot into s (used to fold per-shard
+// histograms into one view).
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in the recorded
+// unit, interpolating linearly inside the landing bucket. Returns 0
+// for an empty snapshot.
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i := range s.Buckets {
+		n := s.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		next := cum + float64(n)
+		if next >= rank {
+			if lo == hi {
+				return float64(lo)
+			}
+			frac := (rank - cum) / float64(n)
+			return float64(lo) + frac*float64(hi-lo+1)
+		}
+		cum = next
+	}
+	_, hi := bucketBounds(numBuckets - 1)
+	return float64(hi)
+}
+
+// Max returns the upper bound of the highest non-empty bucket (an
+// upper estimate of the largest recorded value), 0 if empty.
+func (s *HistSnapshot) Max() float64 {
+	for i := numBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			_, hi := bucketBounds(i)
+			return float64(hi)
+		}
+	}
+	return 0
+}
+
+// Mean returns the arithmetic mean in the recorded unit, 0 if empty.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

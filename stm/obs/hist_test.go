@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// Buckets must tile the value space: every value maps to exactly one
+// bucket whose bounds contain it, and bounds are contiguous.
+func TestBucketMappingContiguous(t *testing.T) {
+	prevHi := int64(-1)
+	for i := 0; i < numBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d: lo=%d, want %d (gap/overlap)", i, lo, prevHi+1)
+		}
+		if hi < lo {
+			t.Fatalf("bucket %d: hi=%d < lo=%d", i, hi, lo)
+		}
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(%d)=%d, want %d", lo, got, i)
+		}
+		if got := bucketIndex(hi); got != i {
+			t.Fatalf("bucketIndex(%d)=%d, want %d", hi, got, i)
+		}
+		prevHi = hi
+	}
+	// Beyond the last octave: clamp, don't panic.
+	if got := bucketIndex(1 << 62); got != numBuckets-1 {
+		t.Fatalf("overflow value mapped to %d, want top bucket", got)
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("negative value mapped to %d, want 0", got)
+	}
+}
+
+// Quantile estimates must land within one sub-bucket (12.5% relative)
+// of the exact quantiles of the recorded distribution.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	vals := make([]int64, 0, 50_000)
+	for i := 0; i < 50_000; i++ {
+		// Log-uniform over ~6 decades, the shape of a latency tail.
+		v := int64(1) << uint(rng.Intn(31))
+		v += rng.Int63n(v)
+		h.Observe(v)
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	if s.Count != uint64(len(vals)) {
+		t.Fatalf("count %d, want %d", s.Count, len(vals))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := float64(vals[int(q*float64(len(vals)))-1])
+		got := s.Quantile(q)
+		rel := (got - exact) / exact
+		if rel < -0.13 || rel > 0.14 {
+			t.Errorf("q%.3f: got %.0f, exact %.0f (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+	if m := s.Max(); m < float64(vals[len(vals)-1]) {
+		t.Errorf("Max %.0f below true max %d", m, vals[len(vals)-1])
+	}
+}
+
+func TestSnapshotMergeAndMean(t *testing.T) {
+	var a, b Histogram
+	for i := int64(1); i <= 100; i++ {
+		a.Observe(i)
+		b.Observe(i * 1000)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(&sb)
+	if sa.Count != 200 {
+		t.Fatalf("merged count %d", sa.Count)
+	}
+	wantSum := int64(5050 + 5050*1000)
+	if sa.Sum != wantSum {
+		t.Fatalf("merged sum %d, want %d", sa.Sum, wantSum)
+	}
+	if got := sa.Mean(); got != float64(wantSum)/200 {
+		t.Fatalf("mean %g", got)
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.99) != 0 || empty.Max() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+}
+
+// Race coverage for the padded cells: concurrent per-worker recording
+// through private cells, default-cell recording, cell creation, and
+// snapshotting must be clean under -race and lose no increments once
+// writers stop.
+func TestHistCellConcurrentRecordSnapshot(t *testing.T) {
+	var h Histogram
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent snapshotter
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				_ = s.Quantile(0.99)
+			}
+		}
+	}()
+	var inner sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		inner.Add(1)
+		go func(w int) {
+			defer inner.Done()
+			cell := h.NewCell()
+			for i := 0; i < perWorker; i++ {
+				if i%2 == 0 {
+					cell.Observe(int64(w*perWorker + i))
+				} else {
+					h.Observe(int64(i))
+				}
+			}
+		}(w)
+	}
+	inner.Wait()
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	if want := uint64(workers * perWorker); s.Count != want {
+		t.Fatalf("count %d, want %d", s.Count, want)
+	}
+	var bsum uint64
+	for i := range s.Buckets {
+		bsum += s.Buckets[i]
+	}
+	if bsum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bsum, s.Count)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+	var c *HistCell
+	c.Observe(1)
+	var cnt *Counter
+	cnt.Inc()
+	cnt.Add(3)
+	if cnt.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var tr *TraceRing
+	if tr.Sampled(0) {
+		t.Fatal("nil ring samples nothing")
+	}
+	tr.Record(0, StageSubmit)
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil ring holds nothing")
+	}
+}

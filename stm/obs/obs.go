@@ -1,0 +1,397 @@
+// Package obs is the engine's observability layer: a small,
+// allocation-free metrics core (atomic counters, gauges, log-bucketed
+// latency histograms with padded per-worker cells), Prometheus
+// text-format and expvar exposition, an optional HTTP server mounting
+// /metrics, /debug/vars and net/http/pprof, and a sampled
+// per-transaction lifecycle trace ring for tail-latency forensics.
+//
+// The package is intentionally dependency-free (stdlib only) and is
+// wired into the engine through optional *Registry fields on
+// stm.Config, shard.Config and wal.Options. A nil registry means no
+// instrument is ever touched — the hot paths stay exactly as fast as
+// an uninstrumented build. With a registry attached, every record is
+// a handful of atomic adds: no locks, no allocation, no time.Now
+// beyond the one stamp a latency measurement needs.
+//
+// Naming follows Prometheus conventions: families are ostm_*,
+// counters end in _total, duration histograms in _seconds (recorded
+// in integer nanoseconds, scaled at exposition). Label-scoped views
+// are built with With, e.g. Registry.With("shard", "3") — the sharded
+// router hands each shard pipeline a scoped view so every per-shard
+// family carries a shard label while sharing one underlying table.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero
+// value is ready to use; all methods are safe on a nil receiver (they
+// do nothing / return zero), so call sites gated by an optional
+// registry need no branches.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. Like Counter, methods are
+// nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// metric is one registered instrument under its full name
+// (family plus rendered label set).
+type metric struct {
+	family string
+	labels string // rendered `k="v",k="v"` or ""
+	help   string
+	k      kind
+	c      *Counter
+	g      *Gauge
+	f      func() float64
+	h      *Histogram
+}
+
+func (m *metric) fullName() string {
+	if m.labels == "" {
+		return m.family
+	}
+	return m.family + "{" + m.labels + "}"
+}
+
+// scalar returns the metric's current value for non-histogram kinds.
+func (m *metric) scalar() float64 {
+	switch m.k {
+	case kindCounter:
+		return float64(m.c.Value())
+	case kindGauge:
+		return float64(m.g.Value())
+	case kindCounterFunc, kindGaugeFunc:
+		return m.f()
+	}
+	return 0
+}
+
+// core is the shared state behind a Registry and all its label-scoped
+// views: the ordered metric table and the optional trace ring.
+type core struct {
+	mu    sync.Mutex
+	list  []*metric          // registration order
+	index map[string]*metric // full name -> metric
+	trace atomic.Pointer[TraceRing]
+}
+
+// Registry is a named collection of instruments. The zero Registry is
+// not usable; construct with NewRegistry. Registration is cheap and
+// idempotent: registering the same family+labels twice returns the
+// first instrument, so independent components may share a registry
+// without coordination. Recording through the returned handles is
+// lock-free; only registration and collection take the registry lock.
+type Registry struct {
+	c      *core
+	labels string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{c: &core{index: make(map[string]*metric)}}
+}
+
+// With returns a view of the same registry whose registrations carry
+// the given label pairs in addition to any labels already on r. Pairs
+// are "key, value, key, value, ..."; With panics on an odd count or
+// an invalid label name. Scoped views share the underlying table:
+// collection (WritePrometheus, Value, Hist, ...) always sees every
+// metric regardless of which view registered it.
+func (r *Registry) With(pairs ...string) *Registry {
+	if len(pairs)%2 != 0 {
+		panic("obs: With requires key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(r.labels)
+	for i := 0; i < len(pairs); i += 2 {
+		if !validName(pairs[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q", pairs[i]))
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	return &Registry{c: r.c, labels: b.String()}
+}
+
+// validName reports whether s is a legal Prometheus metric or label
+// name: [a-zA-Z_:][a-zA-Z0-9_:]* (colon allowed in metric names only;
+// we accept it for both — the engine never uses it in labels).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// register adds (or finds) the metric for family under r's label
+// scope. A kind mismatch on re-registration is a programming error
+// and panics.
+func (r *Registry) register(family, help string, k kind, build func(*metric)) *metric {
+	if !validName(family) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", family))
+	}
+	probe := &metric{family: family, labels: r.labels}
+	name := probe.fullName()
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	if m, ok := r.c.index[name]; ok {
+		if m.k != k {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", name, k.promType(), m.k.promType()))
+		}
+		return m
+	}
+	probe.help, probe.k = help, k
+	build(probe)
+	r.c.index[name] = probe
+	r.c.list = append(r.c.list, probe)
+	return probe
+}
+
+// Counter registers (or finds) a counter under r's label scope.
+func (r *Registry) Counter(family, help string) *Counter {
+	m := r.register(family, help, kindCounter, func(m *metric) { m.c = new(Counter) })
+	return m.c
+}
+
+// Gauge registers (or finds) a gauge under r's label scope.
+func (r *Registry) Gauge(family, help string) *Gauge {
+	m := r.register(family, help, kindGauge, func(m *metric) { m.g = new(Gauge) })
+	return m.g
+}
+
+// CounterFunc registers a counter whose value is pulled from f at
+// collection time (for totals an engine already tracks internally).
+// f must be safe to call from any goroutine.
+func (r *Registry) CounterFunc(family, help string, f func() float64) {
+	r.register(family, help, kindCounterFunc, func(m *metric) { m.f = f })
+}
+
+// GaugeFunc registers a gauge pulled from f at collection time.
+func (r *Registry) GaugeFunc(family, help string, f func() float64) {
+	r.register(family, help, kindGaugeFunc, func(m *metric) { m.f = f })
+}
+
+// Histogram registers (or finds) a unitless histogram (counts,
+// bytes, group sizes) under r's label scope.
+func (r *Registry) Histogram(family, help string) *Histogram {
+	m := r.register(family, help, kindHistogram, func(m *metric) { m.h = &Histogram{scale: 1} })
+	return m.h
+}
+
+// DurationHistogram registers (or finds) a latency histogram. Observe
+// integer nanoseconds; exposition scales bucket bounds and sums to
+// seconds, matching the _seconds naming convention. Quantiles from
+// snapshots stay in nanoseconds.
+func (r *Registry) DurationHistogram(family, help string) *Histogram {
+	m := r.register(family, help, kindHistogram, func(m *metric) { m.h = &Histogram{scale: 1e-9} })
+	return m.h
+}
+
+// Value returns the current value of the named non-histogram metric.
+// The name is the full name including labels, e.g.
+// `ostm_commits_total{shard="0"}`.
+func (r *Registry) Value(name string) (float64, bool) {
+	r.c.mu.Lock()
+	m, ok := r.c.index[name]
+	r.c.mu.Unlock()
+	if !ok || m.k == kindHistogram {
+		return 0, false
+	}
+	return m.scalar(), true
+}
+
+// Sum returns the sum of every non-histogram metric in the family
+// across all label sets (e.g. total commits across shards), and
+// whether any was found.
+func (r *Registry) Sum(family string) (float64, bool) {
+	var sum float64
+	found := false
+	for _, m := range r.collect() {
+		if m.family == family && m.k != kindHistogram {
+			sum += m.scalar()
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// Hist returns the merged snapshot of every histogram in the family
+// across all label sets, and whether any was found.
+func (r *Registry) Hist(family string) (HistSnapshot, bool) {
+	var snap HistSnapshot
+	found := false
+	for _, m := range r.collect() {
+		if m.family == family && m.k == kindHistogram {
+			s := m.h.Snapshot()
+			snap.Merge(&s)
+			found = true
+		}
+	}
+	return snap, found
+}
+
+// collect snapshots the metric list under the lock; values are read
+// afterwards so collection-time funcs never run under the registry
+// lock held by a second collector.
+func (r *Registry) collect() []*metric {
+	r.c.mu.Lock()
+	out := make([]*metric, len(r.c.list))
+	copy(out, r.c.list)
+	r.c.mu.Unlock()
+	return out
+}
+
+// SetTrace attaches a trace ring; subsequent lifecycle events for
+// sampled ages are recorded into it. Shared by all scoped views.
+func (r *Registry) SetTrace(t *TraceRing) { r.c.trace.Store(t) }
+
+// Trace returns the attached trace ring, or nil.
+func (r *Registry) Trace() *TraceRing {
+	if r == nil {
+		return nil
+	}
+	return r.c.trace.Load()
+}
+
+// PublishExpvar publishes the registry under the given expvar name as
+// a map of full metric name to value (histograms export count, sum
+// and selected quantiles). Returns an error instead of panicking if
+// the name is already taken, so tests and multi-registry processes
+// can call it defensively.
+func (r *Registry) PublishExpvar(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.expvarMap() }))
+	return nil
+}
+
+func (r *Registry) expvarMap() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.collect() {
+		if m.k == kindHistogram {
+			s := m.h.Snapshot()
+			out[m.fullName()] = map[string]any{
+				"count": s.Count,
+				"sum":   float64(s.Sum) * m.h.renderScale(),
+				"p50":   s.Quantile(0.50) * m.h.renderScale(),
+				"p99":   s.Quantile(0.99) * m.h.renderScale(),
+				"p999":  s.Quantile(0.999) * m.h.renderScale(),
+			}
+			continue
+		}
+		out[m.fullName()] = m.scalar()
+	}
+	return out
+}
+
+// Families returns the distinct metric family names in registration
+// order (mainly for tests and debugging).
+func (r *Registry) Families() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range r.collect() {
+		if !seen[m.family] {
+			seen[m.family] = true
+			out = append(out, m.family)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersGaugesAndScopes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ostm_commits_total", "committed transactions")
+	c.Add(41)
+	c.Inc()
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	// Idempotent registration returns the same instrument.
+	if again := r.Counter("ostm_commits_total", "ignored"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("ostm_inflight", "in-flight ages")
+	g.Set(10)
+	g.Add(-3)
+	if v, ok := r.Value("ostm_inflight"); !ok || v != 7 {
+		t.Fatalf("Value(ostm_inflight) = %v %v", v, ok)
+	}
+	r.GaugeFunc("ostm_frontier_age", "frontier", func() float64 { return 99 })
+	if v, ok := r.Value("ostm_frontier_age"); !ok || v != 99 {
+		t.Fatalf("gauge func = %v %v", v, ok)
+	}
+
+	// Label-scoped views share the table; Sum folds across labels.
+	for s := 0; s < 3; s++ {
+		sr := r.With("shard", fmt.Sprint(s))
+		sr.Counter("ostm_fences_total", "fences").Add(uint64(s + 1))
+	}
+	if v, ok := r.Value(`ostm_fences_total{shard="1"}`); !ok || v != 2 {
+		t.Fatalf("labeled value = %v %v", v, ok)
+	}
+	if sum, ok := r.Sum("ostm_fences_total"); !ok || sum != 6 {
+		t.Fatalf("Sum = %v %v", sum, ok)
+	}
+	if _, ok := r.Value("ostm_missing"); ok {
+		t.Fatal("missing metric must not resolve")
+	}
+
+	// Hist merges across label sets.
+	for s := 0; s < 2; s++ {
+		h := r.With("shard", fmt.Sprint(s)).DurationHistogram("ostm_fence_wait_seconds", "fence wait")
+		h.Observe(1000)
+	}
+	snap, ok := r.Hist("ostm_fence_wait_seconds")
+	if !ok || snap.Count != 2 {
+		t.Fatalf("Hist = %+v %v", snap.Count, ok)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ostm_x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("ostm_x_total", "")
+}
+
+func TestWritePrometheusAndValidate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ostm_commits_total", "committed transactions").Add(7)
+	for s := 0; s < 2; s++ {
+		sr := r.With("shard", fmt.Sprint(s))
+		sr.Counter("ostm_aborts_total", "aborts by cause").Add(uint64(s))
+		h := sr.DurationHistogram("ostm_commit_seconds", "submit to commit")
+		for i := int64(0); i < 100; i++ {
+			h.Observe(i * 1_000) // 0..99µs
+		}
+	}
+	r.Gauge("ostm_frontier_lag", "ages submitted but not committed").Set(5)
+	r.Histogram("ostm_wal_group_size", "ages per group fsync").Observe(64)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ostm_commits_total counter",
+		"ostm_commits_total 7",
+		`ostm_aborts_total{shard="1"} 1`,
+		"# TYPE ostm_commit_seconds histogram",
+		`ostm_commit_seconds_bucket{shard="0",le="+Inf"} 100`,
+		`ostm_commit_seconds_count{shard="0"} 100`,
+		"# TYPE ostm_frontier_lag gauge",
+		"ostm_frontier_lag 5",
+		`ostm_wal_group_size_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// A TYPE header appears exactly once per family.
+	if n := strings.Count(out, "# TYPE ostm_aborts_total "); n != 1 {
+		t.Errorf("aborts TYPE header count = %d", n)
+	}
+	// The histogram's seconds scaling: 100 obs of ≤99µs sum to ~4.95ms.
+	if !strings.Contains(out, "ostm_commit_seconds_sum") {
+		t.Error("missing histogram _sum")
+	}
+	// Our own output must pass our own strict validator.
+	if err := ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("self-validation failed: %v\n%s", err, out)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad name", "1bad_metric 1\n"},
+		{"no value", "ostm_x\n"},
+		{"bad value", "ostm_x one\n"},
+		{"bad type", "# TYPE ostm_x rainbow\n"},
+		{"dup type", "# TYPE ostm_x counter\n# TYPE ostm_x counter\n"},
+		{"type after sample", "ostm_x 1\n# TYPE ostm_x counter\n"},
+		{"unquoted label", "ostm_x{a=b} 1\n"},
+		{"bad label name", `ostm_x{1a="b"} 1` + "\n"},
+		{"unterminated labels", `ostm_x{a="b" 1` + "\n"},
+		{"hist no inf", "# TYPE ostm_h histogram\nostm_h_bucket{le=\"1\"} 1\nostm_h_count 1\n"},
+		{"hist count mismatch", "# TYPE ostm_h histogram\nostm_h_bucket{le=\"+Inf\"} 2\nostm_h_count 3\n"},
+		{"hist non-cumulative", "# TYPE ostm_h histogram\nostm_h_bucket{le=\"1\"} 5\nostm_h_bucket{le=\"2\"} 3\nostm_h_bucket{le=\"+Inf\"} 5\nostm_h_count 5\n"},
+	}
+	for _, tc := range cases {
+		if err := ValidateExposition([]byte(tc.in)); err == nil {
+			t.Errorf("%s: validator accepted %q", tc.name, tc.in)
+		}
+	}
+	ok := "# plain comment\n# HELP ostm_x help text\n# TYPE ostm_x counter\nostm_x 1 1700000000000\n\nostm_y{a=\"b\\\"c\",d=\"e\"} 2.5e-3\n"
+	if err := ValidateExposition([]byte(ok)); err != nil {
+		t.Errorf("validator rejected legal input: %v", err)
+	}
+}
+
+func TestServeMountsDebugSurface(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ostm_commits_total", "c").Add(3)
+	tr := NewTraceRing(16, 1)
+	tr.Record(0, StageSubmit)
+	r.SetTrace(tr)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "ostm_commits_total 3") {
+		t.Errorf("/metrics output: %q", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "cmdline") {
+		t.Errorf("/debug/vars output: %q", out)
+	}
+	if out := get("/debug/pprof/goroutine?debug=1"); !strings.Contains(out, "goroutine") {
+		t.Errorf("pprof output: %q", out)
+	}
+	if out := get("/debug/trace"); !strings.Contains(out, `"stage":"submit"`) {
+		t.Errorf("/debug/trace output: %q", out)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ostm_commits_total", "c").Add(5)
+	h := r.DurationHistogram("ostm_commit_seconds", "lat")
+	h.Observe(int64(time.Millisecond))
+	if err := r.PublishExpvar("ostm_test_registry"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PublishExpvar("ostm_test_registry"); err == nil {
+		t.Fatal("duplicate publish must error, not panic")
+	}
+	m := r.expvarMap()
+	if m["ostm_commits_total"] != float64(5) {
+		t.Fatalf("expvar map: %v", m)
+	}
+	hm, ok := m["ostm_commit_seconds"].(map[string]any)
+	if !ok || hm["count"] != uint64(1) {
+		t.Fatalf("expvar histogram entry: %v", m["ostm_commit_seconds"])
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Stage is one step of a transaction's lifecycle, recorded into the
+// trace ring for sampled ages.
+type Stage uint8
+
+const (
+	StageSubmit  Stage = iota // age assigned, ticket issued
+	StageExecute              // an execution attempt started
+	StageCommit               // committed at the frontier
+	StageDurable              // age covered by a completed group fsync
+	StageResolve              // ticket resolved to the caller
+	StageFence                // cross-shard fence body entered
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"submit", "execute", "commit", "durable", "resolve", "fence",
+}
+
+// String returns the stage name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// traceSlot is one ring entry. Fields are individually atomic so a
+// reader racing a wrapped writer sees torn events, never torn words —
+// acceptable for forensics, clean under the race detector.
+type traceSlot struct {
+	age   atomic.Uint64
+	stage atomic.Uint32
+	ts    atomic.Int64
+}
+
+// TraceEvent is the exported form of one recorded lifecycle event.
+type TraceEvent struct {
+	Age   uint64 `json:"age"`
+	Stage string `json:"stage"`
+	TS    int64  `json:"ts_ns"` // UnixNano at record time
+}
+
+// TraceRing is a fixed-size, allocation-free lifecycle event ring.
+// Ages are sampled deterministically (age % SampleEvery == 0) so the
+// stages of one sampled transaction always appear together; recording
+// is an atomic slot claim plus three atomic stores, no heap per
+// event. The ring holds the most recent size events (size is rounded
+// up to a power of two).
+type TraceRing struct {
+	sample uint64
+	mask   uint64
+	next   atomic.Uint64
+	slots  []traceSlot
+}
+
+// NewTraceRing returns a ring holding at least size events, sampling
+// every sampleEvery-th age (0 or 1 = every age).
+func NewTraceRing(size int, sampleEvery uint64) *TraceRing {
+	if size < 1 {
+		size = 1
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	return &TraceRing{sample: sampleEvery, mask: uint64(n - 1), slots: make([]traceSlot, n)}
+}
+
+// SampleEvery returns the configured sampling interval.
+func (t *TraceRing) SampleEvery() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sample
+}
+
+// Sampled reports whether events for the age should be recorded.
+// Nil-safe, so call sites need no separate nil branch.
+func (t *TraceRing) Sampled(age uint64) bool {
+	return t != nil && age%t.sample == 0
+}
+
+// Record appends one event for the age (callers normally gate on
+// Sampled first; Record itself does not re-check). Nil-safe.
+func (t *TraceRing) Record(age uint64, s Stage) {
+	if t == nil {
+		return
+	}
+	i := t.next.Add(1) - 1
+	slot := &t.slots[i&t.mask]
+	slot.age.Store(age)
+	slot.stage.Store(uint32(s))
+	slot.ts.Store(time.Now().UnixNano())
+}
+
+// Len returns the number of events currently held.
+func (t *TraceRing) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := t.next.Load()
+	if n > t.mask+1 {
+		n = t.mask + 1
+	}
+	return int(n)
+}
+
+// Events returns the held events oldest-first. Events racing the
+// snapshot may be torn across fields (age from one event, timestamp
+// from the next); consumers sort/filter by age anyway.
+func (t *TraceRing) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	written := t.next.Load()
+	n := written
+	if n > t.mask+1 {
+		n = t.mask + 1
+	}
+	out := make([]TraceEvent, 0, n)
+	for k := uint64(0); k < n; k++ {
+		slot := &t.slots[(written-n+k)&t.mask]
+		st := Stage(slot.stage.Load())
+		out = append(out, TraceEvent{
+			Age:   slot.age.Load(),
+			Stage: st.String(),
+			TS:    slot.ts.Load(),
+		})
+	}
+	return out
+}
+
+// WriteJSON dumps the ring as a JSON array of events, oldest first.
+func (t *TraceRing) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	evs := t.Events()
+	if evs == nil {
+		evs = []TraceEvent{}
+	}
+	return enc.Encode(evs)
+}
+
+// Handler serves the ring as JSON (mounted at /debug/trace by NewMux).
+func (t *TraceRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteJSON(w)
+	})
+}

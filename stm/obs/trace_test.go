@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceRingSamplingAndOrder(t *testing.T) {
+	tr := NewTraceRing(8, 100)
+	if tr.SampleEvery() != 100 {
+		t.Fatalf("sample = %d", tr.SampleEvery())
+	}
+	if !tr.Sampled(0) || !tr.Sampled(300) || tr.Sampled(1) || tr.Sampled(150) {
+		t.Fatal("sampling rule broken")
+	}
+	for age := uint64(0); age < 12; age++ {
+		tr.Record(age*100, StageSubmit)
+	}
+	if tr.Len() != 8 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	// Oldest surviving event is age 400 (12 writes into 8 slots).
+	if evs[0].Age != 400 || evs[7].Age != 1100 {
+		t.Fatalf("window = %d..%d", evs[0].Age, evs[7].Age)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatal("timestamps not monotone")
+		}
+	}
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"stage":"submit"`) {
+		t.Fatalf("json: %s", b.String())
+	}
+}
+
+func TestTraceRingConcurrentRecord(t *testing.T) {
+	tr := NewTraceRing(1024, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(uint64(i), Stage(i%int(numStages)))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = tr.Events()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if tr.Len() != 1024 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for _, ev := range tr.Events() {
+		if ev.Stage == "unknown" {
+			t.Fatal("unknown stage leaked")
+		}
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	for s := Stage(0); s < numStages; s++ {
+		if s.String() == "" || s.String() == "unknown" {
+			t.Fatalf("stage %d has no name", s)
+		}
+	}
+	if Stage(250).String() != "unknown" {
+		t.Fatal("out-of-range stage must be unknown")
+	}
+}

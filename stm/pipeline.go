@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/orderedstm/ostm/internal/meta"
+	"github.com/orderedstm/ostm/stm/obs"
 )
 
 // Pipeline is the streaming front-end over the shared run-loop: a
@@ -49,6 +50,7 @@ type Pipeline struct {
 	stats *meta.Stats
 	l     *loop
 	s     *stream
+	po    *pipeObs // nil unless Config.Obs is set
 
 	wg    sync.WaitGroup // workers
 	vdone chan struct{}  // validator goroutine exit (closed if none)
@@ -145,6 +147,11 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if sink, ok := cfg.WAL.(CheckpointSink); ok && cfg.Snapshotter != nil {
 		p.ckptSink = sink
 		p.lastCkpt = cfg.FirstAge
+	}
+	if cfg.Obs != nil {
+		p.po = newPipeObs(cfg.Obs, p)
+		s.po = p.po
+		l.trace = p.po.trace
 	}
 	if cfg.CheckpointEvery > 0 {
 		s.ckptEvery = cfg.CheckpointEvery
@@ -284,6 +291,7 @@ func (p *Pipeline) submitWith(ctx context.Context, t *Ticket, body Body, payload
 			unwatch()
 		}
 	}()
+	var waitT0 int64
 	s.mu.Lock()
 	for {
 		if s.fault != nil {
@@ -316,7 +324,14 @@ func (p *Pipeline) submitWith(ctx context.Context, t *Ticket, body Body, payload
 				s.mu.Unlock()
 			})
 		}
+		if po := p.po; po != nil && waitT0 == 0 {
+			waitT0 = time.Now().UnixNano()
+			po.submitWaits.Inc()
+		}
 		s.cond.Wait() // backpressure: wait for the commit frontier
+	}
+	if waitT0 != 0 {
+		p.po.submitWait.Observe(time.Now().UnixNano() - waitT0)
 	}
 	s.post(t, body, payload)
 	s.cond.Broadcast() // wake claim-blocked workers
@@ -384,6 +399,7 @@ func (p *Pipeline) submitBatch(bodies []Body, payloads [][]byte) ([]*Ticket, err
 	s := p.s
 	s.mu.Lock()
 	for i, body := range bodies {
+		var waitT0 int64
 		for {
 			if s.fault != nil {
 				f := s.fault
@@ -397,11 +413,18 @@ func (p *Pipeline) submitBatch(bodies []Body, payloads [][]byte) ([]*Ticket, err
 			if s.submitted-(s.base+s.ncommitted) < uint64(s.capacity) {
 				break
 			}
+			if po := p.po; po != nil && waitT0 == 0 {
+				waitT0 = time.Now().UnixNano()
+				po.submitWaits.Inc()
+			}
 			// Publish what the batch posted so far before parking:
 			// workers drain those ages, commits advance the frontier,
 			// and the broadcast from committed() wakes us again.
 			s.cond.Broadcast()
 			s.cond.Wait()
+		}
+		if waitT0 != 0 {
+			p.po.submitWait.Observe(time.Now().UnixNano() - waitT0)
 		}
 		var data []byte
 		if payloads != nil {
@@ -599,6 +622,10 @@ func (p *Pipeline) Checkpoint() (uint64, error) {
 		s.mu.Unlock()
 		return p.lastCkpt, nil // no commits since the last checkpoint
 	}
+	var ckptT0 time.Time
+	if p.po != nil {
+		ckptT0 = time.Now()
+	}
 	s.gated, s.gate = true, gate
 	for s.fault == nil && s.base+s.ncommitted < gate {
 		s.cond.Wait()
@@ -634,6 +661,9 @@ func (p *Pipeline) Checkpoint() (uint64, error) {
 	p.lastCkpt = gate
 	p.ckptN++
 	p.s.mu.Unlock()
+	if p.po != nil {
+		p.po.ckptDur.Observe(time.Since(ckptT0).Nanoseconds())
+	}
 	return gate, nil
 }
 
@@ -789,6 +819,7 @@ type stream struct {
 
 	onCommit func(age uint64) // Config.OnCommit, nil when unset
 	dur      *durState        // durability state, nil without a WAL
+	po       *pipeObs         // observability, nil without Config.Obs
 }
 
 // durState is the stream's durability bookkeeping: payload retention
@@ -856,6 +887,14 @@ func newStream(cfg Config) *stream {
 func (s *stream) post(t *Ticket, body Body, payload []byte) {
 	age := s.submitted
 	t.age = age
+	if po := s.po; po != nil {
+		if age&latSampleMask == 0 {
+			t.ts = time.Now().UnixNano()
+		}
+		if po.trace.Sampled(age) {
+			po.trace.Record(age, obs.StageSubmit)
+		}
+	}
 	s.entries[age&s.emask] = pipeEntry{age: age, body: body}
 	if d := s.dur; d != nil {
 		sl := &d.pring[age&s.emask]
@@ -914,6 +953,7 @@ func (s *stream) committed(age uint64) {
 		delete(s.tickets, age)
 		t = tk
 	}
+	tk := t // survives the WaitDurable deferral below, for latency stamps
 	if s.onCommit != nil {
 		s.onCommit(age)
 	}
@@ -937,6 +977,27 @@ func (s *stream) committed(age uint64) {
 			case age >= d.log.Durable():
 				d.waiting[age] = t // resolved by durableTo at a sync point
 				t = nil
+			}
+		}
+	}
+	if po := s.po; po != nil {
+		// Sampled ages only (same mask as post, so a timed ticket is
+		// always matched here): the frontier advance is serialized, so
+		// clock reads per commit are real throughput.
+		if age&latSampleMask == 0 {
+			now := time.Now().UnixNano()
+			po.lastCommit.Store(now)
+			if tk != nil && tk.ts != 0 {
+				po.commitLat.Observe(now - tk.ts)
+				if t != nil {
+					po.resolveLat.Observe(now - tk.ts) // resolving at commit
+				}
+			}
+		}
+		if po.trace.Sampled(age) {
+			po.trace.Record(age, obs.StageCommit)
+			if t != nil {
+				po.trace.Record(age, obs.StageResolve)
 			}
 		}
 	}
@@ -1030,6 +1091,15 @@ func (s *stream) durableTo(next uint64, err error) {
 			t.resolve(&DurabilityError{Err: d.err})
 		case age < next:
 			delete(d.waiting, age)
+			if po := s.po; po != nil {
+				if t.ts != 0 {
+					po.resolveLat.Observe(time.Now().UnixNano() - t.ts)
+				}
+				if po.trace.Sampled(age) {
+					po.trace.Record(age, obs.StageDurable)
+					po.trace.Record(age, obs.StageResolve)
+				}
+			}
 			t.resolve(nil)
 		}
 	}

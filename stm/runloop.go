@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"github.com/orderedstm/ostm/internal/meta"
+	"github.com/orderedstm/ostm/stm/obs"
 )
 
 // This file is the shared execution core behind both front-ends:
@@ -92,7 +93,8 @@ type loop struct {
 	base    uint64 // first age of the stream (Config.FirstAge; 0 for batch)
 	workers int
 
-	stopf   func() bool // hoisted l.stop closure (avoids per-call method-value allocs)
+	stopf   func() bool    // hoisted l.stop closure (avoids per-call method-value allocs)
+	trace   *obs.TraceRing // sampled lifecycle trace; nil without Config.Obs
 	ring    []ringSlot
 	mask    uint64
 	vtok    atomic.Bool
@@ -291,6 +293,9 @@ func (l *loop) runOne(w *wctx, age uint64, body Body) bool {
 					l.order.WaitReachable(age-gap, l.stopf)
 				}
 			}
+		}
+		if l.trace.Sampled(age) {
+			l.trace.Record(age, obs.StageExecute)
 		}
 		txn := w.src.NewTxn(age)
 		if !l.sandbox(w, txn, body) {

@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/orderedstm/ostm/stm"
 )
@@ -97,6 +98,10 @@ func (sp *ShardedPipeline) Checkpoint() (uint64, error) {
 		sp.mu.Unlock()
 		return last, nil
 	}
+	var ckptT0 time.Time
+	if sp.so != nil {
+		ckptT0 = time.Now()
+	}
 	locals := make([]uint64, sp.shards)
 	copy(locals, sp.localNext)
 	// Wait for the global frontier with the router lock held: the
@@ -124,6 +129,9 @@ func (sp *ShardedPipeline) Checkpoint() (uint64, error) {
 	}
 	sp.ckptN++
 	sp.mu.Unlock()
+	if sp.so != nil {
+		sp.so.ckptDur.Observe(time.Since(ckptT0).Nanoseconds())
+	}
 	return g, nil
 }
 

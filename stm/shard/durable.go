@@ -250,6 +250,14 @@ func (dr *durRouter) sweepFail(f *stm.Fault) {
 	dr.mu.Unlock()
 }
 
+// frontier returns the contiguous global commit frontier: every
+// global age below it committed on all its shards.
+func (dr *durRouter) frontier() uint64 {
+	dr.mu.Lock()
+	defer dr.mu.Unlock()
+	return dr.next
+}
+
 // waitFrontier blocks until the contiguous global frontier reaches g
 // (every age below g completed on all its shards and was appended to
 // the log), the log fails, or the system faults. It returns nil only

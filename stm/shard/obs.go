@@ -1,0 +1,45 @@
+package shard
+
+import (
+	"strconv"
+
+	"github.com/orderedstm/ostm/stm/obs"
+)
+
+// shardObs bundles the router's observability instruments. Handles
+// are resolved once at New, so the fence and checkpoint paths touch
+// plain pointers — never the registry. A nil *shardObs (no
+// Config.Obs) keeps every instrumented path on one predictable
+// branch.
+type shardObs struct {
+	fenceWait []*obs.Histogram // per shard: ns a fence held that shard's frontier
+	ckptDur   *obs.Histogram   // ns per committed sharded checkpoint
+	trace     *obs.TraceRing   // sampled lifecycle events (may be nil)
+}
+
+// newShardObs registers the router-level metric families on r and
+// returns the resolved handles. Per-shard engine lifecycle families
+// come from the shard pipelines themselves (each gets a
+// shard-labeled view of r); the router adds only what no single
+// shard can see — cross-shard traffic, the global frontier, fence
+// holds, and checkpoint duration.
+func newShardObs(r *obs.Registry, sp *ShardedPipeline) *shardObs {
+	so := &shardObs{trace: r.Trace()}
+	so.ckptDur = r.DurationHistogram("ostm_checkpoint_seconds",
+		"wall time of one sharded checkpoint, freeze to sink commit")
+	so.fenceWait = make([]*obs.Histogram, sp.shards)
+	for s := range so.fenceWait {
+		so.fenceWait[s] = r.With("shard", strconv.Itoa(s)).DurationHistogram(
+			"ostm_fence_wait_seconds",
+			"time a cross-shard fence held this shard's commit frontier (frontier wait + rendezvous + body)")
+	}
+	r.CounterFunc("ostm_cross_txns_total",
+		"accepted transactions that involved more than one shard",
+		func() float64 { return float64(sp.ncross.Load()) })
+	if sp.dr != nil {
+		r.GaugeFunc("ostm_global_frontier_age",
+			"contiguous global commit frontier: every age below it committed on all its shards",
+			func() float64 { return float64(sp.dr.frontier()) })
+	}
+	return so
+}

@@ -36,11 +36,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"github.com/orderedstm/ostm/internal/meta"
 	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/obs"
 )
 
 // Config parameterizes a ShardedPipeline.
@@ -103,6 +105,16 @@ type Config struct {
 	// originally. Nil (fresh start, or full replay from age zero)
 	// means every local sequence starts at zero.
 	LocalFirstAges []uint64
+
+	// Obs, when non-nil, attaches the observability registry to the
+	// whole sharded system: every shard pipeline gets a shard-labeled
+	// view of it (so per-shard commits, aborts, frontier and latency
+	// families carry a shard label), and the router adds the
+	// cross-shard families — fence-wait histograms, cross-transaction
+	// count, global frontier, checkpoint duration. Set it here, not on
+	// Pipeline.Obs: the router owns the per-shard scoping. nil (the
+	// default) means zero overhead.
+	Obs *obs.Registry
 }
 
 // ShardedPipeline is the sharded streaming front-end. Submit may be
@@ -115,12 +127,13 @@ type ShardedPipeline struct {
 	retryUnknown bool
 	codec        Codec
 	dr           *durRouter // router-level durability, nil without a WAL
+	so           *shardObs  // router-level observability, nil without Config.Obs
+	ncross       atomic.Uint64
 
 	mu        sync.Mutex // router: serializes age assignment and routing
 	nextG     uint64
 	localNext []uint64 // next local age each shard will assign
 	closed    bool
-	ncross    uint64
 
 	// Checkpoint machinery; zero-valued unless configured.
 	ckptMu   sync.Mutex // serializes checkpoints (auto loop + manual)
@@ -154,6 +167,9 @@ func New(cfg Config) (*ShardedPipeline, error) {
 	}
 	if cfg.Pipeline.WAL != nil || cfg.Pipeline.Codec != nil || cfg.Pipeline.WaitDurable || cfg.Pipeline.OnCommit != nil {
 		return nil, errors.New("shard: configure durability on shard.Config (router-level), not on the per-shard Pipeline config")
+	}
+	if cfg.Pipeline.Obs != nil {
+		return nil, errors.New("shard: set observability on shard.Config.Obs (router-level); the router scopes per-shard views itself")
 	}
 	if cfg.WAL != nil && cfg.Codec == nil {
 		return nil, errors.New("shard: Config.WAL requires Config.Codec")
@@ -208,8 +224,14 @@ func New(cfg Config) (*ShardedPipeline, error) {
 	} else {
 		close(sp.ckdone)
 	}
+	if cfg.Obs != nil {
+		sp.so = newShardObs(cfg.Obs, sp)
+	}
 	for s := 0; s < cfg.Shards; s++ {
 		scfg := pcfg
+		if cfg.Obs != nil {
+			scfg.Obs = cfg.Obs.With("shard", strconv.Itoa(s))
+		}
 		if cfg.LocalFirstAges != nil {
 			// Recovery from a checkpoint: the shard's local sequence
 			// resumes at its frozen watermark, so replayed suffix
@@ -347,7 +369,7 @@ func (sp *ShardedPipeline) route(ctx context.Context, access stm.Access, body st
 		return nil, err
 	}
 	if err == nil && len(involved) > 1 {
-		sp.ncross++
+		sp.ncross.Add(1)
 	}
 	return t, err
 }
@@ -453,7 +475,7 @@ func (sp *ShardedPipeline) SubmitBatch(reqs []Request) ([]*Ticket, error) {
 				return out, batchErr(err)
 			}
 		}
-		sp.ncross++
+		sp.ncross.Add(1)
 		t, err := sp.submitCross(nil, g, parts[i], reqs[i].Body, nil)
 		if err != nil {
 			flushAll()
@@ -816,9 +838,7 @@ func (sp *ShardedPipeline) Submitted() uint64 {
 // CrossShard returns how many accepted transactions involved more
 // than one shard.
 func (sp *ShardedPipeline) CrossShard() uint64 {
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	return sp.ncross
+	return sp.ncross.Load()
 }
 
 // Fault returns the global fault that stopped the system, or nil.

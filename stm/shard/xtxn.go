@@ -3,9 +3,11 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/orderedstm/ostm/internal/meta"
 	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/obs"
 )
 
 // This file is the cross-shard transaction protocol: fence bodies,
@@ -163,7 +165,17 @@ func (x *xtxn) killRound() {
 // body's age parameter.
 func (sp *ShardedPipeline) fenceBody(x *xtxn, s int) stm.Body {
 	pipe := sp.pipes[s]
+	var fh *obs.Histogram
+	var tr *obs.TraceRing
+	if sp.so != nil {
+		fh = sp.so.fenceWait[s]
+		tr = sp.so.trace
+	}
 	return func(tx stm.Tx, lage int) {
+		var t0 int64
+		if fh != nil {
+			t0 = time.Now().UnixNano()
+		}
 		if !pipe.WaitFrontier(uint64(lage)) {
 			// The shard stopped while we held its queue. Every stop is
 			// supposed to reach us through the coordinator first; the
@@ -182,6 +194,14 @@ func (sp *ShardedPipeline) fenceBody(x *xtxn, s int) stm.Body {
 			x.runHome(tx)
 		} else {
 			x.runPeer(tx, s)
+		}
+		// Aborted attempts unwind past this point; only a fence that
+		// completed its hold is recorded.
+		if fh != nil {
+			fh.Observe(time.Now().UnixNano() - t0)
+			if tr.Sampled(x.g) {
+				tr.Record(x.g, obs.StageFence)
+			}
 		}
 	}
 }

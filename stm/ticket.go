@@ -59,6 +59,7 @@ type Ticket struct {
 	age  uint64
 	done chan struct{}
 	err  error // written once before done is closed
+	ts   int64  // UnixNano at age assignment; 0 unless Config.Obs is set
 }
 
 // newTicket returns an unposted ticket (age is assigned at post).

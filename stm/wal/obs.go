@@ -1,0 +1,71 @@
+package wal
+
+import (
+	"sync/atomic"
+
+	"github.com/orderedstm/ostm/stm/obs"
+)
+
+// walObs bundles the writer's observability instruments. Handles are
+// resolved once at startSyncer, so the sync path touches plain
+// pointers and atomic adds — never the registry. A nil *walObs (no
+// Options.Obs) keeps every instrumented path on a single predictable
+// branch.
+type walObs struct {
+	fsyncLat   *obs.Histogram // ns per datasync call
+	groupSize  *obs.Histogram // records covered per admitted sync group
+	prevTarget atomic.Uint64  // target frontier of the previous admission
+}
+
+// newWalObs registers the writer's metric families on r and returns
+// the resolved handles. Frontier-style monotone atomics are exposed
+// through gauge/counter funcs so snapshots read the live values with
+// no recording cost on the writer side.
+func newWalObs(r *obs.Registry, w *Writer) *walObs {
+	wo := &walObs{}
+	wo.prevTarget.Store(w.next.Load())
+	wo.fsyncLat = r.DurationHistogram("ostm_wal_fsync_seconds",
+		"latency of one fdatasync (or directory sync batch) on the sync stage")
+	wo.groupSize = r.Histogram("ostm_wal_group_size",
+		"records covered by one admitted sync group (group-commit batch size)")
+	r.CounterFunc("ostm_wal_fsyncs_total",
+		"fsyncs issued by the writer",
+		func() float64 { return float64(w.fsyncs.Load()) })
+	r.CounterFunc("ostm_wal_bytes_total",
+		"framed bytes appended over the log's life, recovered history included",
+		func() float64 { return float64(w.nbytes.Load()) })
+	r.CounterFunc("ostm_wal_overlapped_syncs_total",
+		"sync groups admitted while an earlier group's fsync was still in flight",
+		func() float64 { return float64(w.overlaps.Load()) })
+	r.GaugeFunc("ostm_wal_sync_inflight",
+		"sync groups admitted but not yet completed",
+		func() float64 { return float64(w.inflight.Load()) })
+	r.GaugeFunc("ostm_wal_sync_depth_max",
+		"high watermark of concurrently in-flight sync groups",
+		func() float64 { return float64(w.depthMax.Load()) })
+	r.GaugeFunc("ostm_wal_appended_age",
+		"next age the writer expects to append",
+		func() float64 { return float64(w.next.Load()) })
+	r.GaugeFunc("ostm_wal_durable_age",
+		"durability frontier: every age below it is on stable storage",
+		func() float64 { return float64(w.durable.Load()) })
+	r.CounterFunc("ostm_wal_checkpoints_total",
+		"checkpoints durably committed by the writer",
+		func() float64 { return float64(w.ckpts.Load()) })
+	r.GaugeFunc("ostm_wal_checkpoint_age",
+		"frontier age of the newest committed checkpoint",
+		func() float64 { return float64(w.ckptAge_.Load()) })
+	return wo
+}
+
+// admitted records the batch size of a freshly admitted sync group.
+// Admissions are serialized under admitMu, so the prev-target swap
+// sees them in order.
+func (wo *walObs) admitted(target uint64) {
+	if wo == nil {
+		return
+	}
+	if prev := wo.prevTarget.Swap(target); target > prev {
+		wo.groupSize.Observe(int64(target - prev))
+	}
+}

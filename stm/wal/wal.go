@@ -85,6 +85,8 @@ import (
 	"fmt"
 	"strconv"
 	"time"
+
+	"github.com/orderedstm/ostm/stm/obs"
 )
 
 // Options parameterizes a Writer.
@@ -121,6 +123,12 @@ type Options struct {
 	// 64 MiB). The finished segment is fsynced and closed at the next
 	// sync point, off the append path.
 	SegmentBytes int64
+	// Obs, when non-nil, attaches the observability registry: the
+	// writer registers its metric families (fsync latency and count,
+	// group size, sync-pipeline depth, appended/durable age, bytes,
+	// checkpoints) and records into them as it runs. nil (the default)
+	// means zero overhead: no instrument is ever touched on any path.
+	Obs *obs.Registry
 }
 
 // validate rejects nonsensical options at open time instead of

@@ -88,6 +88,8 @@ type Writer struct {
 	kick     chan struct{}
 	done     chan struct{}
 	loopDone chan struct{} // nil when no background syncer runs
+
+	wo *walObs // nil unless Options.Obs is set
 }
 
 // syncOp is one admitted sync group: everything appended up to target
@@ -159,6 +161,9 @@ func newWriter(dir string, opts Options) *Writer {
 // turns kicks and ticks into sync groups. Policy "none" runs only the
 // workers: durability points are wherever the caller puts Sync.
 func (w *Writer) startSyncer() {
+	if w.opts.Obs != nil {
+		w.wo = newWalObs(w.opts.Obs, w)
+	}
 	for i := 0; i < w.opts.MaxInFlightSyncs; i++ {
 		w.wdone.Add(1)
 		go w.syncWorker()
@@ -337,6 +342,7 @@ func (w *Writer) admit(wait bool) (*syncOp, error) {
 	w.sinceN = 0
 	w.admittedB.Store(w.nbytes.Load())
 	w.mu.Unlock()
+	w.wo.admitted(op.target)
 	if wait {
 		op.done = make(chan struct{})
 	}
@@ -378,12 +384,12 @@ func (w *Writer) doSync(op *syncOp) {
 		if op.err != nil {
 			break
 		}
-		if op.err = datasync(rf); op.err == nil {
+		if op.err = w.timedSync(rf); op.err == nil {
 			w.fsyncs.Add(1)
 		}
 	}
 	if op.err == nil && op.target > w.durable.Load() {
-		if op.err = datasync(op.cur); op.err == nil {
+		if op.err = w.timedSync(op.cur); op.err == nil {
 			w.fsyncs.Add(1)
 		}
 	}
@@ -393,6 +399,18 @@ func (w *Writer) doSync(op *syncOp) {
 		// hold the frontier back, not be shrugged off.
 		op.err = syncDir(w.dir)
 	}
+}
+
+// timedSync is datasync with the fsync-latency histogram attached;
+// without observability it is a direct call.
+func (w *Writer) timedSync(f *os.File) error {
+	if w.wo == nil {
+		return datasync(f)
+	}
+	t0 := time.Now()
+	err := datasync(f)
+	w.wo.fsyncLat.Observe(time.Since(t0).Nanoseconds())
+	return err
 }
 
 // completer retires sync groups strictly in admission order: it closes
