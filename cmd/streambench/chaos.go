@@ -1,0 +1,98 @@
+package main
+
+// Chaos mode: -faults seed:N replaces the closed-loop benchmark with a
+// seeded fault-injection run (internal/harness/chaos) and reports the
+// two safety verdicts — no_phantom_durable and state_match — the CI
+// smoke gates on. The process exits non-zero when either fails, so the
+// jq check and the exit code can never disagree.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/orderedstm/ostm/internal/harness/chaos"
+	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/wal"
+)
+
+// parseFaultSpec parses -faults. The only form today is "seed:N";
+// keeping it prefixed leaves room for explicit schedules later.
+func parseFaultSpec(s string) (uint64, error) {
+	rest, ok := strings.CutPrefix(s, "seed:")
+	if !ok {
+		return 0, fmt.Errorf("streambench: -faults must be seed:N (got %q)", s)
+	}
+	seed, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("streambench: -faults seed %q: %v", rest, err)
+	}
+	return seed, nil
+}
+
+func parseFailPolicy(s string) (wal.FailPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "failstop", "fail-stop":
+		return wal.FailStop, nil
+	case "degrade":
+		return wal.Degrade, nil
+	default:
+		return wal.FailStop, fmt.Errorf("streambench: -onfail must be failstop or degrade (got %q)", s)
+	}
+}
+
+// runChaos executes one chaos run. dir is the WAL directory (-wal);
+// empty means a throwaway temp directory.
+func runChaos(spec string, alg stm.Algorithm, shards, workers, txns int, onFail, dir string, jsonOut bool) {
+	seed, err := parseFaultSpec(spec)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := parseFailPolicy(onFail)
+	if err != nil {
+		fatal(err)
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "streambench-chaos-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	res, err := chaos.Run(chaos.Config{
+		Seed:    seed,
+		Alg:     alg,
+		Shards:  shards,
+		Txns:    txns,
+		Workers: workers,
+		OnFail:  policy,
+		Dir:     dir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("chaos  alg=%s shards=%d onfail=%s seed=%d\n", res.Alg, res.Shards, res.OnFail, res.Seed)
+		fmt.Printf("  %d submitted: %d acked durable, %d failed tickets; %d recovered (degraded=%v)\n",
+			res.Txns, res.AckedDurable, res.FailedTickets, res.RecoveredTxns, res.Degraded)
+		fmt.Printf("  injected %d faults\n", res.Injected)
+		for _, l := range res.FaultLog {
+			fmt.Printf("    %s\n", l)
+		}
+		if res.CloseErr != "" {
+			fmt.Printf("  close: %s\n", res.CloseErr)
+		}
+		fmt.Printf("  no_phantom_durable=%v state_match=%v\n", res.NoPhantomDurable, res.StateMatch)
+	}
+	if !res.Ok() {
+		os.Exit(1)
+	}
+}

@@ -205,6 +205,8 @@ func main() {
 		ckptEv   = flag.Uint64("checkpoint-every", 0, "checkpoint every N commits: snapshot the pool, truncate redundant log history (requires -wal)")
 		waitDur  = flag.Bool("waitdurable", false, "resolve tickets only once their age is durable (requires -wal)")
 		recoverF = flag.Bool("recover", false, "recover the -wal log: truncate torn tail, replay, verify against the sequential oracle, report")
+		faultsF  = flag.String("faults", "", "chaos mode: seed:N runs a seeded fault-injection pass instead of the benchmark and reports the safety verdicts")
+		onFailF  = flag.String("onfail", "failstop", "WAL terminal-failure policy in chaos mode: failstop | degrade")
 		obsOn    = flag.Bool("obs", true, "attach the observability registry (latency histograms, abort breakdown, /metrics families); -obs=false measures the uninstrumented hot path")
 		metrAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address during the run (requires -obs)")
 		jsonF    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
@@ -217,6 +219,10 @@ func main() {
 	// hand-rolled switch.
 	flag.TextVar(&alg, "alg", stm.OUL, "algorithm (paper-style name, e.g. OUL, OWB, Ordered-TL2)")
 	flag.Parse()
+	if *faultsF != "" {
+		runChaos(*faultsF, alg, *shardsF, *workers, *txns, *onFailF, *walDir, *jsonF)
+		return
+	}
 	if *recoverF {
 		if *walDir == "" {
 			fatal(fmt.Errorf("-recover requires -wal"))

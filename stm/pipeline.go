@@ -491,6 +491,15 @@ func (p *Pipeline) Close() error {
 			p.s.mu.Lock()
 			if err == nil {
 				err = d.err // an append failed earlier; the prefix is frozen
+			} else if d.err == nil {
+				// The closing sync failed through a path that never fired
+				// the durability observer (possible when the log was torn
+				// down under us, and for any DurableLog that reports sync
+				// errors without a notification). Latch it so settle
+				// resolves the still-parked WaitDurable tickets with the
+				// same DurabilityError Close reports — not ErrClosed —
+				// and exactly once.
+				d.err = err
 			}
 			p.s.mu.Unlock()
 			if err != nil {

@@ -1,0 +1,158 @@
+package shard_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/shard"
+)
+
+// TestFenceTimeoutResolvesStalledRendezvous: a single-shard
+// transaction wedges shard 1 below a cross-shard fence, so the
+// rendezvous can never form. With FenceTimeout set, the waiting
+// participant must raise a *FenceTimeoutError fault (stopping the
+// world at that global age) instead of parking both shards forever.
+func TestFenceTimeoutResolvesStalledRendezvous(t *testing.T) {
+	for _, alg := range stm.OrderedAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			pool := stm.NewVars(poolSize)
+			initPool(pool)
+			bk := buckets(pool, 2)
+			v0, v1 := &pool[bk[0][0]], &pool[bk[1][0]]
+
+			sp, err := shard.New(shard.Config{
+				Shards: 2,
+				Pipeline: stm.Config{
+					Algorithm: alg,
+					Workers:   2,
+				},
+				FenceTimeout: 50 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Wedge shard 1: a body that blocks until released, holding
+			// that shard's commit frontier below everything after it.
+			release := make(chan struct{})
+			blocked, err := sp.Submit(stm.Touches(v1), func(tx stm.Tx, age int) {
+				tx.Read(v1)
+				<-release
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The cross-shard transaction: its shard-0 fence reaches the
+			// frontier immediately and waits for shard 1, which is stuck
+			// behind the blocked body.
+			cross, err := sp.Submit(stm.Touches(v0, v1), func(tx stm.Tx, age int) {
+				tx.Write(v0, tx.Read(v1))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			werr := cross.Wait()
+			if werr == nil {
+				t.Fatal("cross-shard transaction committed against a wedged shard")
+			}
+			f := sp.Fault()
+			if f == nil {
+				t.Fatal("no global fault recorded after the fence timeout")
+			}
+			if f.Age != cross.Age() {
+				t.Fatalf("fault at age %d, want the timed-out transaction's age %d", f.Age, cross.Age())
+			}
+			fte, ok := f.Value.(*shard.FenceTimeoutError)
+			if !ok {
+				t.Fatalf("fault value %T (%v), want *FenceTimeoutError", f.Value, f.Value)
+			}
+			if fte.Age != cross.Age() || fte.Timeout != 50*time.Millisecond {
+				t.Fatalf("FenceTimeoutError = %+v, want age %d, timeout 50ms", fte, cross.Age())
+			}
+			// The wedged body is still running; let it finish so Close
+			// can drain the shard.
+			close(release)
+			blocked.Wait()
+			closeErr := sp.Close()
+			if closeErr == nil {
+				t.Fatal("Close = nil, want the fence-timeout fault")
+			}
+			var gotF *stm.Fault
+			if !errors.As(closeErr, &gotF) || gotF != f {
+				t.Fatalf("Close = %v, want the recorded fault %v", closeErr, f)
+			}
+		})
+	}
+}
+
+// TestFenceTimeoutLeavesHealthyRendezvousAlone: with a generous
+// timeout and healthy shards, cross-shard traffic commits exactly as
+// without one — the timer must never fire on a forming rendezvous.
+func TestFenceTimeoutLeavesHealthyRendezvousAlone(t *testing.T) {
+	for _, alg := range stm.OrderedAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			pool := stm.NewVars(poolSize)
+			initPool(pool)
+			bk := buckets(pool, 2)
+			v0, v1 := &pool[bk[0][0]], &pool[bk[1][0]]
+
+			sp, err := shard.New(shard.Config{
+				Shards: 2,
+				Pipeline: stm.Config{
+					Algorithm: alg,
+					Workers:   2,
+				},
+				FenceTimeout: 5 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 200
+			tickets := make([]*shard.Ticket, 0, n)
+			for i := 0; i < n; i++ {
+				var tk *shard.Ticket
+				var err error
+				if i%3 == 0 {
+					tk, err = sp.Submit(stm.Touches(v0, v1), func(tx stm.Tx, age int) {
+						tx.Write(v1, tx.Read(v0)+1)
+					})
+				} else {
+					tk, err = sp.Submit(stm.Touches(v0), func(tx stm.Tx, age int) {
+						tx.Write(v0, tx.Read(v0)+1)
+					})
+				}
+				if err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+				tickets = append(tickets, tk)
+			}
+			for i, tk := range tickets {
+				if err := tk.Wait(); err != nil {
+					t.Fatalf("ticket %d: %v", i, err)
+				}
+			}
+			if err := sp.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if f := sp.Fault(); f != nil {
+				t.Fatalf("healthy run recorded fault %v", f)
+			}
+		})
+	}
+}
+
+func TestNegativeFenceTimeoutRejected(t *testing.T) {
+	_, err := shard.New(shard.Config{
+		Shards:       2,
+		Pipeline:     stm.Config{Algorithm: stm.OUL},
+		FenceTimeout: -time.Second,
+	})
+	if err == nil {
+		t.Fatal("negative FenceTimeout accepted")
+	}
+}

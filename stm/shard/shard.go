@@ -39,6 +39,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/orderedstm/ostm/internal/meta"
 	"github.com/orderedstm/ostm/stm"
@@ -115,6 +116,18 @@ type Config struct {
 	// Pipeline.Obs: the router owns the per-shard scoping. nil (the
 	// default) means zero overhead.
 	Obs *obs.Registry
+
+	// FenceTimeout bounds how long a cross-shard rendezvous may wait
+	// for its participants. Zero (the default) waits forever — correct
+	// when every shard is healthy, since a fence at the frontier always
+	// commits. With a timeout set, a participant parked longer than
+	// this (its peer shard stalled, wedged on a blocked body or a dead
+	// disk) raises a *FenceTimeoutError fault: the round is resolved by
+	// stopping the world at that transaction's global age — the same
+	// single-cut semantics as any genuine fault — instead of holding
+	// the involved shards' frontiers hostage forever. Negative values
+	// are rejected.
+	FenceTimeout time.Duration
 }
 
 // ShardedPipeline is the sharded streaming front-end. Submit may be
@@ -152,6 +165,8 @@ type ShardedPipeline struct {
 	xout  int
 	xwg   sync.WaitGroup
 
+	fenceTimeout time.Duration // Config.FenceTimeout
+
 	firstAge  uint64
 	closeOnce sync.Once
 	closeErr  error
@@ -188,6 +203,9 @@ func New(cfg Config) (*ShardedPipeline, error) {
 	if cfg.LocalFirstAges != nil && len(cfg.LocalFirstAges) != cfg.Shards {
 		return nil, fmt.Errorf("shard: LocalFirstAges has %d entries for %d shards", len(cfg.LocalFirstAges), cfg.Shards)
 	}
+	if cfg.FenceTimeout < 0 {
+		return nil, errors.New("shard: negative FenceTimeout")
+	}
 	pcfg := cfg.Pipeline
 	first := pcfg.FirstAge
 	pcfg.FirstAge = 0
@@ -204,6 +222,7 @@ func New(cfg Config) (*ShardedPipeline, error) {
 		lastCkpt:     first,
 		xlive:        make(map[uint64]*xtxn),
 		ckdone:       make(chan struct{}),
+		fenceTimeout: cfg.FenceTimeout,
 	}
 	if cfg.LocalFirstAges != nil {
 		copy(sp.localNext, cfg.LocalFirstAges)
@@ -686,6 +705,9 @@ func (sp *ShardedPipeline) submitCross(ctx context.Context, g uint64, involved [
 
 func (sp *ShardedPipeline) xfinish(g uint64) {
 	sp.xmu.Lock()
+	if x := sp.xlive[g]; x != nil {
+		x.disarm()
+	}
 	delete(sp.xlive, g)
 	sp.xout--
 	sp.xcond.Broadcast()

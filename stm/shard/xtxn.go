@@ -55,6 +55,27 @@ func (e *AccessError) Error() string {
 	return fmt.Sprintf("shard: transaction %d touched an undeclared variable on shard %d", e.Age, e.Shard)
 }
 
+// FenceTimeoutError is the fault value raised when a cross-shard
+// rendezvous waited longer than Config.FenceTimeout for its
+// participants: some involved shard stalled (a wedged body, a dead
+// disk) and never brought its fence to the frontier. The system stops
+// at the transaction's global age — the stall is resolved with a
+// single cut in the predefined order rather than parking the healthy
+// shards' frontiers forever.
+type FenceTimeoutError struct {
+	// Age is the global age of the timed-out transaction.
+	Age uint64
+	// Shard is the partition whose participant gave up waiting.
+	Shard int
+	// Timeout is the configured bound that elapsed.
+	Timeout time.Duration
+}
+
+// Error implements error.
+func (e *FenceTimeoutError) Error() string {
+	return fmt.Sprintf("shard: transaction %d timed out after %v waiting for its cross-shard rendezvous (observed on shard %d)", e.Age, e.Timeout, e.Shard)
+}
+
 // stopPanic carries a global stop into a shard pipeline's sandbox: it
 // is not an engine abort signal, so the run-loop treats it as a
 // genuine fault and halts the shard. Ticket errors are translated
@@ -93,6 +114,8 @@ type xtxn struct {
 	roundActive bool          // home is executing the body right now
 	done        bool          // body completed; outcome is fixed
 	failed      *stm.Fault    // global stop reached this transaction
+	expired     bool          // Config.FenceTimeout elapsed since the first arrival
+	timer       *time.Timer   // armed at the first arrival when a timeout is set
 
 	// wlog records, per shard, the final value written to each
 	// variable. Only the home goroutine writes it (successive rounds
@@ -129,6 +152,46 @@ func (x *xtxn) fail(f *stm.Fault) {
 		x.cond.Broadcast()
 	}
 	x.mu.Unlock()
+}
+
+// armTimeout starts the rendezvous clock at the first participant's
+// arrival. One timer covers the whole transaction: expiry only ever
+// matters to fences still parked, and a formed rendezvous (round
+// running, or done) ignores it. Called with x.mu held; idempotent.
+func (x *xtxn) armTimeout() {
+	if x.sp.fenceTimeout <= 0 || x.timer != nil || x.done || x.failed != nil {
+		return
+	}
+	x.timer = time.AfterFunc(x.sp.fenceTimeout, func() {
+		x.mu.Lock()
+		x.expired = true
+		x.cond.Broadcast()
+		x.mu.Unlock()
+	})
+}
+
+// disarm stops the rendezvous clock; a late firing on a finished
+// transaction is harmless (expired is only consulted by parked
+// fences), this just releases the timer promptly.
+func (x *xtxn) disarm() {
+	x.mu.Lock()
+	if x.timer != nil {
+		x.timer.Stop()
+	}
+	x.mu.Unlock()
+}
+
+// timeoutFault raises the fence-timeout fault for the participant on
+// shard s: stop the world at this transaction's global age. Called
+// WITHOUT x.mu held (sp.fail re-enters x.fail). The panic carries
+// whichever global fault won the race to stop the system.
+func (x *xtxn) timeoutFault(s int) {
+	x.sp.fail(&stm.Fault{Age: x.g, Value: &FenceTimeoutError{
+		Age:     x.g,
+		Shard:   s,
+		Timeout: x.sp.fenceTimeout,
+	}})
+	panic(stopPanic{x.sp.fault.Load()})
 }
 
 func (x *xtxn) allLive() bool {
@@ -229,8 +292,12 @@ func (x *xtxn) runPeer(tx stm.Tx, s int) {
 	}
 	h := &part{txn: tx}
 	x.live[s] = h
+	x.armTimeout()
 	x.cond.Broadcast()
-	for !x.done && x.failed == nil && !h.dead {
+	// A timeout only releases a peer whose rendezvous never formed: once
+	// a round is running the home owns our handle and completion (done,
+	// dead, or a failure) is coming.
+	for !x.done && x.failed == nil && !h.dead && !(x.expired && !x.roundActive) {
 		x.cond.Wait()
 	}
 	switch {
@@ -246,7 +313,7 @@ func (x *xtxn) runPeer(tx stm.Tx, s int) {
 		delete(x.live, s)
 		x.mu.Unlock()
 		return // writes already landed through our handle; commit
-	default: // failed
+	case x.failed != nil:
 		// Wait out any round still running so the home cannot touch
 		// our descriptor after the sandbox abandons it.
 		for x.roundActive {
@@ -256,6 +323,10 @@ func (x *xtxn) runPeer(tx stm.Tx, s int) {
 		delete(x.live, s)
 		x.mu.Unlock()
 		panic(stopPanic{f})
+	default: // expired with no round active: the rendezvous never formed
+		delete(x.live, s)
+		x.mu.Unlock()
+		x.timeoutFault(s)
 	}
 }
 
@@ -283,7 +354,8 @@ func (x *xtxn) runHome(tx stm.Tx) {
 		panic(stopPanic{f})
 	}
 	x.live[x.home] = &part{txn: tx}
-	for x.failed == nil && !x.allLive() {
+	x.armTimeout()
+	for x.failed == nil && !x.allLive() && !x.expired {
 		x.cond.Wait()
 	}
 	if x.failed != nil {
@@ -291,6 +363,15 @@ func (x *xtxn) runHome(tx stm.Tx) {
 		delete(x.live, x.home)
 		x.mu.Unlock()
 		panic(stopPanic{f})
+	}
+	if !x.allLive() {
+		// Timed out with the rendezvous still short a participant: some
+		// involved shard stalled below its fence. Resolve the round with
+		// a fence-timeout fault instead of holding every involved
+		// frontier forever.
+		delete(x.live, x.home)
+		x.mu.Unlock()
+		x.timeoutFault(x.home)
 	}
 	snap := make(map[int]*part, len(x.involved))
 	for s, h := range x.live {

@@ -54,29 +54,36 @@ func manifestCRC(age uint64) uint32 {
 
 // writeFileAtomic writes data to a temp file in dir, fsyncs it, and
 // renames it to name. The rename is the commit point; the caller
-// syncs the directory to make it survive a crash.
-func writeFileAtomic(dir, name string, data []byte) error {
-	tmp, err := os.CreateTemp(dir, name+".tmp*")
+// syncs the directory to make it survive a crash. The temp name is
+// deterministic (`name.tmp`): the segment/checkpoint listers ignore
+// it, so an orphan left by a crash or a failed rename is invisible to
+// recovery and simply overwritten by the next attempt.
+func writeFileAtomic(fs FS, dir, name string, data []byte) error {
+	tmpPath := filepath.Join(dir, name+".tmp")
+	tmp, err := fs.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := tmp.Fdatasync(); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, name))
+	if err := fs.Rename(tmpPath, filepath.Join(dir, name)); err != nil {
+		fs.Remove(tmpPath) // best effort; a surviving orphan is ignored
+		return err
+	}
+	return nil
 }
 
 // writeCheckpointFile durably writes the snapshot file for age.
-func writeCheckpointFile(dir string, age uint64, state []byte) error {
+func writeCheckpointFile(fs FS, dir string, age uint64, state []byte) error {
 	buf := make([]byte, 0, ckptHeader+len(state))
 	buf = append(buf, ckptMagic...)
 	var hdr [16]byte
@@ -85,7 +92,7 @@ func writeCheckpointFile(dir string, age uint64, state []byte) error {
 	binary.LittleEndian.PutUint32(hdr[12:16], recordCRC(uint32(len(state)), age, state))
 	buf = append(buf, hdr[:]...)
 	buf = append(buf, state...)
-	return writeFileAtomic(dir, fmt.Sprintf("%016x.ckpt", age), buf)
+	return writeFileAtomic(fs, dir, fmt.Sprintf("%016x.ckpt", age), buf)
 }
 
 // readCheckpointFile reads and verifies the snapshot file at path,
@@ -117,12 +124,12 @@ func readCheckpointFile(path string, wantAge uint64) ([]byte, error) {
 
 // writeManifest durably commits the checkpoint at age via atomic
 // rename of the CHECKPOINT manifest.
-func writeManifest(dir string, age uint64) error {
+func writeManifest(fs FS, dir string, age uint64) error {
 	var buf [manifestSize]byte
 	copy(buf[:8], manifestMagic)
 	binary.LittleEndian.PutUint64(buf[8:16], age)
 	binary.LittleEndian.PutUint32(buf[16:20], manifestCRC(age))
-	return writeFileAtomic(dir, manifestName, buf[:])
+	return writeFileAtomic(fs, dir, manifestName, buf[:])
 }
 
 // readManifest returns the committed checkpoint age, or (0, false) if
@@ -189,16 +196,20 @@ func (w *Writer) Checkpoint(age uint64, state []byte) error {
 			return err
 		}
 	}
-	if err := writeCheckpointFile(w.dir, age, state); err != nil {
+	if err := writeCheckpointFile(w.fs, w.dir, age, state); err != nil {
+		w.ioErrs.ckpt.Add(1)
 		return err
 	}
-	if err := syncDir(w.dir); err != nil {
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		w.ioErrs.ckpt.Add(1)
 		return err
 	}
-	if err := writeManifest(w.dir, age); err != nil {
+	if err := writeManifest(w.fs, w.dir, age); err != nil {
+		w.ioErrs.ckpt.Add(1)
 		return err
 	}
-	if err := syncDir(w.dir); err != nil {
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		w.ioErrs.ckpt.Add(1)
 		return err
 	}
 	w.ckptAge_.Store(age)
@@ -231,7 +242,7 @@ func (w *Writer) pruneCheckpoints(newest uint64) error {
 	removed := false
 	for _, a := range ages {
 		if a < keepFloor {
-			if err := os.Remove(checkpointPath(w.dir, a)); err != nil {
+			if err := w.fs.Remove(checkpointPath(w.dir, a)); err != nil {
 				return err
 			}
 			removed = true
@@ -251,13 +262,13 @@ func (w *Writer) pruneCheckpoints(newest uint64) error {
 		}
 	}
 	for _, s := range drop {
-		if err := os.Remove(s.path); err != nil {
+		if err := w.fs.Remove(s.path); err != nil {
 			return err
 		}
 		removed = true
 	}
 	if removed {
-		return syncDir(w.dir)
+		return w.fs.SyncDir(w.dir)
 	}
 	return nil
 }

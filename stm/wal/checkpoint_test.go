@@ -17,6 +17,10 @@ func TestOptionsValidation(t *testing.T) {
 		{MaxInFlightSyncs: -2},
 		{SegmentBytes: -64},
 		{Adaptive: true, SyncEveryN: 8},
+		{Retry: RetryPolicy{Max: -1}},
+		{Retry: RetryPolicy{Backoff: -time.Millisecond}},
+		{Retry: RetryPolicy{MaxBackoff: -time.Millisecond}},
+		{OnFail: FailPolicy(7)},
 	}
 	for i, o := range cases {
 		if _, err := Create(t.TempDir(), 0, o); err == nil {

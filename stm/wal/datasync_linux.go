@@ -2,17 +2,14 @@
 
 package wal
 
-import (
-	"os"
-	"syscall"
-)
+import "syscall"
 
-// datasync flushes a segment's appended records to stable storage.
+// Fdatasync flushes a segment's appended records to stable storage.
 // fdatasync is sufficient — and measurably cheaper than fsync — for a
 // pure append stream: POSIX requires it to flush any metadata needed
 // to retrieve the written data (the file-size extension), and the only
 // metadata it may skip is timestamps, which recovery never reads.
-func datasync(f *os.File) error {
+func (f osFile) Fdatasync() error {
 	for {
 		err := syscall.Fdatasync(int(f.Fd()))
 		if err != syscall.EINTR {

@@ -2,7 +2,5 @@
 
 package wal
 
-import "os"
-
-// datasync falls back to a full fsync where fdatasync is not exposed.
-func datasync(f *os.File) error { return f.Sync() }
+// Fdatasync falls back to a full fsync where fdatasync is not exposed.
+func (f osFile) Fdatasync() error { return f.Sync() }

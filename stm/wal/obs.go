@@ -49,6 +49,32 @@ func newWalObs(r *obs.Registry, w *Writer) *walObs {
 	r.GaugeFunc("ostm_wal_durable_age",
 		"durability frontier: every age below it is on stable storage",
 		func() float64 { return float64(w.durable.Load()) })
+	for _, c := range []struct {
+		op  string
+		cnt *atomic.Uint64
+	}{
+		{"write", &w.ioErrs.write},
+		{"fsync", &w.ioErrs.fsync},
+		{"dirsync", &w.ioErrs.dirsync},
+		{"open", &w.ioErrs.open},
+		{"ckpt", &w.ioErrs.ckpt},
+	} {
+		cnt := c.cnt
+		r.With("op", c.op).CounterFunc("ostm_wal_io_errors_total",
+			"failed I/O attempts on the durable path, by operation class",
+			func() float64 { return float64(cnt.Load()) })
+	}
+	r.CounterFunc("ostm_wal_retries_total",
+		"I/O operations re-attempted after a transient failure",
+		func() float64 { return float64(w.retries.Load()) })
+	r.GaugeFunc("ostm_wal_degraded",
+		"1 once the log has detached under OnFail=Degrade",
+		func() float64 {
+			if w.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
 	r.CounterFunc("ostm_wal_checkpoints_total",
 		"checkpoints durably committed by the writer",
 		func() float64 { return float64(w.ckpts.Load()) })

@@ -295,7 +295,7 @@ func (r *Recovery) Writer(opts Options) (*Writer, error) {
 		w.ckptAge_.Store(r.ckptAge)
 	}
 	if r.lastPath != "" && r.lastSize < opts.SegmentBytes {
-		f, err := os.OpenFile(r.lastPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := w.fs.OpenFile(r.lastPath, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -304,7 +304,7 @@ func (r *Recovery) Writer(opts Options) (*Writer, error) {
 	} else if err := w.openSegment(r.next); err != nil {
 		return nil, err
 	}
-	if err := syncDir(r.dir); err != nil {
+	if err := w.fs.SyncDir(r.dir); err != nil {
 		w.f.Close()
 		return nil, err
 	}

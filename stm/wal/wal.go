@@ -89,6 +89,70 @@ import (
 	"github.com/orderedstm/ostm/stm/obs"
 )
 
+// ErrDegraded is the sentinel a degraded log reports (see
+// FailPolicy): after an unrecoverable I/O failure under
+// OnFail=Degrade the writer detaches at a clean record boundary and
+// every durability-path call — Append, Sync, WaitDurable tickets via
+// stm.DurabilityError — fails fast with an error matching ErrDegraded
+// (errors.Is), while the engine above keeps committing volatile.
+var ErrDegraded = errors.New("wal: log degraded, durability detached")
+
+// RetryPolicy bounds how the writer retries transient I/O failures
+// (segment writes, fdatasync, directory syncs, segment opens) before
+// declaring the failure terminal and applying the FailPolicy.
+type RetryPolicy struct {
+	// Max is how many times a failed operation is retried (0, the
+	// default, fails on the first error).
+	Max int
+	// Backoff is the delay before the first retry, doubling per
+	// attempt (default 1ms when Max > 0).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 50ms).
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Max > 0 {
+		if p.Backoff <= 0 {
+			p.Backoff = time.Millisecond
+		}
+		if p.MaxBackoff <= 0 {
+			p.MaxBackoff = 50 * time.Millisecond
+		}
+	}
+	return p
+}
+
+// FailPolicy selects what a terminal (retries exhausted) I/O failure
+// does to the log.
+type FailPolicy int
+
+const (
+	// FailStop latches the error: every subsequent Append/Sync/Close
+	// returns it, and the durability observer is notified so parked
+	// WaitDurable tickets fail instead of hanging. The durable prefix
+	// — everything below the last completed sync point — stands.
+	FailStop FailPolicy = iota
+	// Degrade detaches the log instead of killing it: buffered
+	// records (always whole frames) are dropped at a clean record
+	// boundary, the wal_degraded gauge flips, and the durability path
+	// fails fast with ErrDegraded — while the engine above keeps
+	// committing volatile. Use it when availability under a sick disk
+	// matters more than durability of new commits.
+	Degrade
+)
+
+func (p FailPolicy) String() string {
+	switch p {
+	case FailStop:
+		return "failstop"
+	case Degrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("FailPolicy(%d)", int(p))
+	}
+}
+
 // Options parameterizes a Writer.
 type Options struct {
 	// SyncEveryN admits a sync group after every N appended records
@@ -123,6 +187,18 @@ type Options struct {
 	// 64 MiB). The finished segment is fsynced and closed at the next
 	// sync point, off the append path.
 	SegmentBytes int64
+	// FS, when non-nil, routes every write-side filesystem operation
+	// through the given implementation (fault injection, testing).
+	// nil means OS: the real filesystem with no added cost.
+	FS FS
+	// Retry bounds retries of transient I/O failures before the
+	// failure is terminal. The zero value never retries.
+	Retry RetryPolicy
+	// OnFail selects what a terminal I/O failure does to the log:
+	// FailStop (default) latches the error, Degrade detaches
+	// durability and keeps the engine above available. See
+	// FailPolicy.
+	OnFail FailPolicy
 	// Obs, when non-nil, attaches the observability registry: the
 	// writer registers its metric families (fsync latency and count,
 	// group size, sync-pipeline depth, appended/durable age, bytes,
@@ -152,6 +228,18 @@ func (o Options) validate() error {
 	if o.Adaptive && o.SyncEveryN > 0 {
 		return errors.New("wal: Adaptive and SyncEveryN are mutually exclusive group-size policies")
 	}
+	if o.Retry.Max < 0 {
+		return fmt.Errorf("wal: negative Retry.Max %d", o.Retry.Max)
+	}
+	if o.Retry.Backoff < 0 {
+		return fmt.Errorf("wal: negative Retry.Backoff %v", o.Retry.Backoff)
+	}
+	if o.Retry.MaxBackoff < 0 {
+		return fmt.Errorf("wal: negative Retry.MaxBackoff %v", o.Retry.MaxBackoff)
+	}
+	if o.OnFail != FailStop && o.OnFail != Degrade {
+		return fmt.Errorf("wal: unknown OnFail policy %d", int(o.OnFail))
+	}
 	return nil
 }
 
@@ -165,6 +253,10 @@ func (o Options) withDefaults() Options {
 	if o.Adaptive && o.AdaptiveBytes <= 0 {
 		o.AdaptiveBytes = 256 << 10
 	}
+	if o.FS == nil {
+		o.FS = OS
+	}
+	o.Retry = o.Retry.withDefaults()
 	return o
 }
 

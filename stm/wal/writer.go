@@ -3,6 +3,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -44,14 +45,15 @@ const flushChunk = 1 << 20
 type Writer struct {
 	opts Options
 	dir  string
+	fs   FS // Options.FS, defaulted to OS
 
 	mu       sync.Mutex
-	f        *os.File
-	buf      []byte     // framed records not yet written to f
-	segSize  int64      // bytes already written to f (excludes buf)
-	sinceN   int        // appends since the last count-based sync kick
-	retired  []*os.File // full segments awaiting their fsync+close
-	dirDirty bool       // a segment was created since the last dir sync
+	f        File
+	buf      []byte // framed records not yet written to f
+	segSize  int64  // bytes already written to f (excludes buf)
+	sinceN   int    // appends since the last count-based sync kick
+	retired  []File // full segments awaiting their fsync+close
+	dirDirty bool   // a segment was created since the last dir sync
 	err      error
 	notify   func(next uint64, err error)
 	closed   bool
@@ -85,6 +87,11 @@ type Writer struct {
 	ckptAge_ atomic.Uint64
 	ckpts    atomic.Uint64
 
+	ioErrs    ioErrCounters
+	retries   atomic.Uint64 // operations retried after a transient failure
+	degraded  atomic.Bool   // OnFail=Degrade tripped; durability detached
+	failNoted atomic.Bool   // the failure notification has been delivered
+
 	kick     chan struct{}
 	done     chan struct{}
 	loopDone chan struct{} // nil when no background syncer runs
@@ -100,11 +107,26 @@ type Writer struct {
 type syncOp struct {
 	seq      uint64
 	target   uint64
-	retired  []*os.File
-	cur      *os.File
+	retired  []File
+	cur      File
 	dirDirty bool
 	err      error
 	done     chan struct{} // non-nil for explicit Sync waiters
+}
+
+// ioErrCounters tallies terminal-and-transient I/O failures by
+// operation class, feeding the wal_io_errors{op} metric family.
+type ioErrCounters struct {
+	write   atomic.Uint64 // segment writes (incl. short writes)
+	fsync   atomic.Uint64 // fdatasync of a segment
+	dirsync atomic.Uint64 // directory syncs
+	open    atomic.Uint64 // segment creation (e.g. ENOSPC on roll)
+	ckpt    atomic.Uint64 // checkpoint write/rename path
+}
+
+func (c *ioErrCounters) total() uint64 {
+	return c.write.Load() + c.fsync.Load() + c.dirsync.Load() +
+		c.open.Load() + c.ckpt.Load()
 }
 
 // Create initializes a fresh log in dir whose first record will carry
@@ -134,7 +156,7 @@ func Create(dir string, firstAge uint64, opts Options) (*Writer, error) {
 	if err := w.openSegment(firstAge); err != nil {
 		return nil, err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := w.fs.SyncDir(dir); err != nil {
 		w.f.Close()
 		return nil, err
 	}
@@ -146,6 +168,7 @@ func newWriter(dir string, opts Options) *Writer {
 	return &Writer{
 		opts:   opts,
 		dir:    dir,
+		fs:     opts.FS,
 		opCh:   make(chan *syncOp),
 		compCh: make(chan *syncOp, opts.MaxInFlightSyncs),
 		cdone:  make(chan struct{}),
@@ -239,8 +262,9 @@ func (w *Writer) Append(age uint64, payload []byte) error {
 	need := recordSize(payload)
 	if filled := w.segSize + int64(len(w.buf)); filled > 0 && filled+need > w.opts.SegmentBytes {
 		if err := w.rollLocked(); err != nil {
-			w.failLocked(err)
+			err = w.failLocked(err)
 			w.mu.Unlock()
+			w.notifyFailAsync()
 			return err
 		}
 	}
@@ -271,8 +295,9 @@ func (w *Writer) Append(age uint64, payload []byte) error {
 	}
 	if len(w.buf) >= flushChunk {
 		if err := w.flushLocked(); err != nil {
-			w.failLocked(err)
+			err = w.failLocked(err)
 			w.mu.Unlock()
+			w.notifyFailAsync()
 			return err
 		}
 	}
@@ -311,6 +336,7 @@ func (w *Writer) admit(wait bool) (*syncOp, error) {
 		err := w.err
 		fn := w.notify
 		w.mu.Unlock()
+		w.failNoted.Store(true)
 		if fn != nil {
 			fn(w.durable.Load(), err)
 		}
@@ -321,9 +347,10 @@ func (w *Writer) admit(wait bool) (*syncOp, error) {
 		return nil, ErrClosed
 	}
 	if err := w.flushLocked(); err != nil {
-		w.failLocked(err)
+		err = w.failLocked(err)
 		fn := w.notify
 		w.mu.Unlock()
+		w.failNoted.Store(true)
 		if fn != nil {
 			fn(w.durable.Load(), err)
 		}
@@ -397,19 +424,51 @@ func (w *Writer) doSync(op *syncOp) {
 		// Segment files must be reachable from the directory before
 		// their records count as durable — a dir-sync failure must
 		// hold the frontier back, not be shrugged off.
-		op.err = syncDir(w.dir)
+		op.err = w.retry(&w.ioErrs.dirsync, func() error { return w.fs.SyncDir(w.dir) })
 	}
 }
 
-// timedSync is datasync with the fsync-latency histogram attached;
-// without observability it is a direct call.
-func (w *Writer) timedSync(f *os.File) error {
-	if w.wo == nil {
-		return datasync(f)
+// timedSync is Fdatasync with the retry policy applied and the
+// fsync-latency histogram attached; without observability it is a
+// direct call.
+func (w *Writer) timedSync(f File) error {
+	return w.retry(&w.ioErrs.fsync, func() error {
+		if w.wo == nil {
+			return f.Fdatasync()
+		}
+		t0 := time.Now()
+		err := f.Fdatasync()
+		w.wo.fsyncLat.Observe(time.Since(t0).Nanoseconds())
+		return err
+	})
+}
+
+// retry runs op, retrying per Options.Retry with exponential backoff
+// on failure. Every failed attempt counts into the per-op error
+// counter; every re-attempt counts into retries. The sync stage
+// retries off the commit path; the append path's retries (segment
+// write, segment open on roll) happen under mu and therefore stall
+// appends for at most the bounded backoff sum — the price of riding
+// out a transient error without declaring the log dead.
+func (w *Writer) retry(cnt *atomic.Uint64, op func() error) error {
+	err := op()
+	if err == nil {
+		return nil
 	}
-	t0 := time.Now()
-	err := datasync(f)
-	w.wo.fsyncLat.Observe(time.Since(t0).Nanoseconds())
+	cnt.Add(1)
+	pol := w.opts.Retry
+	backoff := pol.Backoff
+	for i := 0; i < pol.Max; i++ {
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+		w.retries.Add(1)
+		if err = op(); err == nil {
+			return nil
+		}
+		cnt.Add(1)
+	}
 	return err
 }
 
@@ -450,7 +509,8 @@ func (w *Writer) complete(op *syncOp) {
 		op.err = w.err
 	}
 	if op.err != nil {
-		w.failLocked(op.err)
+		op.err = w.failLocked(op.err)
+		w.failNoted.Store(true) // the observer call below delivers it
 	} else if op.target > w.durable.Load() {
 		w.durable.Store(op.target)
 	}
@@ -564,14 +624,23 @@ func (w *Writer) syncLoop() {
 	}
 }
 
-// flushLocked writes the buffer through to the OS (no fsync). Caller
+// flushLocked writes the buffer through to the OS (no fsync),
+// retrying transient and short writes per the retry policy. Caller
 // holds mu.
 func (w *Writer) flushLocked() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
-	n, err := w.f.Write(w.buf)
-	w.segSize += int64(n)
+	buf := w.buf
+	err := w.retry(&w.ioErrs.write, func() error {
+		n, werr := w.f.Write(buf)
+		w.segSize += int64(n)
+		buf = buf[n:]
+		if werr == nil && len(buf) > 0 {
+			werr = io.ErrShortWrite
+		}
+		return werr
+	})
 	if err != nil {
 		return err
 	}
@@ -597,18 +666,71 @@ func (w *Writer) rollLocked() error {
 	return nil
 }
 
-// failLocked latches the first error; the log is dead afterwards.
+// failLocked latches a terminal failure per the OnFail policy and
+// returns the latched error. Under FailStop the log is dead: w.err is
+// the raw cause and every durable-path call returns it. Under Degrade
+// the log detaches at a clean record boundary instead: the buffer
+// (which only ever holds whole frames) is dropped, the degraded gauge
+// flips, and w.err wraps ErrDegraded — appends and syncs fail fast
+// with it while the engine above keeps committing volatile. Either
+// way the durable prefix below the last completed sync point stands.
 // Caller holds mu.
-func (w *Writer) failLocked(err error) {
-	if w.err == nil {
+func (w *Writer) failLocked(err error) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.opts.OnFail == Degrade {
+		w.degraded.Store(true)
+		w.buf = w.buf[:0]
+		w.err = fmt.Errorf("%w (cause: %v)", ErrDegraded, err)
+	} else {
 		w.err = err
 	}
+	return w.err
 }
+
+// notifyFailAsync delivers a failure to the durability observer from
+// its own goroutine, at most once across all failure paths. Append
+// runs under the pipeline's stream lock and the observer
+// (Pipeline.durableTo) takes that same lock, so the append path must
+// never call the observer synchronously; the async note is what fails
+// WaitDurable tickets parked before the failure fast, instead of
+// leaving them to hang until the next sync point or Close.
+func (w *Writer) notifyFailAsync() {
+	if !w.failNoted.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		w.mu.Lock()
+		fn, err := w.notify, w.err
+		w.mu.Unlock()
+		if fn != nil && err != nil {
+			fn(w.durable.Load(), err)
+		}
+	}()
+}
+
+// Degraded reports whether the log has detached under OnFail=Degrade.
+func (w *Writer) Degraded() bool { return w.degraded.Load() }
+
+// Retries returns how many I/O operations were re-attempted after a
+// transient failure.
+func (w *Writer) Retries() uint64 { return w.retries.Load() }
+
+// IOErrors returns the total count of failed I/O attempts across all
+// operation classes (per-class counts feed the wal_io_errors{op}
+// metric family).
+func (w *Writer) IOErrors() uint64 { return w.ioErrs.total() }
 
 // openSegment creates the segment file whose first record will carry
 // age. Caller holds mu (or is the constructor).
 func (w *Writer) openSegment(age uint64) error {
-	f, err := os.OpenFile(segmentPath(w.dir, age), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	var f File
+	err := w.retry(&w.ioErrs.open, func() error {
+		var oerr error
+		f, oerr = w.fs.OpenFile(segmentPath(w.dir, age), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		return oerr
+	})
 	if err != nil {
 		return err
 	}
