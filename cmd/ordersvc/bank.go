@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/orderedstm/ostm/stm"
+)
+
+// The service's payload wire format (service-local; the library only
+// sees opaque bytes through its Codec):
+//
+//	u32 from | u32 to   (little-endian)
+//
+// The decoded body moves amt = age%5+1 from `from` to `to` when the
+// balance covers it — a deterministic function of (age, memory), so
+// the WAL's input-replay property holds and a plain sequential fold
+// over the recorded (age, payload) pairs is the state oracle. The
+// same semantics as the repo's durability test workload, which keeps
+// every oracle in the tree interchangeable.
+
+func appendTransfer(dst []byte, from, to uint32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, from)
+	return binary.LittleEndian.AppendUint32(dst, to)
+}
+
+func decodeTransfer(data []byte, pool int) (from, to uint32, err error) {
+	if len(data) != 8 {
+		return 0, 0, fmt.Errorf("ordersvc: bad payload length %d", len(data))
+	}
+	from = binary.LittleEndian.Uint32(data[0:4])
+	to = binary.LittleEndian.Uint32(data[4:8])
+	if int(from) >= pool || int(to) >= pool {
+		return 0, 0, fmt.Errorf("ordersvc: transfer %d→%d outside pool of %d", from, to, pool)
+	}
+	return from, to, nil
+}
+
+func transferBody(accounts []stm.Var, from, to uint32) stm.Body {
+	return func(tx stm.Tx, age int) {
+		amt := uint64(age%5) + 1
+		bf := tx.Read(&accounts[from])
+		if bf >= amt && from != to {
+			tx.Write(&accounts[from], bf-amt)
+			tx.Write(&accounts[to], tx.Read(&accounts[to])+amt)
+		}
+	}
+}
+
+// bankCodec is the unsharded pipeline codec.
+type bankCodec struct{ accounts []stm.Var }
+
+func (c bankCodec) Encode(payload any) ([]byte, error) {
+	data, ok := payload.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("ordersvc: unexpected payload %T", payload)
+	}
+	return data, nil
+}
+
+func (c bankCodec) Decode(data []byte) (stm.Body, error) {
+	from, to, err := decodeTransfer(data, len(c.accounts))
+	if err != nil {
+		return nil, err
+	}
+	return transferBody(c.accounts, from, to), nil
+}
+
+// bankShardCodec adds the access declaration the router partitions on.
+type bankShardCodec struct{ accounts []stm.Var }
+
+func (c bankShardCodec) Encode(payload any) ([]byte, error) {
+	return bankCodec{c.accounts}.Encode(payload)
+}
+
+func (c bankShardCodec) Decode(data []byte) (stm.Access, stm.Body, error) {
+	from, to, err := decodeTransfer(data, len(c.accounts))
+	if err != nil {
+		return stm.Access{}, nil, err
+	}
+	return stm.Touches(&c.accounts[from], &c.accounts[to]), transferBody(c.accounts, from, to), nil
+}
+
+// applyTransfer folds one recorded payload onto a plain balance
+// slice — the sequential oracle shared by the load generator's
+// state_match verdict.
+func applyTransfer(balances []uint64, age uint64, payload []byte) {
+	if len(payload) != 8 {
+		return
+	}
+	from := binary.LittleEndian.Uint32(payload[0:4])
+	to := binary.LittleEndian.Uint32(payload[4:8])
+	if int(from) >= len(balances) || int(to) >= len(balances) {
+		return
+	}
+	amt := uint64(age%5) + 1
+	if balances[from] >= amt && from != to {
+		balances[from] -= amt
+		balances[to] += amt
+	}
+}

@@ -10,8 +10,11 @@
 // top (v2): generic TVar[T] variables, value-returning transactions
 // whose TicketOf[R] futures latch the committed result, context-aware
 // submission and waits, and typed durable codecs that replay through
-// the write-ahead log. The benchmarks in bench_test.go and the cmd
-// tools regenerate the paper's evaluation.
+// the write-ahead log. Package stm/serve carries the submit surface
+// over the network (an HTTP/2 cleartext streaming front-end answering
+// in commit order), and cmd/ordersvc runs it as a standalone service
+// with recovery, drain and a load generator. The benchmarks in
+// bench_test.go and the cmd tools regenerate the paper's evaluation.
 //
 // See README.md for a quickstart and package map, DESIGN.md for the
 // system inventory and deliberate departures from the paper's

@@ -1,3 +1,3 @@
 module github.com/orderedstm/ostm
 
-go 1.22
+go 1.24

@@ -250,6 +250,15 @@ func (p *Pipeline) submitPayload(ctx context.Context, payload any) (*Ticket, err
 // closed-loop producer can therefore run the durable submit path with
 // a recycled encode buffer instead of a fresh slice per transaction.
 func (p *Pipeline) SubmitEncoded(data []byte) (*Ticket, error) {
+	return p.SubmitEncodedCtx(nil, data)
+}
+
+// SubmitEncodedCtx is SubmitEncoded with SubmitCtx's cancellable
+// backpressure wait and withdrawal semantics — the ingress path for
+// servers that hold a per-request context: cancellation while the
+// pipeline is at Capacity withdraws the submission; once a Ticket is
+// returned the age is owned and will commit.
+func (p *Pipeline) SubmitEncodedCtx(ctx context.Context, data []byte) (*Ticket, error) {
 	if p.cfg.Codec == nil {
 		return nil, errors.New("stm: SubmitEncoded requires Config.Codec")
 	}
@@ -257,7 +266,7 @@ func (p *Pipeline) SubmitEncoded(data []byte) (*Ticket, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stm: decode payload: %w", err)
 	}
-	return p.submit(nil, body, data)
+	return p.submit(ctx, body, data)
 }
 
 // submit is the shared submission core over a freshly allocated
@@ -354,10 +363,21 @@ func (p *Pipeline) submitWith(ctx context.Context, t *Ticket, body Body, payload
 // (they remain valid and resolve normally) and the error reports why
 // the rest were refused.
 func (p *Pipeline) SubmitBatch(bodies []Body) ([]*Ticket, error) {
+	return p.SubmitBatchCtx(nil, bodies)
+}
+
+// SubmitBatchCtx is SubmitBatch with a cancellable backpressure wait:
+// a context cancellation while the batch is parked at Capacity stops
+// submission at the first body that has not yet been assigned an age.
+// The returned slice holds the tickets of the bodies accepted before
+// the cancellation (they own their ages and resolve normally) and the
+// error wraps ErrCanceled. As with SubmitCtx, an accepted age is never
+// withdrawn.
+func (p *Pipeline) SubmitBatchCtx(ctx context.Context, bodies []Body) ([]*Ticket, error) {
 	if p.s.dur != nil {
 		return nil, ErrPayloadRequired
 	}
-	return p.submitBatch(bodies, nil)
+	return p.submitBatch(ctx, bodies, nil)
 }
 
 // SubmitPayloadBatch is SubmitBatch for durable pipelines: each
@@ -365,6 +385,12 @@ func (p *Pipeline) SubmitBatch(bodies []Body) ([]*Ticket, error) {
 // as consecutive ages under one stream lock, with the same
 // partial-acceptance semantics as SubmitBatch.
 func (p *Pipeline) SubmitPayloadBatch(payloads []any) ([]*Ticket, error) {
+	return p.SubmitPayloadBatchCtx(nil, payloads)
+}
+
+// SubmitPayloadBatchCtx is SubmitPayloadBatch with SubmitBatchCtx's
+// cancellable backpressure wait and partial-acceptance semantics.
+func (p *Pipeline) SubmitPayloadBatchCtx(ctx context.Context, payloads []any) ([]*Ticket, error) {
 	if p.cfg.Codec == nil {
 		return nil, errors.New("stm: SubmitPayloadBatch requires Config.Codec")
 	}
@@ -381,12 +407,43 @@ func (p *Pipeline) SubmitPayloadBatch(payloads []any) ([]*Ticket, error) {
 		}
 		bodies[i], datas[i] = body, data
 	}
-	return p.submitBatch(bodies, datas)
+	return p.submitBatch(ctx, bodies, datas)
+}
+
+// SubmitEncodedBatch is SubmitEncoded's batched form: each element is
+// decoded through the Codec and the batch submitted as consecutive
+// ages under one stream lock. Buffer reuse follows SubmitEncoded's
+// rule per element — the pipeline retains datas[i] only until ticket
+// i resolves.
+func (p *Pipeline) SubmitEncodedBatch(datas [][]byte) ([]*Ticket, error) {
+	return p.SubmitEncodedBatchCtx(nil, datas)
+}
+
+// SubmitEncodedBatchCtx is SubmitEncodedBatch with SubmitBatchCtx's
+// cancellable backpressure wait and partial-acceptance semantics —
+// the batched ingress path for servers feeding pre-encoded request
+// frames under a connection context.
+func (p *Pipeline) SubmitEncodedBatchCtx(ctx context.Context, datas [][]byte) ([]*Ticket, error) {
+	if p.cfg.Codec == nil {
+		return nil, errors.New("stm: SubmitEncodedBatch requires Config.Codec")
+	}
+	bodies := make([]Body, len(datas))
+	for i, data := range datas {
+		body, err := p.cfg.Codec.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("stm: decode payload %d: %w", i, err)
+		}
+		bodies[i] = body
+	}
+	return p.submitBatch(ctx, bodies, datas)
 }
 
 // submitBatch is the shared batched core; payloads is nil for
-// non-durable pipelines, else parallel to bodies.
-func (p *Pipeline) submitBatch(bodies []Body, payloads [][]byte) ([]*Ticket, error) {
+// non-durable pipelines, else parallel to bodies. A non-nil ctx makes
+// the per-body backpressure wait cancellable with SubmitCtx's
+// withdrawal rule: cancellation stops the batch before the next age
+// assignment, never after one.
+func (p *Pipeline) submitBatch(ctx context.Context, bodies []Body, payloads [][]byte) ([]*Ticket, error) {
 	for _, b := range bodies {
 		if b == nil {
 			return nil, errors.New("stm: nil body")
@@ -397,6 +454,12 @@ func (p *Pipeline) submitBatch(bodies []Body, payloads [][]byte) ([]*Ticket, err
 	}
 	out := make([]*Ticket, 0, len(bodies))
 	s := p.s
+	var unwatch func() bool
+	defer func() {
+		if unwatch != nil {
+			unwatch()
+		}
+	}()
 	s.mu.Lock()
 	for i, body := range bodies {
 		var waitT0 int64
@@ -410,8 +473,25 @@ func (p *Pipeline) submitBatch(bodies []Body, payloads [][]byte) ([]*Ticket, err
 				s.mu.Unlock()
 				return out, ErrClosed
 			}
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					s.mu.Unlock()
+					return out, fmt.Errorf("%w before an age was assigned: %w", ErrCanceled, err)
+				}
+			}
 			if s.submitted-(s.base+s.ncommitted) < uint64(s.capacity) {
 				break
+			}
+			if ctx != nil && unwatch == nil && ctx.Done() != nil {
+				// Same lazy wakeup hook as submitWith: the park below waits
+				// on the stream's cond, which a context firing must be able
+				// to interrupt. Registered once per batch, only when a park
+				// is imminent.
+				unwatch = context.AfterFunc(ctx, func() {
+					s.mu.Lock()
+					s.cond.Broadcast()
+					s.mu.Unlock()
+				})
 			}
 			if po := p.po; po != nil && waitT0 == 0 {
 				waitT0 = time.Now().UnixNano()

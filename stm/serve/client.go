@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Call is one in-flight request on a Client: a future resolving when
+// the server's response frame for it arrives (i.e. when the
+// transaction committed, or was refused/canceled).
+type Call struct {
+	id   uint64
+	done chan struct{}
+	age  uint64
+	err  error
+}
+
+// Done is closed when the response arrived.
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Wait blocks for the response and returns the assigned global age
+// and the reconstructed typed error (nil on commit; else an *Error
+// matching the engine sentinels through errors.Is).
+func (c *Call) Wait() (uint64, error) {
+	<-c.done
+	return c.age, c.err
+}
+
+// Age returns the assigned global age; valid after Done.
+func (c *Call) Age() uint64 { return c.age }
+
+// Err returns the call's error; valid after Done.
+func (c *Call) Err() error { return c.err }
+
+// Client is one wire connection: a single full-duplex HTTP/2 stream
+// carrying a request frame stream out and the commit-order response
+// stream back. Submit may be called from any number of goroutines;
+// frames are written in Submit call order, which is the order the
+// server submits (and therefore commits and answers) them. Close
+// half-closes the stream and waits for the remaining responses.
+type Client struct {
+	pw     *io.PipeWriter
+	resp   *http.Response
+	tr     *http.Transport
+	cancel context.CancelFunc
+
+	wmu     sync.Mutex // serializes frame writes and id assignment
+	nextID  uint64
+	wbuf    []byte
+	closed  bool
+	writeEr error
+
+	rmu        sync.Mutex
+	pending    map[uint64]*Call
+	lastAge    uint64
+	haveAge    bool
+	violations int
+
+	readDone chan struct{}
+	readErr  error
+}
+
+// Dial opens a connection to a Server at addr ("host:port"). ctx
+// bounds the dial and header round-trip only; the stream itself lives
+// until Close.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	pr, pw := io.Pipe()
+	tr := &http.Transport{}
+	// Prior-knowledge cleartext HTTP/2: only the unencrypted h2
+	// protocol is enabled, so the transport speaks h2c directly on
+	// the TCP connection (no Upgrade dance, which couldn't carry a
+	// streaming request body anyway).
+	tr.Protocols = new(http.Protocols)
+	tr.Protocols.SetUnencryptedHTTP2(true)
+	cctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, "http://"+addr+"/submit", pr)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// The caller's ctx can abort the dial; once the response headers
+	// are in, the stream detaches from it and is owned by Close.
+	stop := context.AfterFunc(ctx, cancel)
+	resp, err := tr.RoundTrip(req)
+	stop()
+	if err != nil {
+		cancel()
+		pr.Close()
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		pr.Close()
+		return nil, fmt.Errorf("serve: dial %s: server answered %s", addr, resp.Status)
+	}
+	c := &Client{
+		pw:       pw,
+		resp:     resp,
+		tr:       tr,
+		cancel:   cancel,
+		pending:  make(map[uint64]*Call),
+		readDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Submit sends payload (the pipeline Codec's wire form) and returns
+// its Call.
+func (c *Client) Submit(payload []byte) (*Call, error) {
+	return c.submit(payload, 0)
+}
+
+// SubmitTimeout is Submit with a per-request deadline enforced
+// server-side: if the transaction has not committed within d, the
+// response resolves early with CodeCanceled (the submission is
+// withdrawn if no age was assigned yet; an assigned age still
+// commits — only the wait is abandoned).
+func (c *Client) SubmitTimeout(payload []byte, d time.Duration) (*Call, error) {
+	ms := (d + time.Millisecond - 1) / time.Millisecond
+	if ms <= 0 {
+		ms = 1
+	}
+	if ms > 1<<31 {
+		return nil, fmt.Errorf("serve: deadline %v out of range", d)
+	}
+	return c.submit(payload, uint32(ms))
+}
+
+// SubmitMany writes the payloads as one contiguous burst of frames in
+// a single write, so they reach the server together and its ingress
+// batcher coalesces them into one batched submission (consecutive
+// ages under one sequencer lock). Returns one Call per payload, in
+// submission (= age = response) order.
+func (c *Client) SubmitMany(payloads [][]byte) ([]*Call, error) {
+	if len(payloads) == 0 {
+		return nil, nil
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("serve: submit on closed connection")
+	}
+	if c.writeEr != nil {
+		return nil, c.writeEr
+	}
+	calls := make([]*Call, len(payloads))
+	c.wbuf = c.wbuf[:0]
+	c.rmu.Lock()
+	for i, pl := range payloads {
+		id := c.nextID
+		c.nextID++
+		calls[i] = &Call{id: id, done: make(chan struct{})}
+		c.pending[id] = calls[i]
+		c.wbuf = appendRequestFrame(c.wbuf, id, 0, pl)
+	}
+	c.rmu.Unlock()
+	if _, err := c.pw.Write(c.wbuf); err != nil {
+		c.rmu.Lock()
+		for _, call := range calls {
+			delete(c.pending, call.id)
+		}
+		c.rmu.Unlock()
+		c.writeEr = fmt.Errorf("serve: write frames: %w", err)
+		return nil, c.writeEr
+	}
+	return calls, nil
+}
+
+func (c *Client) submit(payload []byte, deadlineMS uint32) (*Call, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("serve: submit on closed connection")
+	}
+	if c.writeEr != nil {
+		return nil, c.writeEr
+	}
+	id := c.nextID
+	c.nextID++
+	call := &Call{id: id, done: make(chan struct{})}
+	c.rmu.Lock()
+	c.pending[id] = call
+	c.rmu.Unlock()
+	c.wbuf = appendRequestFrame(c.wbuf[:0], id, deadlineMS, payload)
+	if _, err := c.pw.Write(c.wbuf); err != nil {
+		c.rmu.Lock()
+		delete(c.pending, id)
+		c.rmu.Unlock()
+		c.writeEr = fmt.Errorf("serve: write frame: %w", err)
+		return nil, c.writeEr
+	}
+	return call, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	br := bufio.NewReaderSize(c.resp.Body, 64<<10)
+	for {
+		frame, err := readFrame(br, DefaultMaxFrame)
+		if err != nil {
+			c.finish(err)
+			return
+		}
+		id, age, code, msg, err := parseResponseFrame(frame)
+		if err != nil {
+			c.finish(err)
+			return
+		}
+		c.rmu.Lock()
+		call := c.pending[id]
+		delete(c.pending, id)
+		if code == CodeOK {
+			// The commit-order contract, checked at the cheapest
+			// possible point: committed ages on one connection must
+			// arrive monotonically.
+			if c.haveAge && age < c.lastAge {
+				c.violations++
+			}
+			c.lastAge, c.haveAge = age, true
+		}
+		c.rmu.Unlock()
+		if call != nil {
+			call.age = age
+			call.err = DecodeError(code, msg)
+			close(call.done)
+		}
+	}
+}
+
+// finish resolves every still-pending call with err (the stream is
+// gone; no responses are coming).
+func (c *Client) finish(err error) {
+	if err == io.EOF {
+		err = fmt.Errorf("serve: connection closed before response")
+	}
+	c.rmu.Lock()
+	n := len(c.pending)
+	for id, call := range c.pending {
+		delete(c.pending, id)
+		call.err = err
+		close(call.done)
+	}
+	c.rmu.Unlock()
+	if n > 0 {
+		c.readErr = err
+	}
+}
+
+// OrderViolations returns how many committed responses arrived with
+// an age below a previously seen one — zero on a correct server, by
+// the commit-order response contract.
+func (c *Client) OrderViolations() int {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return c.violations
+}
+
+// Close half-closes the request stream (the server answers everything
+// in flight, then ends the response stream), waits for those
+// responses, and tears the connection down. It returns an error if
+// any submitted call went unanswered.
+func (c *Client) Close() error {
+	c.wmu.Lock()
+	if c.closed {
+		c.wmu.Unlock()
+		<-c.readDone
+		return c.readErr
+	}
+	c.closed = true
+	c.wmu.Unlock()
+	c.pw.Close()
+	<-c.readDone
+	c.resp.Body.Close()
+	c.cancel()
+	c.tr.CloseIdleConnections()
+	return c.readErr
+}

@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/obs"
+	"github.com/orderedstm/ostm/stm/shard"
+)
+
+// ticket is the slice of stm.Ticket / shard.Ticket the server needs;
+// both satisfy it with identical semantics (resolution at commit, or
+// at durability under WaitDurable).
+type ticket interface {
+	Age() uint64
+	Wait() error
+	WaitCtx(ctx context.Context) error
+}
+
+// backend abstracts the two pipeline shapes behind the encoded-submit
+// entry points the wire carries.
+type backend interface {
+	one(ctx context.Context, data []byte) (ticket, error)
+	batch(ctx context.Context, datas [][]byte) ([]ticket, error)
+}
+
+type pipeBackend struct{ p *stm.Pipeline }
+
+func (b pipeBackend) one(ctx context.Context, data []byte) (ticket, error) {
+	t, err := b.p.SubmitEncodedCtx(ctx, data)
+	if t == nil {
+		return nil, err
+	}
+	return t, err
+}
+
+func (b pipeBackend) batch(ctx context.Context, datas [][]byte) ([]ticket, error) {
+	lts, err := b.p.SubmitEncodedBatchCtx(ctx, datas)
+	out := make([]ticket, len(lts))
+	for i, t := range lts {
+		out[i] = t
+	}
+	return out, err
+}
+
+type shardBackend struct{ sp *shard.ShardedPipeline }
+
+func (b shardBackend) one(ctx context.Context, data []byte) (ticket, error) {
+	t, err := b.sp.SubmitEncodedCtx(ctx, data)
+	if t == nil {
+		return nil, err
+	}
+	return t, err
+}
+
+func (b shardBackend) batch(ctx context.Context, datas [][]byte) ([]ticket, error) {
+	lts, err := b.sp.SubmitEncodedBatchCtx(ctx, datas)
+	out := make([]ticket, len(lts))
+	for i, t := range lts {
+		if t != nil {
+			out[i] = t
+		}
+	}
+	return out, err
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Pipeline or Sharded is the engine behind the wire; exactly one
+	// must be set. Either way it must be configured with the Codec
+	// that decodes the request payloads (the server submits the raw
+	// frame payloads through SubmitEncoded*).
+	Pipeline *stm.Pipeline
+	Sharded  *shard.ShardedPipeline
+
+	// Obs, when non-nil, mounts the registry's exposition routes
+	// (/metrics, /debug/vars, /debug/pprof/*) on the same listener.
+	Obs *obs.Registry
+
+	// State, when non-nil, serves GET /state with its bytes — a
+	// snapshot hook (typically stm.SnapshotVars over the app's Vars)
+	// clients use to verify replayed state. It runs on the live
+	// engine; callers wanting a quiescent snapshot should drain their
+	// own traffic first.
+	State func() ([]byte, error)
+
+	// MaxFrame bounds accepted request frames (default
+	// DefaultMaxFrame).
+	MaxFrame int
+	// MaxBatch caps how many already-buffered frames ingress
+	// coalesces into one SubmitEncodedBatch call (default 64).
+	MaxBatch int
+}
+
+// Server terminates the wire protocol: it owns an h2c listener,
+// decodes request streams, feeds the pipeline (batching frames that
+// arrived together), and writes each stream's responses in commit
+// order. Create with NewServer, start with Start, stop with Shutdown.
+type Server struct {
+	cfg Config
+	b   backend
+	hs  *http.Server
+	ln  net.Listener
+
+	mu       sync.Mutex
+	draining bool
+	streams  sync.WaitGroup
+}
+
+// NewServer validates cfg and builds the server (not yet listening).
+func NewServer(cfg Config) (*Server, error) {
+	if (cfg.Pipeline == nil) == (cfg.Sharded == nil) {
+		return nil, errors.New("serve: exactly one of Config.Pipeline and Config.Sharded must be set")
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	s := &Server{cfg: cfg}
+	if cfg.Pipeline != nil {
+		s.b = pipeBackend{cfg.Pipeline}
+	} else {
+		s.b = shardBackend{cfg.Sharded}
+	}
+	var mux *http.ServeMux
+	if cfg.Obs != nil {
+		mux = obs.NewMux(cfg.Obs) // /metrics, /debug/vars, /debug/pprof/*
+	} else {
+		mux = http.NewServeMux()
+	}
+	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	if cfg.State != nil {
+		mux.HandleFunc("/state", func(w http.ResponseWriter, _ *http.Request) {
+			data, err := cfg.State()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(data)
+		})
+	}
+	s.hs = &http.Server{Handler: mux}
+	// Cleartext HTTP/2 with prior knowledge: the streaming protocol
+	// needs one full-duplex multiplexed connection per client, which
+	// HTTP/1.1 cannot carry. HTTP/1.1 stays enabled for the scrape
+	// and debug endpoints (curl without --http2-prior-knowledge).
+	s.hs.Protocols = new(http.Protocols)
+	s.hs.Protocols.SetHTTP1(true)
+	s.hs.Protocols.SetUnencryptedHTTP2(true)
+	return s, nil
+}
+
+// Start binds addr and serves in the background. The bound address
+// (useful with ":0") is available as Addr afterwards.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() { _ = s.hs.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listener address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown drains the server: new submit streams are refused with 503
+// immediately, in-flight streams run until their clients half-close,
+// and the HTTP server shuts down gracefully. If ctx expires first the
+// listener is torn down hard and ctx's error returned. The pipeline
+// itself is not touched — the owner drains/checkpoints/closes it
+// after Shutdown returns (see cmd/ordersvc for the full SIGTERM
+// sequence).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	if err := s.hs.Shutdown(ctx); err != nil {
+		_ = s.hs.Close()
+		return err
+	}
+	return nil
+}
+
+// entry is one request's slot in a stream's response queue.
+type entry struct {
+	id     uint64
+	t      ticket // nil when err is pre-resolved (submission refused)
+	err    error
+	ctx    context.Context // non-nil iff the request carried a deadline
+	cancel context.CancelFunc
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a frame stream", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	s.streams.Add(1)
+	s.mu.Unlock()
+	defer s.streams.Done()
+
+	rc := http.NewResponseController(w)
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush() // release headers so the client unblocks before its first frame
+
+	ctx := r.Context()
+	br := bufio.NewReaderSize(r.Body, 64<<10)
+	queue := make(chan *entry, 4*s.cfg.MaxBatch)
+	writerDone := make(chan struct{})
+	go s.writeResponses(w, rc, queue, writerDone)
+
+	// Ingress: decode frames in arrival order. Frames that arrived
+	// together (complete in the read buffer) and carry no deadline are
+	// coalesced into one batched submission — one sequencer lock per
+	// run instead of per frame; a deadline-bearing frame flushes the
+	// run and submits alone under its own context so cancellation has
+	// a per-request scope. Submission order always equals frame order,
+	// which is what makes the response stream's commit-order contract
+	// hold.
+	var runData [][]byte
+	var runIDs []uint64
+	flushRun := func() {
+		if len(runData) == 0 {
+			return
+		}
+		ts, err := s.b.batch(ctx, runData)
+		for i, id := range runIDs {
+			e := &entry{id: id}
+			if i < len(ts) && ts[i] != nil {
+				e.t = ts[i]
+			} else {
+				e.err = err
+				if e.err == nil {
+					e.err = errors.New("serve: submission refused")
+				}
+			}
+			queue <- e
+		}
+		runData, runIDs = runData[:0], runIDs[:0]
+	}
+	for {
+		frame, err := readFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			// io.EOF: client half-closed, clean end of stream. Anything
+			// else (truncated frame, oversized, reset) also ends ingress;
+			// there is no request to answer it on.
+			break
+		}
+		id, deadlineMS, payload, err := parseRequestFrame(frame)
+		if err != nil {
+			flushRun()
+			queue <- &entry{id: id, err: &Error{Code: CodeBadRequest, Msg: err.Error()}}
+			continue
+		}
+		if deadlineMS == 0 {
+			runData = append(runData, payload)
+			runIDs = append(runIDs, id)
+			if len(runData) < s.cfg.MaxBatch && frameBuffered(br) {
+				continue // more frames already arrived; extend the run
+			}
+			flushRun()
+			continue
+		}
+		flushRun()
+		dctx, cancel := context.WithTimeout(ctx, time.Duration(deadlineMS)*time.Millisecond)
+		t, serr := s.b.one(dctx, payload)
+		if serr != nil {
+			cancel()
+			queue <- &entry{id: id, err: serr}
+			continue
+		}
+		queue <- &entry{id: id, t: t, ctx: dctx, cancel: cancel}
+	}
+	flushRun()
+	close(queue)
+	<-writerDone
+}
+
+// writeResponses is the per-stream egress loop: it waits each entry's
+// ticket in submission order (equal to age order on this stream) and
+// writes the response frames back, flushing whenever the queue runs
+// dry so a paused producer still sees its tail.
+func (s *Server) writeResponses(w http.ResponseWriter, rc *http.ResponseController, queue <-chan *entry, done chan<- struct{}) {
+	defer close(done)
+	var buf []byte
+	for e := range queue {
+		err := e.err
+		var age uint64
+		if e.t != nil {
+			if e.ctx != nil {
+				err = e.t.WaitCtx(e.ctx)
+				e.cancel()
+			} else {
+				err = e.t.Wait()
+			}
+			age = e.t.Age()
+		}
+		code := CodeOf(err)
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		buf = appendResponseFrame(buf[:0], e.id, age, code, msg)
+		if _, werr := w.Write(buf); werr != nil {
+			// Client gone: drain remaining entries so their tickets'
+			// deadline contexts are released, then quit.
+			for e := range queue {
+				if e.cancel != nil {
+					e.cancel()
+				}
+			}
+			return
+		}
+		if len(queue) == 0 {
+			_ = rc.Flush()
+		}
+	}
+	_ = rc.Flush()
+}

@@ -1,0 +1,140 @@
+// Package serve is the process boundary for an ordered-transaction
+// pipeline: a reusable HTTP/2 (h2c, cleartext prior-knowledge)
+// streaming server and client speaking a minimal length-prefixed
+// framing, with the engine's predefined commit order as the externally
+// visible contract — each connection's responses resolve in commit
+// order.
+//
+// # Wire protocol
+//
+// A connection is one HTTP/2 stream: the client POSTs to /submit and
+// keeps the request body open; request frames flow client→server on
+// the request body and response frames server→client on the response
+// body, full duplex. All integers are little-endian, matching the
+// engine's WAL record layout.
+//
+// Request frame:
+//
+//	u32 len | u64 id | u32 deadline_ms | payload (len-12 bytes)
+//
+// id is a client-chosen correlation token echoed verbatim (the client
+// in this package uses a per-connection counter). deadline_ms, when
+// non-zero, bounds the request server-side: the submission's
+// backpressure wait and the response wait both run under a context
+// expiring that many milliseconds after the frame is decoded, and
+// expiry surfaces as a CodeCanceled response. payload is the encoded
+// transaction in the pipeline Codec's wire form — the same bytes the
+// WAL would store.
+//
+// Response frame:
+//
+//	u32 len | u64 id | u64 age | u8 code | msg (len-17 bytes)
+//
+// age is the global age the submission was assigned (zero when it was
+// refused before age assignment — distinguishable from a genuine age
+// zero by code). code is the typed wire error (CodeOK on success; see
+// Code), msg a human-readable elaboration for non-OK codes.
+//
+// # Ordering contract
+//
+// Frames on one connection are submitted in arrival order, so their
+// ages are assigned monotonically, and the server writes responses in
+// exactly that order after waiting each ticket — responses arrive in
+// commit order. The one exception is a frame whose deadline expires
+// before its age commits: its CodeCanceled response is written at its
+// position in the stream (order is still preserved; the response just
+// no longer attests commit). Ordering holds per connection; ages
+// interleave arbitrarily across connections.
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxFrame bounds the length prefix accepted by both sides
+// (requests and responses) unless overridden in Config.
+const DefaultMaxFrame = 1 << 20
+
+const (
+	reqHeaderLen  = 12 // u64 id + u32 deadline_ms
+	respHeaderLen = 17 // u64 id + u64 age + u8 code
+)
+
+// appendRequestFrame appends one request frame to dst.
+func appendRequestFrame(dst []byte, id uint64, deadlineMS uint32, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(reqHeaderLen+len(payload)))
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = binary.LittleEndian.AppendUint32(dst, deadlineMS)
+	return append(dst, payload...)
+}
+
+// appendResponseFrame appends one response frame to dst.
+func appendResponseFrame(dst []byte, id, age uint64, code Code, msg string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(respHeaderLen+len(msg)))
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = binary.LittleEndian.AppendUint64(dst, age)
+	dst = append(dst, byte(code))
+	return append(dst, msg...)
+}
+
+// readFrame reads one length-prefixed frame body (the bytes after the
+// u32 length) into a fresh slice. io.EOF before the first length byte
+// is a clean end of stream; a truncated frame is an error.
+func readFrame(br *bufio.Reader, max int) ([]byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(br, lenb[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("serve: truncated frame length: %w", err)
+		}
+		return nil, err // io.EOF: clean end of stream
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if int(n) > max {
+		return nil, fmt.Errorf("serve: frame of %d bytes exceeds limit %d", n, max)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("serve: truncated frame: %w", err)
+	}
+	return buf, nil
+}
+
+// parseRequestFrame splits a request frame body. The payload aliases
+// frame (readFrame allocates per frame, so ownership transfers).
+func parseRequestFrame(frame []byte) (id uint64, deadlineMS uint32, payload []byte, err error) {
+	if len(frame) < reqHeaderLen {
+		return 0, 0, nil, fmt.Errorf("serve: request frame of %d bytes is shorter than its %d-byte header", len(frame), reqHeaderLen)
+	}
+	id = binary.LittleEndian.Uint64(frame)
+	deadlineMS = binary.LittleEndian.Uint32(frame[8:])
+	return id, deadlineMS, frame[reqHeaderLen:], nil
+}
+
+// parseResponseFrame splits a response frame body.
+func parseResponseFrame(frame []byte) (id, age uint64, code Code, msg string, err error) {
+	if len(frame) < respHeaderLen {
+		return 0, 0, 0, "", fmt.Errorf("serve: response frame of %d bytes is shorter than its %d-byte header", len(frame), respHeaderLen)
+	}
+	id = binary.LittleEndian.Uint64(frame)
+	age = binary.LittleEndian.Uint64(frame[8:])
+	code = Code(frame[16])
+	return id, age, code, string(frame[respHeaderLen:]), nil
+}
+
+// frameBuffered reports whether br already holds a complete frame —
+// the ingress batcher's lookahead: it only coalesces frames that
+// arrived together, never blocking a submission to wait for more.
+func frameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < 4 {
+		return false
+	}
+	head, err := br.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(head)
+	return br.Buffered() >= 4+int(n)
+}

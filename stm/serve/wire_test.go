@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/shard"
+	"github.com/orderedstm/ostm/stm/wal"
+)
+
+func TestRequestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xab}, 4096)}
+	var buf []byte
+	for i, pl := range payloads {
+		buf = appendRequestFrame(buf, uint64(i)<<32|7, uint32(i*250), pl)
+	}
+	br := bufio.NewReader(bytes.NewReader(buf))
+	for i, pl := range payloads {
+		if !frameBuffered(br) {
+			// frameBuffered is best-effort lookahead; force a fill.
+			_, _ = br.Peek(4)
+		}
+		frame, err := readFrame(br, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		id, dl, got, err := parseRequestFrame(frame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if id != uint64(i)<<32|7 || dl != uint32(i*250) || !bytes.Equal(got, pl) {
+			t.Fatalf("frame %d: got id=%d dl=%d payload=%q", i, id, dl, got)
+		}
+	}
+	if _, err := readFrame(br, DefaultMaxFrame); err != io.EOF {
+		t.Fatalf("want io.EOF at end of stream, got %v", err)
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	huge := appendRequestFrame(nil, 1, 0, make([]byte, 256))
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(huge)), 64); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	trunc := huge[:len(huge)-10]
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(trunc)), DefaultMaxFrame); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// TestWireErrorRoundTrip is the error-taxonomy contract: every engine
+// error class travels as a distinct code, and the client-side
+// reconstruction still matches the engine sentinels via errors.Is.
+func TestWireErrorRoundTrip(t *testing.T) {
+	fault := &stm.Fault{Age: 41, Value: "boom"}
+	ftErr := &shard.FenceTimeoutError{Age: 9, Shard: 1, Timeout: time.Second}
+	cases := []struct {
+		name string
+		err  error
+		code Code
+		is   []error // sentinels the reconstructed error must match
+	}{
+		{
+			name: "canceled",
+			err:  fmt.Errorf("%w before an age was assigned: %w", stm.ErrCanceled, context.Canceled),
+			code: CodeCanceled,
+			is:   []error{stm.ErrCanceled},
+		},
+		{
+			name: "stopped",
+			err:  &stm.Stopped{Fault: fault},
+			code: CodeStopped,
+			is:   []error{stm.ErrStopped},
+		},
+		{
+			name: "fault",
+			err:  fault,
+			code: CodeFault,
+		},
+		{
+			name: "closed",
+			err:  stm.ErrClosed,
+			code: CodeClosed,
+			is:   []error{stm.ErrClosed},
+		},
+		{
+			name: "durability",
+			err:  &stm.DurabilityError{Err: errors.New("fsync: disk gone")},
+			code: CodeDurability,
+		},
+		{
+			name: "degraded",
+			err:  &stm.DurabilityError{Err: fmt.Errorf("append: %w", wal.ErrDegraded)},
+			code: CodeDegraded,
+			is:   []error{wal.ErrDegraded},
+		},
+		{
+			name: "fence-timeout-fault",
+			err:  &stm.Fault{Age: 9, Value: ftErr},
+			code: CodeFenceTimeout,
+		},
+		{
+			name: "fence-timeout-stopped",
+			err:  &stm.Stopped{Fault: &stm.Fault{Age: 9, Value: ftErr}},
+			code: CodeFenceTimeout,
+		},
+		{
+			name: "internal",
+			err:  errors.New("something else"),
+			code: CodeInternal,
+		},
+	}
+	seen := make(map[Code]string)
+	for _, tc := range cases {
+		if got := CodeOf(tc.err); got != tc.code {
+			t.Errorf("%s: CodeOf = %v, want %v", tc.name, got, tc.code)
+		}
+		// Distinctness across the five mandated classes (the two
+		// fence-timeout shapes intentionally share a code).
+		if prev, dup := seen[tc.code]; dup && tc.code != CodeFenceTimeout {
+			t.Errorf("%s: code %v already used by %s", tc.name, tc.code, prev)
+		}
+		seen[tc.code] = tc.name
+
+		// Over the wire and back.
+		frame := appendResponseFrame(nil, 5, 77, CodeOf(tc.err), tc.err.Error())
+		id, age, code, msg, err := parseResponseFrame(frame[4:])
+		if err != nil || id != 5 || age != 77 {
+			t.Fatalf("%s: parse: id=%d age=%d err=%v", tc.name, id, age, err)
+		}
+		rerr := DecodeError(code, msg)
+		if rerr == nil {
+			t.Fatalf("%s: decoded to nil", tc.name)
+		}
+		if got := CodeOf(rerr); got != tc.code {
+			t.Errorf("%s: code not idempotent across the wire: %v", tc.name, got)
+		}
+		for _, sentinel := range tc.is {
+			if !errors.Is(rerr, sentinel) {
+				t.Errorf("%s: reconstructed error does not match %v", tc.name, sentinel)
+			}
+		}
+		// No false positives: a reconstructed canceled must not look
+		// stopped, and vice versa.
+		if tc.code != CodeCanceled && errors.Is(rerr, stm.ErrCanceled) {
+			t.Errorf("%s: falsely matches ErrCanceled", tc.name)
+		}
+	}
+	if DecodeError(CodeOK, "") != nil {
+		t.Error("CodeOK must decode to nil")
+	}
+	if CodeOf(nil) != CodeOK {
+		t.Error("CodeOf(nil) must be CodeOK")
+	}
+}

@@ -1,0 +1,196 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/shard"
+	"github.com/orderedstm/ostm/stm/wal"
+)
+
+// TestShardSubmitPayloadBatchDurable: the batched durable submit path
+// (payload and encoded forms, heavy cross-shard traffic, WaitDurable)
+// produces the same state as the sequential fold of its WAL, and a
+// fresh router replaying that WAL rebuilds it — i.e. the batch path
+// writes exactly the same log the one-at-a-time path would.
+func TestShardSubmitPayloadBatchDurable(t *testing.T) {
+	const n, shards, batch = 384, 2, 16
+	dir := t.TempDir()
+	accounts := newDurAccounts()
+	w, err := wal.Create(dir, 0, wal.Options{SyncEveryN: 8, SyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := shard.New(shard.Config{
+		Shards:      shards,
+		Pipeline:    stm.Config{Algorithm: stm.OUL, Workers: 2},
+		WAL:         w,
+		Codec:       xferCodec{accounts: accounts},
+		WaitDurable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule against the live layout: every fourth transfer spans
+	// both partitions, so each batch carries single- and cross-shard
+	// requests interleaved.
+	buckets := bucketsOf(sp, accounts)
+	payloads := make([]xfer, n)
+	for i := range payloads {
+		if i%4 == 0 {
+			payloads[i] = xfer{
+				from: uint32(buckets[0][i%len(buckets[0])]),
+				to:   uint32(buckets[1][i%len(buckets[1])]),
+			}
+		} else {
+			payloads[i] = xferFor(uint64(i))
+		}
+	}
+
+	const producers = 3
+	var wg sync.WaitGroup
+	per := n / producers
+	for c := 0; c < producers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			mine := payloads[c*per : (c+1)*per]
+			for off := 0; off < len(mine); off += batch {
+				end := off + batch
+				if end > len(mine) {
+					end = len(mine)
+				}
+				var tks []*shard.Ticket
+				var err error
+				if c%2 == 0 {
+					chunk := make([]any, end-off)
+					for i := range chunk {
+						chunk[i] = mine[off+i]
+					}
+					tks, err = sp.SubmitPayloadBatch(chunk)
+				} else {
+					// The encoded form: pre-encode through the same codec.
+					datas := make([][]byte, end-off)
+					for i := range datas {
+						datas[i], err = xferCodec{}.Encode(mine[off+i])
+						if err != nil {
+							t.Errorf("encode: %v", err)
+							return
+						}
+					}
+					tks, err = sp.SubmitEncodedBatch(datas)
+				}
+				if err != nil {
+					t.Errorf("batch submit: %v", err)
+					return
+				}
+				// Batch ages are consecutive — one sequencer hold.
+				for i := 1; i < len(tks); i++ {
+					if tks[i].Age() != tks[i-1].Age()+1 {
+						t.Errorf("batch ages not consecutive: %d then %d", tks[i-1].Age(), tks[i].Age())
+						return
+					}
+				}
+				for _, tk := range tks {
+					if err := tk.Wait(); err != nil {
+						t.Errorf("wait: %v", err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Durable(); got != uint64(producers*per) {
+		t.Fatalf("durable frontier after Close = %d, want %d", got, producers*per)
+	}
+	if sp.CrossShard() == 0 {
+		t.Fatal("workload produced no cross-shard transactions")
+	}
+	live := stateOf(accounts)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := wal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count() != producers*per {
+		t.Fatalf("recovered %d records, want %d", rec.Count(), producers*per)
+	}
+	model := foldModel(t, rec.Records(), 0)
+	if !sameState(live, model) {
+		t.Fatal("live state diverges from sequential model of the batch-written log")
+	}
+	if got := replayShardedState(t, stm.OUL, shards, rec); !sameState(got, model) {
+		t.Fatal("replayed state diverges from the model")
+	}
+}
+
+// TestShardSubmitBatchCtxCanceled: a pre-canceled context refuses the
+// whole batch before any age is assigned, and the router stays fully
+// usable afterwards.
+func TestShardSubmitBatchCtxCanceled(t *testing.T) {
+	dir := t.TempDir()
+	accounts := newDurAccounts()
+	w, err := wal.Create(dir, 0, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	sp, err := shard.New(shard.Config{
+		Shards:   2,
+		Pipeline: stm.Config{Algorithm: stm.OUL, Workers: 2},
+		WAL:      w,
+		Codec:    xferCodec{accounts: accounts},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The sharded batch result is index-preserving: refused positions
+	// are nil in a full-length slice. Pre-canceled ⇒ all nil.
+	out, err := sp.SubmitPayloadBatchCtx(ctx, []any{xferFor(0), xferFor(1)})
+	if !errors.Is(err, stm.ErrCanceled) {
+		t.Fatalf("pre-canceled payload batch: %v", err)
+	}
+	for i, tk := range out {
+		if tk != nil {
+			t.Fatalf("pre-canceled batch accepted request %d", i)
+		}
+	}
+	if _, err := sp.SubmitPayloadCtx(ctx, xferFor(0)); !errors.Is(err, stm.ErrCanceled) {
+		t.Fatalf("pre-canceled SubmitPayloadCtx: %v", err)
+	}
+	if got := sp.Submitted(); got != 0 {
+		t.Fatalf("refused submissions consumed ages: %d", got)
+	}
+
+	tks, err := sp.SubmitPayloadBatchCtx(context.Background(), []any{xferFor(0), xferFor(1), xferFor(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range tks {
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Submitted(); got != 3 {
+		t.Fatalf("Submitted = %d, want 3", got)
+	}
+}

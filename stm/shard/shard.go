@@ -313,6 +313,15 @@ func (sp *ShardedPipeline) SubmitCtx(ctx context.Context, access stm.Access, bod
 // The encoded form is what the router's WAL stores once the global
 // age commits on every involved shard.
 func (sp *ShardedPipeline) SubmitPayload(payload any) (*Ticket, error) {
+	return sp.SubmitPayloadCtx(nil, payload)
+}
+
+// SubmitPayloadCtx is SubmitPayload with SubmitCtx's cancellable
+// backpressure wait and withdrawal semantics: cancellation inside the
+// withdrawal window (before any involved shard accepted work) returns
+// an error wrapping stm.ErrCanceled and leaves the router exactly as
+// if the submission never happened.
+func (sp *ShardedPipeline) SubmitPayloadCtx(ctx context.Context, payload any) (*Ticket, error) {
 	if sp.codec == nil {
 		return nil, errors.New("shard: SubmitPayload requires Config.Codec")
 	}
@@ -320,7 +329,7 @@ func (sp *ShardedPipeline) SubmitPayload(payload any) (*Ticket, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: encode payload: %w", err)
 	}
-	return sp.submitEncodedOwned(data)
+	return sp.submitEncodedOwned(ctx, data)
 }
 
 // SubmitEncoded submits a payload already in its wire form — the
@@ -337,12 +346,22 @@ func (sp *ShardedPipeline) SubmitPayload(payload any) (*Ticket, error) {
 // per record — bounded by the log size, and only on the rare restart
 // path.
 func (sp *ShardedPipeline) SubmitEncoded(data []byte) (*Ticket, error) {
-	return sp.submitEncodedOwned(append([]byte(nil), data...))
+	return sp.SubmitEncodedCtx(nil, data)
+}
+
+// SubmitEncodedCtx is SubmitEncoded with SubmitCtx's cancellable
+// backpressure wait and withdrawal semantics — the ingress path for
+// servers feeding pre-encoded request frames under a per-request
+// context. Like SubmitEncoded it copies data, so the caller may reuse
+// its buffer immediately.
+func (sp *ShardedPipeline) SubmitEncodedCtx(ctx context.Context, data []byte) (*Ticket, error) {
+	return sp.submitEncodedOwned(ctx, append([]byte(nil), data...))
 }
 
 // submitEncodedOwned is SubmitEncoded for payload bytes the router
-// may keep (freshly encoded, or recovery records).
-func (sp *ShardedPipeline) submitEncodedOwned(data []byte) (*Ticket, error) {
+// may keep (freshly encoded, or recovery records); ctx (nil for the
+// uncancellable entry points) bounds the shard-side backpressure wait.
+func (sp *ShardedPipeline) submitEncodedOwned(ctx context.Context, data []byte) (*Ticket, error) {
 	if sp.dr == nil {
 		return nil, errors.New("shard: SubmitEncoded requires Config.WAL")
 	}
@@ -350,7 +369,7 @@ func (sp *ShardedPipeline) submitEncodedOwned(data []byte) (*Ticket, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: decode payload: %w", err)
 	}
-	return sp.route(nil, access, body, data)
+	return sp.route(ctx, access, body, data)
 }
 
 // route is the shared submission core; ctx (nil for the uncancellable
@@ -411,11 +430,102 @@ type Request struct {
 // It returns one Ticket per request. On a fault or after Close the
 // batch stops early: accepted requests keep their (valid) tickets,
 // refused positions are nil, and the error reports why. Backpressure
-// applies inside the batch exactly as for consecutive Submits.
+// applies inside the batch exactly as for consecutive Submits. On a
+// router configured with a WAL it returns stm.ErrPayloadRequired —
+// use SubmitPayloadBatch or SubmitEncodedBatch so the log receives
+// replayable inputs.
 func (sp *ShardedPipeline) SubmitBatch(reqs []Request) ([]*Ticket, error) {
 	if sp.dr != nil {
 		return nil, stm.ErrPayloadRequired
 	}
+	return sp.submitBatch(nil, reqs, nil)
+}
+
+// SubmitBatchCtx is SubmitBatch with a cancellable wait: cancellation
+// is observed between requests — before the next global age is
+// assigned — stopping the batch there with an error wrapping
+// stm.ErrCanceled (accepted requests keep their tickets). It is not
+// consulted inside a shard's backpressure park once a flush began, so
+// an assigned age is never withdrawn.
+func (sp *ShardedPipeline) SubmitBatchCtx(ctx context.Context, reqs []Request) ([]*Ticket, error) {
+	if sp.dr != nil {
+		return nil, stm.ErrPayloadRequired
+	}
+	return sp.submitBatch(ctx, reqs, nil)
+}
+
+// SubmitPayloadBatch is SubmitBatch for durable routers: each payload
+// is encoded, decoded into its (access, body) pair, and the batch
+// submitted as consecutive global ages, with SubmitBatch's
+// partial-acceptance semantics. The encoded forms reach the WAL in
+// global-age order as the global frontier passes them.
+func (sp *ShardedPipeline) SubmitPayloadBatch(payloads []any) ([]*Ticket, error) {
+	return sp.SubmitPayloadBatchCtx(nil, payloads)
+}
+
+// SubmitPayloadBatchCtx is SubmitPayloadBatch with SubmitBatchCtx's
+// between-requests cancellation rule.
+func (sp *ShardedPipeline) SubmitPayloadBatchCtx(ctx context.Context, payloads []any) ([]*Ticket, error) {
+	if sp.codec == nil {
+		return nil, errors.New("shard: SubmitPayloadBatch requires Config.Codec")
+	}
+	datas := make([][]byte, len(payloads))
+	for i, pl := range payloads {
+		data, err := sp.codec.Encode(pl)
+		if err != nil {
+			return nil, fmt.Errorf("shard: encode payload %d: %w", i, err)
+		}
+		datas[i] = data
+	}
+	return sp.submitEncodedBatchOwned(ctx, datas)
+}
+
+// SubmitEncodedBatch is SubmitEncoded's batched form: each element is
+// decoded through the Codec and the batch submitted as consecutive
+// global ages. Like SubmitEncoded (and unlike the unsharded
+// Pipeline's SubmitEncodedBatch) every element is copied, because the
+// router may retain payloads past ticket resolution; callers may
+// reuse their buffers immediately.
+func (sp *ShardedPipeline) SubmitEncodedBatch(datas [][]byte) ([]*Ticket, error) {
+	return sp.SubmitEncodedBatchCtx(nil, datas)
+}
+
+// SubmitEncodedBatchCtx is SubmitEncodedBatch with SubmitBatchCtx's
+// between-requests cancellation rule — the batched ingress path for
+// servers feeding pre-encoded frames under a connection context.
+func (sp *ShardedPipeline) SubmitEncodedBatchCtx(ctx context.Context, datas [][]byte) ([]*Ticket, error) {
+	owned := make([][]byte, len(datas))
+	for i, d := range datas {
+		owned[i] = append([]byte(nil), d...)
+	}
+	return sp.submitEncodedBatchOwned(ctx, owned)
+}
+
+// submitEncodedBatchOwned decodes owned payload bytes into requests
+// and runs the shared batch core with the payloads attached.
+func (sp *ShardedPipeline) submitEncodedBatchOwned(ctx context.Context, datas [][]byte) ([]*Ticket, error) {
+	if sp.dr == nil {
+		return nil, errors.New("shard: SubmitEncodedBatch requires Config.WAL")
+	}
+	reqs := make([]Request, len(datas))
+	for i, data := range datas {
+		access, body, err := sp.codec.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("shard: decode payload %d: %w", i, err)
+		}
+		reqs[i] = Request{Access: access, Body: body}
+	}
+	return sp.submitBatch(ctx, reqs, datas)
+}
+
+// submitBatch is the shared batch core; datas is nil on non-durable
+// routers, else parallel to reqs (owned encoded payloads). On durable
+// routers each single-shard request registers its global age and
+// local-age mapping at queue time — before any shard sees it — so the
+// commit hook can never observe an unmapped age, exactly like
+// submitLocal; a flush refusal unwinds the registrations of the
+// refused suffix. A non-nil ctx is consulted between requests only.
+func (sp *ShardedPipeline) submitBatch(ctx context.Context, reqs []Request, datas [][]byte) ([]*Ticket, error) {
 	parts := make([][]int, len(reqs))
 	for i := range reqs {
 		if reqs[i].Body == nil {
@@ -431,6 +541,10 @@ func (sp *ShardedPipeline) SubmitBatch(reqs []Request) ([]*Ticket, error) {
 	pend := make([][]stm.Body, sp.shards) // per-shard run of wrapped bodies
 	pendIdx := make([][]int, sp.shards)   // request index per pending body
 	pendAge := make([][]uint64, sp.shards)
+	var pendRT [][]*Ticket // WaitDurable: router-owned ticket per pending body
+	if sp.dr != nil {
+		pendRT = make([][]*Ticket, sp.shards)
+	}
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
 	flush := func(s int) error {
@@ -438,10 +552,24 @@ func (sp *ShardedPipeline) SubmitBatch(reqs []Request) ([]*Ticket, error) {
 			return nil
 		}
 		lts, err := sp.pipes[s].SubmitBatch(pend[s])
+		base := sp.localNext[s]
 		sp.localNext[s] += uint64(len(lts))
 		for k := range lts {
 			idx := pendIdx[s][k]
-			out[idx] = &Ticket{g: pendAge[s][k], sp: sp, local: lts[k]}
+			if sp.dr != nil && pendRT[s][k] != nil {
+				out[idx] = pendRT[s][k] // WaitDurable: resolved by the router
+			} else {
+				out[idx] = &Ticket{g: pendAge[s][k], sp: sp, local: lts[k]}
+			}
+		}
+		if sp.dr != nil {
+			// Refused suffix: those ages can never complete; unwind their
+			// registrations so the frontier tracker never waits on them.
+			for k := len(lts); k < len(pend[s]); k++ {
+				sp.dr.unmapLocal(s, base+uint64(k))
+				sp.dr.drop(pendAge[s][k])
+			}
+			pendRT[s] = pendRT[s][:0]
 		}
 		pend[s], pendIdx[s], pendAge[s] = pend[s][:0], pendIdx[s][:0], pendAge[s][:0]
 		return err
@@ -472,6 +600,12 @@ func (sp *ShardedPipeline) SubmitBatch(reqs []Request) ([]*Ticket, error) {
 			flushAll()
 			return out, stm.ErrClosed
 		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				flushAll()
+				return out, fmt.Errorf("%w before an age was assigned: %w", stm.ErrCanceled, err)
+			}
+		}
 		g := sp.nextG
 		sp.nextG++
 		if len(parts[i]) == 1 {
@@ -480,6 +614,11 @@ func (sp *ShardedPipeline) SubmitBatch(reqs []Request) ([]*Ticket, error) {
 			wrapped := func(tx stm.Tx, _ int) {
 				defer sp.guard(g, tx)
 				body(&checkedTx{tx: tx, shards: sp.shards, shard: s, g: g}, int(g))
+			}
+			if sp.dr != nil {
+				rt := sp.dr.add(g, datas[i], 1)
+				sp.dr.mapLocal(s, sp.localNext[s]+uint64(len(pend[s])), g)
+				pendRT[s] = append(pendRT[s], rt)
 			}
 			pend[s] = append(pend[s], wrapped)
 			pendIdx[s] = append(pendIdx[s], i)
@@ -495,7 +634,11 @@ func (sp *ShardedPipeline) SubmitBatch(reqs []Request) ([]*Ticket, error) {
 			}
 		}
 		sp.ncross.Add(1)
-		t, err := sp.submitCross(nil, g, parts[i], reqs[i].Body, nil)
+		var data []byte
+		if datas != nil {
+			data = datas[i]
+		}
+		t, err := sp.submitCross(nil, g, parts[i], reqs[i].Body, data)
 		if err != nil {
 			flushAll()
 			return out, batchErr(err)

@@ -58,6 +58,32 @@
 // snapshot) are sandboxed and retried; genuine faults are returned as
 // a *Fault error.
 //
+// # The submit matrix
+//
+// Every way into a Pipeline is the product of three axes — form
+// (untyped body, encoded payload, application payload), arity (one or
+// batch) and context (plain or ctx-aware) — and stm and stm/shard
+// expose the same grid:
+//
+//	                 one                      batch
+//	body      Submit / SubmitCtx        SubmitBatch / SubmitBatchCtx
+//	payload   SubmitPayload[Ctx]        SubmitPayloadBatch[Ctx]
+//	encoded   SubmitEncoded[Ctx]        SubmitEncodedBatch[Ctx]
+//
+// The ctx variants are the canonical cores: every non-ctx name is a
+// thin wrapper passing a nil context. A context is consulted only
+// before an age is assigned (refusal wraps ErrCanceled); an accepted
+// age is never withdrawn — cancel a wait, not a commitment. Batch
+// variants assign consecutive ages under one stream-lock hold and
+// return one ticket per element; on an early stop the unsharded forms
+// return the accepted prefix, the sharded forms a full-length slice
+// with nil at refused positions (their tickets are index-addressed).
+// Durable pipelines (Config.WAL set) refuse the body forms with
+// ErrPayloadRequired — the log must receive replayable inputs. The
+// typed layer (SubmitFunc, SubmitPayloadT, ...) compiles onto the
+// same grid. Package stm/serve carries the encoded forms over the
+// network, preserving the same ordering and error contracts.
+//
 // # Algorithms
 //
 // The three contributions of the paper — OWB (write-back with data
