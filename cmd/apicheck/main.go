@@ -31,7 +31,7 @@ import (
 
 // packages lists the public surface; internal/ is exempt by
 // construction.
-var packages = []string{".", "stm", "stm/obs", "stm/serve", "stm/shard", "stm/wal"}
+var packages = []string{".", "stm", "stm/obs", "stm/repl", "stm/serve", "stm/shard", "stm/wal"}
 
 const baselinePath = ".github/api-baseline.txt"
 

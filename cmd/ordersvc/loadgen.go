@@ -34,6 +34,15 @@ type wireReport struct {
 	StateMatch      bool      `json:"state_match"`
 	OrderViolations int       `json:"order_violations"`
 	Errors          int       `json:"errors"`
+
+	// Follower verification (-follower): the replication lag observed
+	// the moment the load stopped, how long the follower took to catch
+	// up to the last acknowledged age, and whether its state then
+	// matched the same fold the leader was verified against.
+	Follower           string   `json:"follower,omitempty"`
+	ReplicationLagAges *uint64  `json:"replication_lag_ages,omitempty"`
+	CatchupMS          *float64 `json:"catchup_ms,omitempty"`
+	FollowerStateMatch *bool    `json:"follower_state_match,omitempty"`
 }
 
 type latencyUS struct {
@@ -93,7 +102,74 @@ func balancesEqual(a, b []uint64) bool {
 	return true
 }
 
-func runLoadgen(addr string, conns, inflight, batch, txns, pool int, emitJSON bool) {
+// fetchReplStatus polls GET /repl/status on a replication-enabled
+// server.
+func fetchReplStatus(addr string) (replStatus, error) {
+	tr := &http.Transport{}
+	tr.Protocols = new(http.Protocols)
+	tr.Protocols.SetUnencryptedHTTP2(true)
+	defer tr.CloseIdleConnections()
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+"/repl/status", nil)
+	if err != nil {
+		return replStatus{}, err
+	}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		return replStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return replStatus{}, fmt.Errorf("GET /repl/status: %s", resp.Status)
+	}
+	var st replStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return replStatus{}, err
+	}
+	return st, nil
+}
+
+// verifyFollower measures and verifies a hot standby right after the
+// load stopped: the lag at that instant, the time to catch up to the
+// last acknowledged age, and a state comparison against the leader's
+// fold. The follower may keep applying while we compare (its /state
+// races its apply loop under shards), so the comparison polls until
+// match or deadline.
+func verifyFollower(addr string, nextAge uint64, want []uint64) (lag uint64, catchup float64, match bool, err error) {
+	st, err := fetchReplStatus(addr)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if st.Frontier < nextAge {
+		lag = nextAge - st.Frontier
+	}
+	t0 := time.Now()
+	deadline := t0.Add(60 * time.Second)
+	for st.Frontier < nextAge {
+		if time.Now().After(deadline) {
+			return lag, 0, false, fmt.Errorf("follower stuck at frontier %d, want %d", st.Frontier, nextAge)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if st, err = fetchReplStatus(addr); err != nil {
+			return lag, 0, false, err
+		}
+	}
+	catchup = float64(time.Since(t0).Microseconds()) / 1e3
+	for {
+		s1, err := fetchState(addr)
+		if err != nil {
+			return lag, catchup, false, err
+		}
+		if balancesEqual(want, decodeBalances(s1)) {
+			return lag, catchup, true, nil
+		}
+		if time.Now().After(deadline) {
+			return lag, catchup, false, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func runLoadgen(addr string, conns, inflight, batch, txns, pool int, emitJSON bool, follower string) {
 	if conns <= 0 || inflight <= 0 || batch <= 0 || txns <= 0 {
 		fatal(fmt.Errorf("-conns, -inflight, -batch and -txns must be positive"))
 	}
@@ -239,6 +315,19 @@ func runLoadgen(addr string, conns, inflight, batch, txns, pool int, emitJSON bo
 		OrderViolations: violations,
 		Errors:          int(errCount.Load()),
 	}
+	fmatch := true
+	if follower != "" && len(records) > 0 {
+		nextAge := records[len(records)-1].age + 1
+		lag, catchup, fm, err := verifyFollower(follower, nextAge, balances)
+		if err != nil {
+			fatal(fmt.Errorf("loadgen: follower %s: %w", follower, err))
+		}
+		fmatch = fm
+		rep.Follower = follower
+		rep.ReplicationLagAges = &lag
+		rep.CatchupMS = &catchup
+		rep.FollowerStateMatch = &fm
+	}
 	if emitJSON {
 		b, _ := json.Marshal(rep)
 		fmt.Println(string(b))
@@ -246,7 +335,7 @@ func runLoadgen(addr string, conns, inflight, batch, txns, pool int, emitJSON bo
 		fmt.Printf("ordersvc-wire: conns=%d inflight=%d batch=%d txns=%d %.0f tx/s p50=%.0fµs p99=%.0fµs state_match=%v order_violations=%d errors=%d\n",
 			conns, inflight, batch, rep.Txns, rep.TxPerS, rep.LatencyUS.P50, rep.LatencyUS.P99, match, violations, rep.Errors)
 	}
-	if !match || violations > 0 {
+	if !match || !fmatch || violations > 0 {
 		os.Exit(1)
 	}
 }

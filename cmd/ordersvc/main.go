@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -24,6 +25,7 @@ import (
 
 	"github.com/orderedstm/ostm/stm"
 	"github.com/orderedstm/ostm/stm/obs"
+	"github.com/orderedstm/ostm/stm/repl"
 	"github.com/orderedstm/ostm/stm/serve"
 	"github.com/orderedstm/ostm/stm/shard"
 	"github.com/orderedstm/ostm/stm/wal"
@@ -74,26 +76,28 @@ func main() {
 		ckptEv  = flag.Uint64("checkpoint-every", 0, "checkpoint every N appended ages (requires -wal)")
 		obsOn   = flag.Bool("obs", true, "attach the observability registry and mount /metrics + pprof on the listener")
 		jsonF   = flag.Bool("json", false, "emit machine-readable JSON lines")
+		follow  = flag.String("follow", "", "run as a hot-standby follower of this leader address (requires -wal; SIGHUP promotes)")
 
 		loadgen  = flag.Bool("loadgen", false, "run as load generator against -addr instead of serving")
 		conns    = flag.Int("conns", 4, "loadgen: concurrent connections")
 		inflight = flag.Int("inflight", 16, "loadgen: in-flight requests per connection")
 		batchF   = flag.Int("batch", 1, "loadgen: frames per submission burst (>1 exercises server-side ingress batching)")
 		txns     = flag.Int("txns", 100000, "loadgen: total transactions across all connections")
+		follVrfy = flag.String("follower", "", "loadgen: follower address to verify after the run (catch-up, lag, state match)")
 	)
 	var alg stm.Algorithm
 	flag.TextVar(&alg, "alg", stm.OUL, "algorithm (paper-style name, e.g. OUL, OWB, Ordered-TL2)")
 	flag.Parse()
 
 	if *loadgen {
-		runLoadgen(*addr, *conns, *inflight, *batchF, *txns, *pool, *jsonF)
+		runLoadgen(*addr, *conns, *inflight, *batchF, *txns, *pool, *jsonF, *follVrfy)
 		return
 	}
 	runServer(serverConfig{
 		addr: *addr, alg: alg, workers: *workers, shards: *shardsF,
 		pool: *pool, capacity: *capF, walDir: *walDir, sync: *syncF,
 		syncDepth: *syncDep, waitDurable: *waitDur, ckptEvery: *ckptEv,
-		obsOn: *obsOn, json: *jsonF,
+		obsOn: *obsOn, json: *jsonF, follow: *follow,
 	})
 }
 
@@ -111,6 +115,7 @@ type serverConfig struct {
 	ckptEvery   uint64
 	obsOn       bool
 	json        bool
+	follow      string
 }
 
 // event emits one structured log line.
@@ -144,6 +149,11 @@ func runServer(cfg serverConfig) {
 	var reg *obs.Registry
 	if cfg.obsOn {
 		reg = obs.NewRegistry()
+	}
+
+	if cfg.follow != "" {
+		runFollower(cfg, accounts, snapshotter, reg)
+		return
 	}
 
 	// Durable startup: recover whatever the directory holds (empty is
@@ -278,6 +288,16 @@ func runServer(cfg serverConfig) {
 		})
 	}
 
+	// A durable leader ships its log: any follower can attach to
+	// /repl/stream on the same listener the submit wire uses.
+	if w != nil {
+		ship := repl.NewShipper(w, repl.ShipperOptions{Obs: reg})
+		scfg.Handlers = map[string]http.Handler{
+			"/repl/stream": ship.Handler(),
+			"/repl/status": statusHandler(nil, ship, w),
+		}
+	}
+
 	srv, err := serve.NewServer(scfg)
 	if err != nil {
 		fatal(err)
@@ -293,15 +313,40 @@ func runServer(cfg serverConfig) {
 		"wal":      cfg.walDir != "",
 		"replayed": replayed,
 	})
+	serveUntilSignal(cfg, srv, p, sp, w, nil)
+}
 
-	// SIGTERM/SIGINT: the drain sequence the wire contract promises —
-	// refuse new streams, let in-flight streams finish, drain the
-	// engine, cut a final checkpoint (so the next start replays
-	// nothing), then close pipeline and log.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-	s := <-sig
+// serveUntilSignal owns the process's signal protocol. SIGHUP promotes
+// a follower in place (ignored otherwise). SIGTERM/SIGINT run the
+// drain sequence the wire contract promises — refuse new streams, let
+// in-flight streams finish, stop the replication stream if one is
+// running, drain the engine, cut a final checkpoint (so the next start
+// replays nothing), then close pipeline and log.
+func serveUntilSignal(cfg serverConfig, srv *serve.Server, p *stm.Pipeline, sp *shard.ShardedPipeline, w *wal.Writer, f *repl.Follower) {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
+	var s os.Signal
+	for s = range sig {
+		if s != syscall.SIGHUP {
+			break
+		}
+		if f == nil || f.Promoted() {
+			continue
+		}
+		if err := f.Promote(); err != nil {
+			fatal(fmt.Errorf("promote: %w", err))
+		}
+		event(cfg.json, "promoted", map[string]any{
+			"frontier":   f.Frontier(),
+			"old_leader": cfg.follow,
+		})
+	}
 	event(cfg.json, "draining", map[string]any{"signal": s.String()})
+	if f != nil {
+		if err := f.Close(); err != nil {
+			event(cfg.json, "stream_error", map[string]any{"err": err.Error()})
+		}
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -318,6 +363,7 @@ func runServer(cfg serverConfig) {
 	}
 	var ckptAge uint64
 	if w != nil {
+		var err error
 		if sp != nil {
 			ckptAge, err = sp.Checkpoint()
 		} else {

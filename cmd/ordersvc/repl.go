@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/obs"
+	"github.com/orderedstm/ostm/stm/repl"
+	"github.com/orderedstm/ostm/stm/serve"
+	"github.com/orderedstm/ostm/stm/shard"
+	"github.com/orderedstm/ostm/stm/wal"
+)
+
+// replStatus is the GET /repl/status document, served by leaders and
+// followers alike (the loadgen's -follower verification and the CI
+// smoke job poll it).
+type replStatus struct {
+	Role           string `json:"role"`
+	Promoted       bool   `json:"promoted,omitempty"`
+	Frontier       uint64 `json:"frontier"` // next age: durable (leader) or apply (follower)
+	LeaderFrontier uint64 `json:"leader_frontier,omitempty"`
+	LagAges        uint64 `json:"lag_ages"`
+	LagBytes       uint64 `json:"lag_bytes"`
+	LagBytesOK     bool   `json:"lag_bytes_ok"`
+	Reconnects     uint64 `json:"reconnects,omitempty"`
+	Followers      int    `json:"followers"`
+}
+
+// statusHandler serves the replication status document. f is nil on a
+// process that started as a leader.
+func statusHandler(f *repl.Follower, ship *repl.Shipper, w *wal.Writer) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		st := replStatus{Role: "leader", Frontier: w.Durable(), Followers: ship.Followers()}
+		if f != nil {
+			st.Promoted = f.Promoted()
+			if !st.Promoted {
+				st.Role = "follower"
+				st.Frontier = f.Frontier()
+				st.LeaderFrontier = f.LeaderFrontier()
+				st.LagAges = f.LagAges()
+				st.LagBytes, st.LagBytesOK = f.LagBytes()
+				st.Reconnects = f.Reconnects()
+			}
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(st)
+	})
+}
+
+// runFollower starts the process as a hot standby of cfg.follow: the
+// engine boots by recovery (possibly seeded from the leader's shipped
+// checkpoint), the leader's stream is applied continuously, the
+// listener serves reads and replication but refuses writes with
+// NotLeader, and SIGHUP promotes in place.
+func runFollower(cfg serverConfig, accounts []stm.Var, snapshotter stm.Snapshotter, reg *obs.Registry) {
+	if cfg.walDir == "" {
+		fatal(fmt.Errorf("-follow requires -wal: a follower IS its local log"))
+	}
+	if err := os.MkdirAll(cfg.walDir, 0o755); err != nil {
+		fatal(err)
+	}
+	opts, err := parseSyncPolicy(cfg.sync)
+	if err != nil {
+		fatal(err)
+	}
+	opts.MaxInFlightSyncs = cfg.syncDepth
+
+	var (
+		p  *stm.Pipeline
+		sp *shard.ShardedPipeline
+		w  *wal.Writer
+	)
+	f, err := repl.StartFollower(repl.FollowerConfig{
+		Dir:    cfg.walDir,
+		Leader: cfg.follow,
+		WAL:    opts,
+		Obs:    reg,
+		Boot: func(b repl.Boot) (repl.Runtime, error) {
+			w = b.Writer
+			app := b.Snapshot
+			var localFirst []uint64
+			if app != nil && cfg.shards > 0 {
+				var derr error
+				if localFirst, app, derr = shard.DecodeCheckpoint(app); derr != nil {
+					return repl.Runtime{}, derr
+				}
+			}
+			if app != nil {
+				if err := stm.RestoreVars(accounts, app); err != nil {
+					return repl.Runtime{}, fmt.Errorf("%w (restart with the leader's -pool and -shards)", err)
+				}
+			}
+			if cfg.shards == 0 {
+				var perr error
+				p, perr = stm.NewPipeline(stm.Config{
+					Algorithm:       cfg.alg,
+					Workers:         cfg.workers,
+					Capacity:        cfg.capacity,
+					Codec:           bankCodec{accounts},
+					Obs:             reg,
+					FirstAge:        b.FirstAge,
+					WAL:             b.Writer,
+					WaitDurable:     cfg.waitDurable,
+					CheckpointEvery: cfg.ckptEvery,
+					Snapshotter:     snapshotter,
+				})
+				if perr != nil {
+					return repl.Runtime{}, perr
+				}
+			} else {
+				var serr error
+				sp, serr = shard.New(shard.Config{
+					Shards:          cfg.shards,
+					Pipeline:        stm.Config{Algorithm: cfg.alg, Workers: cfg.workers, Capacity: cfg.capacity, FirstAge: b.FirstAge},
+					Obs:             reg,
+					LocalFirstAges:  localFirst,
+					WAL:             b.Writer,
+					Codec:           bankShardCodec{accounts},
+					WaitDurable:     cfg.waitDurable,
+					CheckpointEvery: cfg.ckptEvery,
+					Snapshotter:     snapshotter,
+				})
+				if serr != nil {
+					return repl.Runtime{}, serr
+				}
+			}
+			submit := func(pl []byte) error {
+				var err error
+				if sp != nil {
+					_, err = sp.SubmitEncoded(pl)
+				} else {
+					_, err = p.SubmitEncoded(pl)
+				}
+				return err
+			}
+			drain := func() error {
+				if sp != nil {
+					return sp.Drain()
+				}
+				return p.Drain()
+			}
+			start := time.Now()
+			for _, r := range b.Records {
+				if err := submit(r.Payload); err != nil {
+					return repl.Runtime{}, fmt.Errorf("replay: %w", err)
+				}
+			}
+			if err := drain(); err != nil {
+				return repl.Runtime{}, fmt.Errorf("replay drain: %w", err)
+			}
+			event(cfg.json, "recovered", map[string]any{
+				"records":      len(b.Records),
+				"first_age":    b.FirstAge,
+				"next_age":     b.Writer.Next(),
+				"from_leader":  b.FromLeader,
+				"snapshot_age": b.SnapshotAge,
+				"elapsed_ms":   float64(time.Since(start).Microseconds()) / 1e3,
+			})
+			return repl.Runtime{Submit: submit, Drain: drain}, nil
+		},
+	})
+	if err != nil {
+		fatal(fmt.Errorf("follow %s: %w", cfg.follow, err))
+	}
+
+	// The follower serves its own shipper too: a promoted leader keeps
+	// shipping to the next standby with no restart, and chained
+	// replication (follower of a follower) falls out for free.
+	ship := repl.NewShipper(w, repl.ShipperOptions{Obs: reg})
+	scfg := serve.Config{
+		Obs:  reg,
+		Gate: f.Gate(),
+		Handlers: map[string]http.Handler{
+			"/repl/stream": ship.Handler(),
+			"/repl/status": statusHandler(f, ship, w),
+		},
+	}
+	if sp != nil {
+		scfg.Sharded = sp
+		scfg.State = func() ([]byte, error) { return stm.SnapshotVars(accounts), nil }
+	} else {
+		scfg.Pipeline = p
+		scfg.State = func() ([]byte, error) {
+			p.WaitStable()
+			return stm.SnapshotVars(accounts), nil
+		}
+	}
+	srv, err := serve.NewServer(scfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Start(cfg.addr); err != nil {
+		fatal(err)
+	}
+	event(cfg.json, "listening", map[string]any{
+		"addr":   srv.Addr().String(),
+		"role":   "follower",
+		"leader": cfg.follow,
+		"alg":    cfg.alg.String(),
+		"shards": cfg.shards,
+		"pool":   cfg.pool,
+	})
+	serveUntilSignal(cfg, srv, p, sp, w, f)
+}

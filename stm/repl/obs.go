@@ -1,0 +1,68 @@
+package repl
+
+import "github.com/orderedstm/ostm/stm/obs"
+
+// Metric families, all under ostm_repl_* with a role label so a
+// process that is both (a follower running its own shipper for
+// chained replication, or a freshly promoted leader) exposes both
+// sides without collision.
+
+// registerObs publishes the leader-side (shipper) families.
+func (s *Shipper) registerObs(r *obs.Registry) {
+	r = r.With("role", "leader")
+	r.GaugeFunc("ostm_repl_followers",
+		"follower streams currently connected",
+		func() float64 { return float64(s.Followers()) })
+	r.GaugeFunc("ostm_repl_ship_lag_ages",
+		"ages the slowest connected follower stream trails the durability frontier",
+		func() float64 { return float64(s.lagAges()) })
+	r.CounterFunc("ostm_repl_records_shipped_total",
+		"WAL records written to follower streams",
+		func() float64 { rec, _, _, _ := s.Stats(); return float64(rec) })
+	r.CounterFunc("ostm_repl_bytes_shipped_total",
+		"framed WAL bytes written to follower streams",
+		func() float64 { _, b, _, _ := s.Stats(); return float64(b) })
+	r.CounterFunc("ostm_repl_segments_shipped_total",
+		"segment files opened by follower stream cursors",
+		func() float64 { _, _, seg, _ := s.Stats(); return float64(seg) })
+	r.CounterFunc("ostm_repl_snapshots_shipped_total",
+		"checkpoint snapshots shipped to bootstrap compacted followers",
+		func() float64 { _, _, _, sn := s.Stats(); return float64(sn) })
+}
+
+// registerObs publishes the follower-side families.
+func (f *Follower) registerObs(r *obs.Registry) {
+	r = r.With("role", "follower")
+	r.GaugeFunc("ostm_repl_apply_frontier",
+		"age of the next record the follower will apply; everything below it is in the live pipeline",
+		func() float64 { return float64(f.applyNext.Load()) })
+	r.GaugeFunc("ostm_repl_leader_frontier",
+		"leader durability frontier most recently heard over the stream",
+		func() float64 { return float64(f.leaderFrontier.Load()) })
+	r.GaugeFunc("ostm_repl_lag_ages",
+		"ages the apply frontier trails the last heard leader frontier",
+		func() float64 { return float64(f.LagAges()) })
+	r.GaugeFunc("ostm_repl_lag_bytes",
+		"framed bytes the follower's log trails the leader's (0 until first catch-up calibrates the history offset)",
+		func() float64 { lag, _ := f.LagBytes(); return float64(lag) })
+	r.CounterFunc("ostm_repl_applied_total",
+		"records applied through the live pipeline",
+		func() float64 { return float64(f.applied.Load()) })
+	r.CounterFunc("ostm_repl_applied_bytes_total",
+		"framed bytes of applied records",
+		func() float64 { return float64(f.appliedB.Load()) })
+	r.CounterFunc("ostm_repl_reconnects_total",
+		"times the leader stream was (re)established",
+		func() float64 { return float64(f.reconnects.Load()) })
+	r.CounterFunc("ostm_repl_snapshots_received_total",
+		"checkpoint snapshots accepted at bootstrap",
+		func() float64 { return float64(f.snapshots.Load()) })
+	r.GaugeFunc("ostm_repl_promoted",
+		"1 once the follower has been promoted to leader",
+		func() float64 {
+			if f.promoted.Load() {
+				return 1
+			}
+			return 0
+		})
+}

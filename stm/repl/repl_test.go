@@ -1,0 +1,695 @@
+package repl_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/orderedstm/ostm/stm"
+	"github.com/orderedstm/ostm/stm/repl"
+	"github.com/orderedstm/ostm/stm/serve"
+	"github.com/orderedstm/ostm/stm/shard"
+	"github.com/orderedstm/ostm/stm/wal"
+)
+
+const replAccounts = 32
+
+// The test application is the usual conditional bank transfer: 8-byte
+// payload = (from, to), amount = age%5+1, applied only when the source
+// covers it — age-dependent and branchy, so any ordering or replay
+// divergence shows up in the balances.
+func transferPayload(from, to uint32) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[0:4], from)
+	binary.LittleEndian.PutUint32(b[4:8], to)
+	return b[:]
+}
+
+func transferBody(accounts []stm.Var, from, to uint32) stm.Body {
+	return func(tx stm.Tx, age int) {
+		amt := uint64(age%5) + 1
+		bf := tx.Read(&accounts[from])
+		if bf >= amt && from != to {
+			tx.Write(&accounts[from], bf-amt)
+			tx.Write(&accounts[to], tx.Read(&accounts[to])+amt)
+		}
+	}
+}
+
+func decodeTransfer(accounts []stm.Var, data []byte) (from, to uint32, err error) {
+	if len(data) != 8 {
+		return 0, 0, fmt.Errorf("bad payload length %d", len(data))
+	}
+	from = binary.LittleEndian.Uint32(data[0:4])
+	to = binary.LittleEndian.Uint32(data[4:8])
+	if int(from) >= len(accounts) || int(to) >= len(accounts) {
+		return 0, 0, fmt.Errorf("transfer %d→%d out of range", from, to)
+	}
+	return from, to, nil
+}
+
+type replCodec struct{ accounts []stm.Var }
+
+func (c replCodec) Encode(payload any) ([]byte, error) { return payload.([]byte), nil }
+func (c replCodec) Decode(data []byte) (stm.Body, error) {
+	from, to, err := decodeTransfer(c.accounts, data)
+	if err != nil {
+		return nil, err
+	}
+	return transferBody(c.accounts, from, to), nil
+}
+
+type replShardCodec struct{ accounts []stm.Var }
+
+func (c replShardCodec) Encode(payload any) ([]byte, error) { return payload.([]byte), nil }
+func (c replShardCodec) Decode(data []byte) (stm.Access, stm.Body, error) {
+	from, to, err := decodeTransfer(c.accounts, data)
+	if err != nil {
+		return stm.Access{}, nil, err
+	}
+	return stm.Touches(&c.accounts[from], &c.accounts[to]), transferBody(c.accounts, from, to), nil
+}
+
+func newReplAccounts() []stm.Var {
+	vs := stm.NewVars(replAccounts)
+	for i := range vs {
+		vs[i].Store(1000)
+	}
+	return vs
+}
+
+func balances(accounts []stm.Var) []uint64 {
+	out := make([]uint64, len(accounts))
+	for i := range accounts {
+		out[i] = accounts[i].Load()
+	}
+	return out
+}
+
+// foldTransfers is the sequential oracle: apply the transfer
+// semantics over plain integers in global-age order.
+func foldTransfers(t *testing.T, model []uint64, ages []uint64, byAge map[uint64][]byte) {
+	t.Helper()
+	for _, age := range ages {
+		pl, ok := byAge[age]
+		if !ok {
+			t.Fatalf("no payload recorded for age %d", age)
+		}
+		from := binary.LittleEndian.Uint32(pl[0:4])
+		to := binary.LittleEndian.Uint32(pl[4:8])
+		amt := age%5 + 1
+		if model[from] >= amt && from != to {
+			model[from] -= amt
+			model[to] += amt
+		}
+	}
+}
+
+// ticketLike unifies the two engines' tickets.
+type ticketLike interface {
+	Age() uint64
+	Wait() error
+}
+
+// replNode is one process's worth of the topology: accounts, engine,
+// local log, and (for a leader) the serving listener with the shipper
+// mounted.
+type replNode struct {
+	accounts []stm.Var
+	w        *wal.Writer
+	p        *stm.Pipeline
+	sp       *shard.ShardedPipeline
+	ship     *repl.Shipper
+	srv      *serve.Server
+	addr     string
+}
+
+func (n *replNode) submit(pl []byte) (ticketLike, error) {
+	if n.sp != nil {
+		return n.sp.SubmitEncoded(pl)
+	}
+	return n.p.SubmitEncoded(pl)
+}
+
+func (n *replNode) drain() error {
+	if n.sp != nil {
+		return n.sp.Drain()
+	}
+	return n.p.Drain()
+}
+
+func (n *replNode) closeEngine() {
+	if n.sp != nil {
+		_ = n.sp.Close()
+	}
+	if n.p != nil {
+		_ = n.p.Close()
+	}
+	if n.w != nil {
+		_ = n.w.Close()
+	}
+}
+
+func shutdownNow(srv *serve.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+}
+
+// killNow tears the listener down with an already-expired context:
+// every live connection — submit streams and replication streams —
+// is closed immediately, the closest an in-process test gets to
+// SIGKILL on the leader's network face. The engine is deliberately
+// left running un-drained, like a process whose NIC died.
+func killNow(srv *serve.Server) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = srv.Shutdown(ctx)
+}
+
+// startLeader builds a serving leader: engine + WAL + shipper mounted
+// at /repl/stream on the same listener as the submit wire.
+func startLeader(t *testing.T, alg stm.Algorithm, shards int, dir string, opts wal.Options) *replNode {
+	t.Helper()
+	w, err := wal.Create(dir, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &replNode{accounts: newReplAccounts(), w: w}
+	n.ship = repl.NewShipper(w, repl.ShipperOptions{Heartbeat: 25 * time.Millisecond})
+	scfg := serve.Config{
+		Handlers: map[string]http.Handler{"/repl/stream": n.ship.Handler()},
+	}
+	if shards > 1 {
+		n.sp, err = shard.New(shard.Config{
+			Shards:      shards,
+			Pipeline:    stm.Config{Algorithm: alg, Workers: 2},
+			WAL:         w,
+			Codec:       replShardCodec{n.accounts},
+			WaitDurable: true,
+			Snapshotter: varsSnapshotter(n.accounts),
+		})
+		scfg.Sharded = n.sp
+	} else {
+		n.p, err = stm.NewPipeline(stm.Config{
+			Algorithm:   alg,
+			Workers:     4,
+			WAL:         w,
+			Codec:       replCodec{n.accounts},
+			WaitDurable: true,
+			Snapshotter: varsSnapshotter(n.accounts),
+		})
+		scfg.Pipeline = n.p
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	n.srv, n.addr = srv, srv.Addr().String()
+	return n
+}
+
+func varsSnapshotter(accounts []stm.Var) stm.Snapshotter {
+	return stm.SnapshotterFuncs{
+		SnapshotFunc: func() ([]byte, error) { return stm.SnapshotVars(accounts), nil },
+		RestoreFunc:  func(data []byte) error { return stm.RestoreVars(accounts, data) },
+	}
+}
+
+// startFollower builds a hot standby of the given shape, serving its
+// own listener whose write gate refuses until promotion. fromLeader
+// reports whether the boot was seeded by a shipped snapshot.
+func startFollower(t *testing.T, alg stm.Algorithm, shards int, dir, leader string, opts wal.Options) (*replNode, *repl.Follower, bool) {
+	t.Helper()
+	n := &replNode{accounts: newReplAccounts()}
+	var fromLeader bool
+	f, err := repl.StartFollower(repl.FollowerConfig{
+		Dir:              dir,
+		Leader:           leader,
+		WAL:              opts,
+		ReconnectBackoff: 20 * time.Millisecond,
+		DialTimeout:      time.Second,
+		Boot: func(b repl.Boot) (repl.Runtime, error) {
+			fromLeader = b.FromLeader
+			n.w = b.Writer
+			app := b.Snapshot
+			var localFirst []uint64
+			if app != nil && shards > 1 {
+				var err error
+				localFirst, app, err = shard.DecodeCheckpoint(app)
+				if err != nil {
+					return repl.Runtime{}, err
+				}
+			}
+			if app != nil {
+				if err := stm.RestoreVars(n.accounts, app); err != nil {
+					return repl.Runtime{}, err
+				}
+			}
+			if shards > 1 {
+				sp, err := shard.New(shard.Config{
+					Shards:         shards,
+					Pipeline:       stm.Config{Algorithm: alg, Workers: 2, FirstAge: b.FirstAge},
+					WAL:            b.Writer,
+					Codec:          replShardCodec{n.accounts},
+					WaitDurable:    true,
+					Snapshotter:    varsSnapshotter(n.accounts),
+					LocalFirstAges: localFirst,
+				})
+				if err != nil {
+					return repl.Runtime{}, err
+				}
+				n.sp = sp
+			} else {
+				p, err := stm.NewPipeline(stm.Config{
+					Algorithm:   alg,
+					Workers:     4,
+					FirstAge:    b.FirstAge,
+					WAL:         b.Writer,
+					Codec:       replCodec{n.accounts},
+					WaitDurable: true,
+					Snapshotter: varsSnapshotter(n.accounts),
+				})
+				if err != nil {
+					return repl.Runtime{}, err
+				}
+				n.p = p
+			}
+			for _, r := range b.Records {
+				if _, err := n.submit(r.Payload); err != nil {
+					return repl.Runtime{}, err
+				}
+			}
+			if err := n.drain(); err != nil {
+				return repl.Runtime{}, err
+			}
+			return repl.Runtime{
+				Submit: func(pl []byte) error { _, err := n.submit(pl); return err },
+				Drain:  n.drain,
+			}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := serve.Config{Gate: f.Gate()}
+	if n.sp != nil {
+		scfg.Sharded = n.sp
+	} else {
+		scfg.Pipeline = n.p
+	}
+	srv, err := serve.NewServer(scfg)
+	if err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	n.srv, n.addr = srv, srv.Addr().String()
+	return n, f, fromLeader
+}
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReplicationBasic streams a workload through a leader and checks
+// the follower converges to the identical state, with sane lag and
+// throughput accounting on both sides.
+func TestReplicationBasic(t *testing.T) {
+	const n = 500
+	opts := wal.Options{SyncEveryN: 8, SegmentBytes: 4 << 10}
+	leader := startLeader(t, stm.OUL, 1, t.TempDir(), opts)
+	defer leader.closeEngine()
+	defer shutdownNow(leader.srv)
+
+	fol, f, fromLeader := startFollower(t, stm.OUL, 1, t.TempDir(), leader.addr, opts)
+	defer fol.closeEngine()
+	defer shutdownNow(fol.srv)
+	defer f.Close()
+	if fromLeader {
+		t.Fatal("fresh follower of an uncompacted leader must boot locally, not from a snapshot")
+	}
+
+	byAge := make(map[uint64][]byte)
+	ages := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		pl := transferPayload(uint32((i*7)%replAccounts), uint32((i*13+1)%replAccounts))
+		tk, err := leader.submit(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		byAge[tk.Age()] = pl
+		ages = append(ages, tk.Age())
+	}
+
+	waitFor(t, 10*time.Second, "follower catch-up", func() bool { return f.Frontier() == uint64(n) })
+	waitFor(t, 5*time.Second, "byte-lag calibration", func() bool { _, ok := f.LagBytes(); return ok })
+	if err := fol.drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	model := make([]uint64, replAccounts)
+	for i := range model {
+		model[i] = 1000
+	}
+	foldTransfers(t, model, ages, byAge)
+	got := balances(fol.accounts)
+	want := balances(leader.accounts)
+	for i := range model {
+		if got[i] != model[i] || want[i] != model[i] {
+			t.Fatalf("account %d: follower %d, leader %d, model %d", i, got[i], want[i], model[i])
+		}
+	}
+
+	if lag := f.LagAges(); lag != 0 {
+		t.Fatalf("caught-up follower reports age lag %d", lag)
+	}
+	if rec, bytes := f.Applied(); rec != n || bytes == 0 {
+		t.Fatalf("applied (%d records, %d bytes), want %d records", rec, bytes, n)
+	}
+	if rec, bytes, _, snaps := leader.ship.Stats(); rec < n || bytes == 0 || snaps != 0 {
+		t.Fatalf("shipper stats: %d records, %d bytes, %d snapshots", rec, bytes, snaps)
+	}
+	if fl := leader.ship.Followers(); fl != 1 {
+		t.Fatalf("shipper sees %d followers, want 1", fl)
+	}
+}
+
+// TestFollowerSnapshotBootstrap joins a fresh follower after the
+// leader has checkpointed and pruned the log's start: the boot must be
+// seeded from the shipped checkpoint, and the follower must still
+// converge to the leader's exact state.
+func TestFollowerSnapshotBootstrap(t *testing.T) {
+	const before, after = 600, 100
+	opts := wal.Options{SyncEveryN: 8, SegmentBytes: 2 << 10}
+	leader := startLeader(t, stm.OUL, 1, t.TempDir(), opts)
+	defer leader.closeEngine()
+	defer shutdownNow(leader.srv)
+
+	byAge := make(map[uint64][]byte)
+	var ages []uint64
+	sub := func(i int) {
+		pl := transferPayload(uint32((i*5)%replAccounts), uint32((i*11+3)%replAccounts))
+		tk, err := leader.submit(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		byAge[tk.Age()] = pl
+		ages = append(ages, tk.Age())
+	}
+	for i := 0; i < before/2; i++ {
+		sub(i)
+	}
+	if _, err := leader.p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := before / 2; i < before; i++ {
+		sub(i)
+	}
+	// The second checkpoint triggers pruning: segments below the first
+	// kept checkpoint vanish, so age 0 is no longer servable.
+	if _, err := leader.p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if segs, err := wal.Segments(leader.w.Dir()); err != nil || segs[0].FirstAge == 0 {
+		t.Fatalf("leader log was not compacted (err %v)", err)
+	}
+
+	fol, f, fromLeader := startFollower(t, stm.OUL, 1, t.TempDir(), leader.addr, opts)
+	defer fol.closeEngine()
+	defer shutdownNow(fol.srv)
+	defer f.Close()
+	if !fromLeader {
+		t.Fatal("follower of a compacted leader must bootstrap from the shipped snapshot")
+	}
+
+	for i := before; i < before+after; i++ {
+		sub(i)
+	}
+	waitFor(t, 10*time.Second, "follower catch-up", func() bool { return f.Frontier() == before+after })
+	if err := fol.drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	model := make([]uint64, replAccounts)
+	for i := range model {
+		model[i] = 1000
+	}
+	foldTransfers(t, model, ages, byAge)
+	got := balances(fol.accounts)
+	for i := range model {
+		if got[i] != model[i] {
+			t.Fatalf("account %d: follower %d, model %d", i, got[i], model[i])
+		}
+	}
+	if _, _, _, snaps := leader.ship.Stats(); snaps != 1 {
+		t.Fatalf("shipper shipped %d snapshots, want 1", snaps)
+	}
+	// The follower's local log must begin at the snapshot age, not 0:
+	// its disk is a suffix replica, same as a checkpointed leader's.
+	segs, err := wal.Segments(fol.w.Dir())
+	if err != nil || len(segs) == 0 || segs[0].FirstAge == 0 {
+		t.Fatalf("follower log should start at the snapshot age (segments %v, err %v)", segs, err)
+	}
+}
+
+// TestKillLeaderPromotion is the hand-off determinism suite: for every
+// ordered engine, unsharded and S=2, the leader dies mid-stream, the
+// follower promotes, and the promoted state must equal the sequential
+// fold of exactly the replicated prefix — plus the new writes the
+// promoted leader then accepts. A client dialed at the follower
+// observes NotLeader before promotion and, with redial enabled,
+// chases the hand-off to a commit.
+func TestKillLeaderPromotion(t *testing.T) {
+	for _, alg := range stm.OrderedAlgorithms() {
+		for _, shards := range []int{1, 2} {
+			alg, shards := alg, shards
+			t.Run(fmt.Sprintf("%s/S%d", alg, shards), func(t *testing.T) {
+				t.Parallel()
+				testKillLeaderPromotion(t, alg, shards)
+			})
+		}
+	}
+}
+
+func testKillLeaderPromotion(t *testing.T, alg stm.Algorithm, shards int) {
+	const n = 200
+	opts := wal.Options{SyncEveryN: 4, SegmentBytes: 4 << 10}
+	leader := startLeader(t, alg, shards, t.TempDir(), opts)
+	defer leader.closeEngine()
+
+	fol, f, _ := startFollower(t, alg, shards, t.TempDir(), leader.addr, opts)
+	defer fol.closeEngine()
+	defer shutdownNow(fol.srv)
+	defer f.Close()
+
+	// Submit the workload on the leader; the follower replicates
+	// concurrently. Kill the leader's listener once the follower is
+	// mid-stream — the replicated prefix [0, F) is whatever made it.
+	tickets := make([]ticketLike, 0, n)
+	payloads := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		pl := transferPayload(uint32((i*3)%replAccounts), uint32((i*17+2)%replAccounts))
+		tk, err := leader.submit(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+		payloads = append(payloads, pl)
+	}
+	waitFor(t, 10*time.Second, "follower mid-stream", func() bool { return f.Frontier() >= n/4 })
+	killNow(leader.srv)
+
+	// The leader process is gone from the network but its engine ran
+	// on: resolve the tickets to learn the true (age, payload) map.
+	byAge := make(map[uint64][]byte)
+	for i, tk := range tickets {
+		if err := tk.Wait(); err != nil {
+			t.Fatalf("leader ticket %d: %v", i, err)
+		}
+		byAge[tk.Age()] = payloads[i]
+	}
+
+	// Before promotion the follower refuses writes with a typed
+	// NotLeader that names the (dead) leader.
+	c0, err := serve.Dial(context.Background(), fol.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := c0.Submit(transferPayload(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call.Wait(); !errors.Is(err, serve.ErrNotLeader) {
+		t.Fatalf("pre-promotion submit: %v, want NotLeader", err)
+	} else if hint, ok := serve.LeaderHint(err); !ok || hint != leader.addr {
+		t.Fatalf("leader hint %q (ok=%v), want %q", hint, ok, leader.addr)
+	}
+	c0.Close()
+
+	// A redial-enabled client submitted before the hand-off must chase
+	// it: NotLeader from the follower, dead leader at the hint, then a
+	// commit once promotion opens the gate.
+	c1, err := serve.Dial(context.Background(), fol.addr, serve.WithNotLeaderRedial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	extra := transferPayload(2, 3)
+	call1, err := c1.Submit(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "redial to begin", func() bool { return c1.Redials() >= 1 })
+
+	if err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Promoted() {
+		t.Fatal("Promote returned without setting Promoted")
+	}
+
+	age1, err := call1.Wait()
+	if err != nil {
+		t.Fatalf("redialed call: %v", err)
+	}
+	frontier := age1 // promotion hands the next age to the first new write
+	if got := f.Frontier(); got != frontier {
+		t.Fatalf("promoted frontier %d, but first new write got age %d", got, age1)
+	}
+	byAge[age1] = extra
+
+	// Every replicated age must be one the leader really assigned —
+	// the follower can never invent or reorder history.
+	ages := make([]uint64, 0, frontier+1)
+	for a := uint64(0); a <= frontier; a++ {
+		if _, ok := byAge[a]; !ok {
+			t.Fatalf("follower holds age %d the leader never acked", a)
+		}
+		ages = append(ages, a)
+	}
+
+	if err := fol.drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// No phantom durables: the promoted log's append frontier is
+	// exactly the applied prefix plus the one new commit.
+	if next := fol.w.Next(); next != frontier+1 {
+		t.Fatalf("promoted log next age %d, want %d", next, frontier+1)
+	}
+
+	model := make([]uint64, replAccounts)
+	for i := range model {
+		model[i] = 1000
+	}
+	foldTransfers(t, model, ages, byAge)
+	got := balances(fol.accounts)
+	for i := range model {
+		if got[i] != model[i] {
+			t.Fatalf("account %d: promoted follower %d, sequential fold %d", i, got[i], model[i])
+		}
+	}
+
+	// The promoted leader keeps accepting: a plain client commits.
+	c2, err := serve.Dial(context.Background(), fol.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	call2, err := c2.Submit(transferPayload(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age2, err := call2.Wait(); err != nil || age2 != frontier+1 {
+		t.Fatalf("post-promotion commit: age %d err %v, want age %d", age2, err, frontier+1)
+	}
+}
+
+// TestDetachedFollowerPromotion starts a follower with no leader at
+// all — the "leader already dead" path — over an existing local log,
+// and promotes it immediately.
+func TestDetachedFollowerPromotion(t *testing.T) {
+	opts := wal.Options{SyncEveryN: 4}
+	dir := t.TempDir()
+
+	// Seed a log by running (and closing) a standalone engine.
+	seed := startLeader(t, stm.OUL, 1, dir, opts)
+	byAge := make(map[uint64][]byte)
+	var ages []uint64
+	for i := 0; i < 100; i++ {
+		pl := transferPayload(uint32(i%replAccounts), uint32((i+9)%replAccounts))
+		tk, err := seed.submit(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		byAge[tk.Age()] = pl
+		ages = append(ages, tk.Age())
+	}
+	shutdownNow(seed.srv)
+	seed.closeEngine()
+
+	fol, f, fromLeader := startFollower(t, stm.OUL, 1, dir, "", opts)
+	defer fol.closeEngine()
+	defer shutdownNow(fol.srv)
+	defer f.Close()
+	if fromLeader {
+		t.Fatal("detached boot cannot come from a leader snapshot")
+	}
+	if err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+
+	model := make([]uint64, replAccounts)
+	for i := range model {
+		model[i] = 1000
+	}
+	foldTransfers(t, model, ages, byAge)
+	got := balances(fol.accounts)
+	for i := range model {
+		if got[i] != model[i] {
+			t.Fatalf("account %d: recovered follower %d, model %d", i, got[i], model[i])
+		}
+	}
+	if f.Frontier() != 100 {
+		t.Fatalf("detached frontier %d, want 100", f.Frontier())
+	}
+}

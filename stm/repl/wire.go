@@ -1,0 +1,137 @@
+// Package repl replicates an ordered-commit log to hot-standby
+// followers. It is the process topology PR 4's recovery theorem makes
+// nearly free: the WAL's record stream — encoded transaction *inputs*
+// in predefined age order — is the complete state of the engine, so a
+// follower is simply a recovery replay that never ends. The leader's
+// Shipper streams durable log bytes to each follower; the Follower
+// validates them with the WAL's own frame rule, appends them to its
+// own local log (by replaying them through a live pipeline whose
+// writer does the appending at commit), and serves reads at its apply
+// frontier. Promotion is recovery's restart path run on a live
+// process: stop the stream, drain the pipeline, start accepting
+// writes.
+//
+// # Shipping protocol
+//
+// A follower issues GET /repl/stream?from=N against the leader's h2c
+// listener (the same cleartext prior-knowledge HTTP/2 the submit wire
+// uses; the response body is the stream). N is the age of the first
+// record the follower lacks. The leader answers with a frame stream,
+// all integers little-endian:
+//
+//	u32 len | u8 type | u64 age | u64 aux | u32 crc | payload (len-21 bytes)
+//
+// Frame types:
+//
+//	hello (0)      first frame of every stream. age = the leader's
+//	               durability frontier, aux = its cumulative framed
+//	               log bytes. No payload.
+//	record (1)     one WAL record: payload is the record's payload,
+//	               age its age, crc the WAL's own record checksum
+//	               (wal.RecordCRC), so the follower validates shipped
+//	               bytes by exactly the rule recovery validates disk
+//	               bytes. Records arrive in contiguous age order
+//	               starting at N.
+//	heartbeat (2)  age = the leader's durability frontier, aux = its
+//	               cumulative framed bytes. Sent whenever the stream
+//	               catches up to the frontier and on an idle timer, so
+//	               a follower can measure lag while caught up.
+//	snapshot (3)   checkpoint bootstrap: payload is the leader's
+//	               checkpoint state at age, crc its wal.RecordCRC.
+//	               Sent (right after hello) only when the leader has
+//	               compacted the records below N away; records resume
+//	               at age. A follower accepts it only before its
+//	               engine boots — mid-life it is fatal, because a
+//	               running pipeline's state cannot be replaced.
+//
+// Only durable, contiguous-age bytes are ever shipped: the shipper
+// wakes on the group-commit completion tap and reads strictly below
+// the durability frontier, so a leader crash can never retract a
+// shipped record ("no phantom durables" holds across the wire by
+// construction).
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	frameHello     byte = 0
+	frameRecord    byte = 1
+	frameHeartbeat byte = 2
+	frameSnapshot  byte = 3
+
+	frameHeaderLen = 21 // u8 type + u64 age + u64 aux + u32 crc
+
+	// DefaultMaxFrame bounds accepted stream frames. Snapshot frames
+	// carry whole checkpoint states, so the ceiling is far above the
+	// submit wire's.
+	DefaultMaxFrame = 1 << 28
+)
+
+func frameName(t byte) string {
+	switch t {
+	case frameHello:
+		return "hello"
+	case frameRecord:
+		return "record"
+	case frameHeartbeat:
+		return "heartbeat"
+	case frameSnapshot:
+		return "snapshot"
+	}
+	return fmt.Sprintf("type(%d)", t)
+}
+
+// appendFrame appends one stream frame to dst.
+func appendFrame(dst []byte, typ byte, age, aux uint64, crc uint32, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameHeaderLen+len(payload)))
+	dst = append(dst, typ)
+	dst = binary.LittleEndian.AppendUint64(dst, age)
+	dst = binary.LittleEndian.AppendUint64(dst, aux)
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	return append(dst, payload...)
+}
+
+// frame is one decoded stream frame. payload aliases a fresh
+// per-frame allocation; ownership transfers to the consumer.
+type frame struct {
+	typ     byte
+	age     uint64
+	aux     uint64
+	crc     uint32
+	payload []byte
+}
+
+// readStreamFrame reads one frame. io.EOF before the first length byte
+// is a clean end of stream; anything truncated is an error.
+func readStreamFrame(br *bufio.Reader, max int) (frame, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(br, lenb[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return frame{}, fmt.Errorf("repl: truncated frame length: %w", err)
+		}
+		return frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if int64(n) > int64(max) {
+		return frame{}, fmt.Errorf("repl: frame of %d bytes exceeds limit %d", n, max)
+	}
+	if n < frameHeaderLen {
+		return frame{}, fmt.Errorf("repl: frame of %d bytes is shorter than its %d-byte header", n, frameHeaderLen)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return frame{}, fmt.Errorf("repl: truncated frame: %w", err)
+	}
+	return frame{
+		typ:     buf[0],
+		age:     binary.LittleEndian.Uint64(buf[1:9]),
+		aux:     binary.LittleEndian.Uint64(buf[9:17]),
+		crc:     binary.LittleEndian.Uint32(buf[17:21]),
+		payload: buf[frameHeaderLen:],
+	}, nil
+}

@@ -1,0 +1,69 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestFrameRoundTrip encodes every frame type and reads it back.
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		{typ: frameHello, age: 42, aux: 9000},
+		{typ: frameRecord, age: 7, crc: 0xdeadbeef, payload: []byte("transfer")},
+		{typ: frameHeartbeat, age: 1 << 40, aux: 1 << 50},
+		{typ: frameSnapshot, age: 600, aux: 3, crc: 1, payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	var buf []byte
+	for _, c := range cases {
+		buf = appendFrame(buf, c.typ, c.age, c.aux, c.crc, c.payload)
+	}
+	br := bufio.NewReader(bytes.NewReader(buf))
+	for i, want := range cases {
+		got, err := readStreamFrame(br, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("frame %d (%s): %v", i, frameName(want.typ), err)
+		}
+		if got.typ != want.typ || got.age != want.age || got.aux != want.aux || got.crc != want.crc {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+		if !bytes.Equal(got.payload, want.payload) {
+			t.Fatalf("frame %d: payload mismatch (%d vs %d bytes)", i, len(got.payload), len(want.payload))
+		}
+	}
+	if _, err := readStreamFrame(br, DefaultMaxFrame); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// TestFrameErrors exercises the reader's rejection paths: truncation
+// mid-length, truncation mid-body, an over-limit frame, and a frame
+// shorter than its own header.
+func TestFrameErrors(t *testing.T) {
+	whole := appendFrame(nil, frameRecord, 3, 0, 0x1234, []byte("payload"))
+
+	for cut := 1; cut < len(whole); cut++ {
+		br := bufio.NewReader(bytes.NewReader(whole[:cut]))
+		if _, err := readStreamFrame(br, DefaultMaxFrame); err == nil || err == io.EOF {
+			t.Fatalf("cut at %d: got %v, want truncation error", cut, err)
+		}
+	}
+
+	br := bufio.NewReader(bytes.NewReader(whole))
+	if _, err := readStreamFrame(br, 8); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("over-limit frame: %v", err)
+	}
+
+	short := []byte{4, 0, 0, 0, 1, 2, 3, 4} // len=4 < frameHeaderLen
+	br = bufio.NewReader(bytes.NewReader(short))
+	if _, err := readStreamFrame(br, DefaultMaxFrame); err == nil || !strings.Contains(err.Error(), "shorter than") {
+		t.Fatalf("short frame: %v", err)
+	}
+
+	if _, err := readStreamFrame(bufio.NewReader(bytes.NewReader(nil)), DefaultMaxFrame); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+}

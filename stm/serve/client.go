@@ -14,10 +14,11 @@ import (
 // the server's response frame for it arrives (i.e. when the
 // transaction committed, or was refused/canceled).
 type Call struct {
-	id   uint64
-	done chan struct{}
-	age  uint64
-	err  error
+	id      uint64
+	done    chan struct{}
+	age     uint64
+	err     error
+	payload []byte // retained only under WithNotLeaderRedial
 }
 
 // Done is closed when the response arrived.
@@ -63,12 +64,18 @@ type Client struct {
 
 	readDone chan struct{}
 	readErr  error
+
+	rd *redirector // nil unless WithNotLeaderRedial
 }
 
 // Dial opens a connection to a Server at addr ("host:port"). ctx
 // bounds the dial and header round-trip only; the stream itself lives
 // until Close.
-func Dial(ctx context.Context, addr string) (*Client, error) {
+func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	var dc dialCfg
+	for _, o := range opts {
+		o(&dc)
+	}
 	pr, pw := io.Pipe()
 	tr := &http.Transport{}
 	// Prior-knowledge cleartext HTTP/2: only the unencrypted h2
@@ -106,6 +113,9 @@ func Dial(ctx context.Context, addr string) (*Client, error) {
 		cancel:   cancel,
 		pending:  make(map[uint64]*Call),
 		readDone: make(chan struct{}),
+	}
+	if dc.redial {
+		c.rd = newRedirector(addr, dc.candidates)
 	}
 	go c.readLoop()
 	return c, nil
@@ -157,6 +167,9 @@ func (c *Client) SubmitMany(payloads [][]byte) ([]*Call, error) {
 		id := c.nextID
 		c.nextID++
 		calls[i] = &Call{id: id, done: make(chan struct{})}
+		if c.rd != nil {
+			calls[i].payload = append([]byte(nil), pl...)
+		}
 		c.pending[id] = calls[i]
 		c.wbuf = appendRequestFrame(c.wbuf, id, 0, pl)
 	}
@@ -185,6 +198,9 @@ func (c *Client) submit(payload []byte, deadlineMS uint32) (*Call, error) {
 	id := c.nextID
 	c.nextID++
 	call := &Call{id: id, done: make(chan struct{})}
+	if c.rd != nil {
+		call.payload = append([]byte(nil), payload...)
+	}
 	c.rmu.Lock()
 	c.pending[id] = call
 	c.rmu.Unlock()
@@ -227,11 +243,27 @@ func (c *Client) readLoop() {
 		}
 		c.rmu.Unlock()
 		if call != nil {
+			if code == CodeNotLeader && c.rd != nil && call.payload != nil {
+				// Leadership moved: hand the call to the redirector
+				// instead of failing it. msg is the leader hint.
+				c.rd.wg.Add(1)
+				go c.rd.resubmit(call, msg)
+				continue
+			}
 			call.age = age
 			call.err = DecodeError(code, msg)
 			close(call.done)
 		}
 	}
+}
+
+// Redials returns how many calls were resubmitted to another server
+// after a NotLeader answer (0 without WithNotLeaderRedial).
+func (c *Client) Redials() uint64 {
+	if c.rd == nil {
+		return 0
+	}
+	return c.rd.redials.Load()
 }
 
 // finish resolves every still-pending call with err (the stream is
@@ -277,6 +309,9 @@ func (c *Client) Close() error {
 	c.wmu.Unlock()
 	c.pw.Close()
 	<-c.readDone
+	if c.rd != nil {
+		c.rd.close() // all redirect goroutines were spawned by readLoop
+	}
 	c.resp.Body.Close()
 	c.cancel()
 	c.tr.CloseIdleConnections()

@@ -51,6 +51,12 @@ const (
 	CodeBadRequest Code = 8
 	// CodeInternal: any error outside the taxonomy.
 	CodeInternal Code = 9
+	// CodeNotLeader: this process is a replication follower and does
+	// not accept writes; the request was never submitted. The response
+	// msg carries the leader's address when the follower knows it, so
+	// a client can redial (see WithNotLeaderRedial). errors.Is(err,
+	// ErrNotLeader).
+	CodeNotLeader Code = 10
 )
 
 func (c Code) String() string {
@@ -75,8 +81,47 @@ func (c Code) String() string {
 		return "bad-request"
 	case CodeInternal:
 		return "internal"
+	case CodeNotLeader:
+		return "not-leader"
 	}
 	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// ErrNotLeader is the sentinel a NotLeader response matches through
+// errors.Is, on either side of the wire.
+var ErrNotLeader = errors.New("serve: not leader")
+
+// NotLeaderError is the server-side refusal a follower's write gate
+// returns: the process is replicating, not leading. Leader, when
+// non-empty, is the address writes should go to; it travels as the
+// response frame's msg so the far side can redial.
+type NotLeaderError struct {
+	Leader string
+}
+
+func (e *NotLeaderError) Error() string {
+	if e.Leader == "" {
+		return "serve: not leader"
+	}
+	return "serve: not leader (leader at " + e.Leader + ")"
+}
+
+// Is matches the ErrNotLeader sentinel.
+func (e *NotLeaderError) Is(target error) bool { return target == ErrNotLeader }
+
+// LeaderHint extracts the leader address carried by a NotLeader error
+// — a server-side *NotLeaderError or a client-side reconstruction —
+// with ok false for other errors or when no address is known.
+func LeaderHint(err error) (leader string, ok bool) {
+	var nl *NotLeaderError
+	if errors.As(err, &nl) {
+		return nl.Leader, nl.Leader != ""
+	}
+	var we *Error
+	if errors.As(err, &we) && we.Code == CodeNotLeader {
+		return we.Msg, we.Msg != ""
+	}
+	return "", false
 }
 
 // CodeOf classifies an error into its wire code. The order of the
@@ -98,6 +143,8 @@ func CodeOf(err error) Code {
 		return CodeOK
 	case errors.As(err, &wireErr):
 		return wireErr.Code
+	case errors.Is(err, ErrNotLeader):
+		return CodeNotLeader
 	case errors.Is(err, stm.ErrCanceled):
 		return CodeCanceled
 	case errors.As(err, &ftErr):
@@ -145,8 +192,24 @@ func (e *Error) Is(target error) bool {
 		return e.Code == CodeClosed
 	case wal.ErrDegraded:
 		return e.Code == CodeDegraded
+	case ErrNotLeader:
+		return e.Code == CodeNotLeader
 	}
 	return false
+}
+
+// wireMsg chooses the msg a response frame carries for err: for
+// NotLeader it is the leader hint itself (machine-consumable; the
+// client rebuilds the sentence), otherwise the error text.
+func wireMsg(err error) string {
+	if err == nil {
+		return ""
+	}
+	var nl *NotLeaderError
+	if errors.As(err, &nl) {
+		return nl.Leader
+	}
+	return err.Error()
 }
 
 // DecodeError reconstructs the typed error carried by a response

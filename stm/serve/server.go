@@ -91,6 +91,22 @@ type Config struct {
 	// own traffic first.
 	State func() ([]byte, error)
 
+	// Gate, when non-nil, is consulted before every submission; a
+	// non-nil return refuses the request with that error instead of
+	// submitting it. A replication follower installs a gate returning
+	// *NotLeaderError until promotion: frames are still decoded and
+	// answered in order, they just all resolve to CodeNotLeader, so a
+	// stream opened against a follower fails fast without tearing the
+	// connection (reads and the obs routes stay served). The gate runs
+	// on the ingress path and must be cheap (an atomic load).
+	Gate func() error
+
+	// Handlers mounts extra routes on the same listener — the
+	// replication shipper's stream endpoint, a frontier probe, etc.
+	// Paths must not collide with the built-in routes (/submit,
+	// /healthz, /state, and the obs routes when Obs is set).
+	Handlers map[string]http.Handler
+
 	// MaxFrame bounds accepted request frames (default
 	// DefaultMaxFrame).
 	MaxFrame int
@@ -141,6 +157,9 @@ func NewServer(cfg Config) (*Server, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	for path, h := range cfg.Handlers {
+		mux.Handle(path, h)
+	}
 	if cfg.State != nil {
 		mux.HandleFunc("/state", func(w http.ResponseWriter, _ *http.Request) {
 			data, err := cfg.State()
@@ -201,6 +220,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
+func (s *Server) gateErr() error {
+	if s.cfg.Gate == nil {
+		return nil
+	}
+	return s.cfg.Gate()
+}
+
 // entry is one request's slot in a stream's response queue.
 type entry struct {
 	id     uint64
@@ -249,6 +275,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if len(runData) == 0 {
 			return
 		}
+		if gerr := s.gateErr(); gerr != nil {
+			for _, id := range runIDs {
+				queue <- &entry{id: id, err: gerr}
+			}
+			runData, runIDs = runData[:0], runIDs[:0]
+			return
+		}
 		ts, err := s.b.batch(ctx, runData)
 		for i, id := range runIDs {
 			e := &entry{id: id}
@@ -288,6 +321,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		flushRun()
+		if gerr := s.gateErr(); gerr != nil {
+			queue <- &entry{id: id, err: gerr}
+			continue
+		}
 		dctx, cancel := context.WithTimeout(ctx, time.Duration(deadlineMS)*time.Millisecond)
 		t, serr := s.b.one(dctx, payload)
 		if serr != nil {
@@ -322,11 +359,7 @@ func (s *Server) writeResponses(w http.ResponseWriter, rc *http.ResponseControll
 			age = e.t.Age()
 		}
 		code := CodeOf(err)
-		msg := ""
-		if err != nil {
-			msg = err.Error()
-		}
-		buf = appendResponseFrame(buf[:0], e.id, age, code, msg)
+		buf = appendResponseFrame(buf[:0], e.id, age, code, wireMsg(err))
 		if _, werr := w.Write(buf); werr != nil {
 			// Client gone: drain remaining entries so their tickets'
 			// deadline contexts are released, then quit.

@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file is the log's public inspection surface: segment and
+// checkpoint listings, the exported record-frame checksum, and a
+// CRC-verified cursor over the durable record stream. Shippers
+// (stm/repl), backup tooling and debugging commands read the log
+// through these instead of re-parsing directory names or record
+// frames themselves, so the naming scheme and framing stay private
+// implementation details with one owner.
+
+// SegmentInfo describes one on-disk segment file.
+type SegmentInfo struct {
+	// FirstAge is the age of the segment's first record (the name
+	// encodes it: %016x.wal).
+	FirstAge uint64
+	// Path is the segment file's full path.
+	Path string
+	// Size is the file's current size in bytes. For the tail segment
+	// of a live log this is a snapshot: the writer may be appending.
+	Size int64
+}
+
+// Segments lists dir's segment files in age order. Files that do not
+// match the segment naming scheme are ignored; a missing directory
+// yields an empty listing. On a live log the tail segment's Size is a
+// point-in-time snapshot.
+func Segments(dir string) ([]SegmentInfo, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SegmentInfo, 0, len(segs))
+	for _, s := range segs {
+		st, err := os.Stat(s.path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SegmentInfo{FirstAge: s.age, Path: s.path, Size: st.Size()})
+	}
+	return out, nil
+}
+
+// Checkpoints lists the ages of dir's checkpoint snapshot files,
+// sorted ascending. The committed checkpoint (the manifest's, when it
+// verifies) is typically the last; use ReadCheckpoint to load one.
+func Checkpoints(dir string) ([]uint64, error) {
+	return listCheckpoints(dir)
+}
+
+// ReadCheckpoint loads and verifies the checkpoint snapshot at age
+// from dir, returning its application state. A torn or missing
+// snapshot is an error (recovery's fallback-to-older policy lives in
+// Recover; this is the raw accessor).
+func ReadCheckpoint(dir string, age uint64) ([]byte, error) {
+	return readCheckpointFile(checkpointPath(dir, age), age)
+}
+
+// RecordCRC returns the CRC-32C the log's record frame stores for
+// (age, payload) — covering the length and age fields as well as the
+// payload, exactly the torn-tail rule's checksum. Shippers reuse it
+// so a byte shipped off-box is validated by the same rule that
+// validates it on disk.
+func RecordCRC(age uint64, payload []byte) uint32 {
+	return recordCRC(uint32(len(payload)), age, payload)
+}
+
+// FrameSize returns the framed on-disk size of a record payload
+// (header + payload bytes).
+func FrameSize(payload []byte) int64 { return recordSize(payload) }
+
+// ErrCompacted is returned by NewCursor and Cursor.Next when the
+// requested age is below the log's oldest retained record — a
+// checkpoint truncated the history. The reader must restart from a
+// checkpoint at or above the requested age instead.
+var ErrCompacted = errors.New("wal: records compacted below the requested age")
+
+// Cursor reads CRC-verified records from a log directory in age
+// order, starting at a chosen age, tolerating a live Writer appending
+// ahead of it. Next never reads at or past the caller-supplied limit
+// (pass Writer.Durable() to observe only bytes a crash cannot take
+// back), which is also what makes reading the live tail safe: every
+// byte below the durability frontier was fully written to the segment
+// file before the frontier advanced.
+//
+// A Cursor is not safe for concurrent use. It holds at most one open
+// segment file; Close releases it.
+type Cursor struct {
+	dir    string
+	expect uint64 // age of the next record to return
+	f      *os.File
+	br     *bufio.Reader
+	opened uint64 // segment files opened over the cursor's life
+}
+
+// NewCursor positions a cursor at age from in dir's log. The first
+// Next returns the record at exactly from; ErrCompacted if the log no
+// longer retains it.
+func NewCursor(dir string, from uint64) (*Cursor, error) {
+	c := &Cursor{dir: dir, expect: from}
+	return c, nil
+}
+
+// Segments returns how many segment files the cursor has opened —
+// the shipped-segment count for a shipper driving it.
+func (c *Cursor) Segments() uint64 { return c.opened }
+
+// Next returns the next record if its age is below limit, or
+// ok=false when the cursor has caught up (the next record is at or
+// beyond limit). The returned payload is freshly allocated and owned
+// by the caller. Errors are genuine log corruption or I/O failures —
+// a record below the durability frontier that fails its CRC is not a
+// torn tail, it is a damaged log — or ErrCompacted when the log was
+// truncated under the cursor.
+func (c *Cursor) Next(limit uint64) (age uint64, payload []byte, ok bool, err error) {
+	for {
+		if c.expect >= limit {
+			return 0, nil, false, nil
+		}
+		if c.f == nil {
+			if err := c.open(); err != nil {
+				return 0, nil, false, err
+			}
+		}
+		// The record for c.expect is fully on disk (it is below the
+		// caller's durability limit), so a clean EOF here can only mean
+		// the segment ended at a roll boundary: move to the next file.
+		a, p, rerr := readRecord(c.br, int64(maxPayload)+headerSize)
+		if rerr == io.EOF {
+			c.closeFile()
+			continue
+		}
+		if rerr != nil {
+			return 0, nil, false, fmt.Errorf("wal: cursor at age %d: %w", c.expect, rerr)
+		}
+		if a != c.expect {
+			return 0, nil, false, fmt.Errorf("wal: cursor expected age %d, segment holds %d", c.expect, a)
+		}
+		c.expect = a + 1
+		return a, p, true, nil
+	}
+}
+
+// open locates and opens the segment containing c.expect, skipping
+// already-consumed records within it.
+func (c *Cursor) open() error {
+	segs, err := listSegments(c.dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 || segs[0].age > c.expect {
+		return fmt.Errorf("%w (want %d)", ErrCompacted, c.expect)
+	}
+	idx := 0
+	for i, s := range segs {
+		if s.age > c.expect {
+			break
+		}
+		idx = i
+	}
+	f, err := os.Open(segs[idx].path)
+	if err != nil {
+		return err
+	}
+	c.f = f
+	c.br = bufio.NewReaderSize(f, 1<<20)
+	c.opened++
+	// Skip records below the resume point (a cursor restarted mid-
+	// segment, or positioned at an age inside an existing segment).
+	for at := segs[idx].age; at < c.expect; at++ {
+		a, _, rerr := readRecord(c.br, int64(maxPayload)+headerSize)
+		if rerr != nil {
+			c.closeFile()
+			return fmt.Errorf("wal: cursor skipping to age %d: %v", c.expect, rerr)
+		}
+		if a != at {
+			c.closeFile()
+			return fmt.Errorf("wal: cursor skipping to age %d: segment holds %d at %d", c.expect, a, at)
+		}
+	}
+	return nil
+}
+
+func (c *Cursor) closeFile() {
+	if c.f != nil {
+		c.f.Close()
+		c.f, c.br = nil, nil
+	}
+}
+
+// Close releases the cursor's open segment file, if any.
+func (c *Cursor) Close() { c.closeFile() }

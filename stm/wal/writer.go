@@ -56,6 +56,7 @@ type Writer struct {
 	dirDirty bool   // a segment was created since the last dir sync
 	err      error
 	notify   func(next uint64, err error)
+	taps     []func(durable uint64)
 	closed   bool
 
 	// admitMu serializes sync-group admission (the append/admission
@@ -235,6 +236,23 @@ func (w *Writer) Notify(fn func(next uint64, err error)) {
 	w.notify = fn
 	w.mu.Unlock()
 }
+
+// Tap registers an additional durability observer: fn is called after
+// every successful sync-point completion with the new durability
+// frontier, in frontier order, without writer locks held. Unlike
+// Notify — the single structural observer that is the pipeline — taps
+// are additive and never see errors; they exist for components that
+// chase the durable prefix, such as a replication shipper waking up to
+// read newly-durable bytes. fn must not block: it runs on the
+// completer goroutine, upstream of every later group's retirement.
+func (w *Writer) Tap(fn func(durable uint64)) {
+	w.mu.Lock()
+	w.taps = append(w.taps, fn)
+	w.mu.Unlock()
+}
+
+// Dir returns the log's directory.
+func (w *Writer) Dir() string { return w.dir }
 
 // Append frames the record for age into the log. Ages must arrive in
 // order; an age already in the log is ignored (see type doc). The
@@ -515,12 +533,18 @@ func (w *Writer) complete(op *syncOp) {
 		w.durable.Store(op.target)
 	}
 	fn := w.notify
+	taps := w.taps
 	drain := op.err == nil && w.loopDone != nil && !w.closed &&
 		(w.opts.SyncEveryN > 0 || w.opts.Adaptive) &&
 		w.next.Load() != w.durable.Load()
 	w.mu.Unlock()
 	if fn != nil {
 		fn(w.durable.Load(), op.err)
+	}
+	if op.err == nil {
+		for _, tap := range taps {
+			tap(w.durable.Load())
+		}
 	}
 	if op.done != nil {
 		close(op.done)
